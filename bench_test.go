@@ -1,0 +1,138 @@
+package deepqueuenet
+
+// Benchmarks regenerating the paper's tables and figures. Each bench
+// wraps one experiment from internal/experiments at Quick scale, so
+// `go test -bench=.` exercises the full reproduction pipeline; run
+// `go run ./cmd/paper all` for the full-scale tables recorded in
+// EXPERIMENTS.md. Trained models are cached under ./models, so the first
+// benchmark run pays a one-time training cost.
+
+import (
+	"testing"
+
+	"deepqueuenet/internal/experiments"
+)
+
+func benchOpts() experiments.Opts {
+	return experiments.Opts{Seed: 42, ModelDir: "models", Quick: true, Shards: 4}
+}
+
+// BenchmarkTable2DevicePrecision regenerates Table 2: PTM sojourn
+// accuracy (normalized w1) versus switch port count.
+func BenchmarkTable2DevicePrecision(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Table2(o, []int{2, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4TrafficGenerality regenerates Fig. 8 / Table 4:
+// DeepQueueNet vs RouteNet across traffic generation models.
+func BenchmarkTable4TrafficGenerality(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Table4(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5TopologyGenerality regenerates Table 5: accuracy across
+// Line / WAN / torus / FatTree topologies without retraining.
+func BenchmarkTable5TopologyGenerality(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Table5(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6TMGenerality regenerates Fig. 10 / Table 6: accuracy
+// across SP and WFQ traffic-management configurations.
+func BenchmarkTable6TMGenerality(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Table6(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable7Scalability regenerates Table 7: DES vs MimicNet vs
+// DeepQueueNet wall-clock, with 1/2/4 inference shards.
+func BenchmarkTable7Scalability(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Table7(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSEC regenerates the §6.1 SEC on/off ablation.
+func BenchmarkAblationSEC(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.AblationSEC(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7TrainingCurve regenerates Fig. 7: PTM training MSE over
+// optimizer steps.
+func BenchmarkFig7TrainingCurve(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig7(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9LoadSweep regenerates Fig. 9: accuracy versus traffic
+// intensity, including the unseen 0.9 load factor.
+func BenchmarkFig9LoadSweep(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig9(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12MAPFitting regenerates Fig. 12: MAP(2) fitting of the
+// BC-pAug89- and Anarchy-like traces.
+func BenchmarkFig12MAPFitting(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig12(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14QueueingVsDES regenerates Fig. 14: LDQBD queue-length
+// CDFs versus DES for SP and WFQ.
+func BenchmarkFig14QueueingVsDES(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig14(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig15QueueingComplexity regenerates Fig. 15: the exponential
+// growth of LDQBD solve time with class count.
+func BenchmarkFig15QueueingComplexity(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig15(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

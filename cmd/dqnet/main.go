@@ -1,0 +1,229 @@
+// Command dqnet is the DeepQueueNet CLI: train device models, run
+// DeepQueueNet simulations, and evaluate them against DES ground truth.
+//
+//	dqnet train -ports 8 -out models/switch8.ptm.json
+//	dqnet sim   -topo fattree16 -model models/switch8.ptm.json -traffic map -load 0.5
+//	dqnet eval  -topo line6 -model models/switch8.ptm.json -traffic poisson
+//
+// sim prints per-path RTT statistics and can dump the per-device packet
+// traces (packet-level visibility) as CSV with -trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"deepqueuenet/internal/experiments"
+	"deepqueuenet/internal/metrics"
+	"deepqueuenet/internal/ptm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "sim":
+		err = cmdSim(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dqnet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dqnet <train|sim|eval> [flags]")
+	os.Exit(2)
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	ports := fs.Int("ports", 8, "device port count K")
+	streams := fs.Int("streams", 16, "training streams")
+	dur := fs.Float64("dur", 0.002, "seconds per training stream")
+	epochs := fs.Int("epochs", 12, "training epochs")
+	seed := fs.Uint64("seed", 42, "seed")
+	out := fs.String("out", "device.ptm.json", "output model path")
+	paperScale := fs.Bool("paper-arch", false, "use the Table 1 hyper-parameters (slow on CPU)")
+	_ = fs.Parse(args)
+
+	spec := ptm.TrainSpec{Ports: *ports, Streams: *streams, Duration: *dur, Seed: *seed}
+	spec.Train.Epochs = *epochs
+	if *paperScale {
+		spec.Arch = ptm.PaperArch
+	}
+	t0 := time.Now()
+	model, rep, err := ptm.TrainDevice(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained %d-port model in %v: %d chunks, val MSE %.6f, holdout w1 %.4f\n",
+		*ports, time.Since(t0).Round(time.Second), rep.Windows, rep.ValMSE, rep.ValW1)
+	return model.Save(*out)
+}
+
+// scenarioFlags builds a Scenario from common CLI flags.
+func scenarioFlags(fs *flag.FlagSet) (mk func() (*experiments.Scenario, error), modelPath *string, shards *int) {
+	topoName := fs.String("topo", "line4", "topology (lineN, torusRxC, fattree16/64/128, abilene, geant)")
+	schedName := fs.String("sched", "fifo", "scheduler (fifo, spN, wfq:w1,w2, wrr:…, drr:…)")
+	trafficName := fs.String("traffic", "poisson", "traffic model (poisson, onoff, map, bc, anarchy)")
+	load := fs.Float64("load", 0.5, "target load of the most-shared link")
+	dur := fs.Float64("dur", 0.001, "simulated seconds")
+	seed := fs.Uint64("seed", 42, "seed")
+	modelPath = fs.String("model", "", "trained device model (required for sim/eval)")
+	shards = fs.Int("shards", 4, "parallel inference shards")
+	mk = func() (*experiments.Scenario, error) {
+		g, err := experiments.TopoByName(*topoName)
+		if err != nil {
+			return nil, err
+		}
+		sched, err := experiments.SchedByName(*schedName)
+		if err != nil {
+			return nil, err
+		}
+		tm, err := experiments.TrafficByName(*trafficName)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.NewScenario(*topoName, g, sched, tm, *load, *dur, *seed)
+	}
+	return mk, modelPath, shards
+}
+
+func cmdSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	mk, modelPath, shards := scenarioFlags(fs)
+	tracePath := fs.String("trace", "", "write per-device packet traces (CSV)")
+	_ = fs.Parse(args)
+	if *modelPath == "" {
+		return fmt.Errorf("sim requires -model")
+	}
+	model, err := ptm.Load(*modelPath)
+	if err != nil {
+		return err
+	}
+	sc, err := mk()
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	pred, res, err := sc.RunDQN(model, *shards, false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulated %s in %v (IRSA %d/%d iterations)\n",
+		sc.Name, time.Since(t0).Round(time.Millisecond), res.Iterations, res.Bound)
+	printPathStats(pred)
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "device,pkt,flow,in_port,out_port,size,class,arrive,depart")
+		devs := make([]int, 0, len(res.DeviceVisits))
+		for d := range res.DeviceVisits {
+			devs = append(devs, d)
+		}
+		sort.Ints(devs)
+		for _, d := range devs {
+			for _, v := range res.DeviceVisits[d] {
+				fmt.Fprintf(f, "%d,%d,%d,%d,%d,%d,%d,%.9f,%.9f\n",
+					v.Device, v.PktID, v.FlowID, v.InPort, v.OutPort, v.Size, v.Class, v.Arrive, v.Depart)
+			}
+		}
+		fmt.Printf("wrote per-device traces to %s\n", *tracePath)
+	}
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	mk, modelPath, shards := scenarioFlags(fs)
+	perDevice := fs.Bool("perdevice", false, "print per-switch sojourn comparison")
+	_ = fs.Parse(args)
+	if *modelPath == "" {
+		return fmt.Errorf("eval requires -model")
+	}
+	model, err := ptm.Load(*modelPath)
+	if err != nil {
+		return err
+	}
+	sc, err := mk()
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	net := sc.BuildDESNetwork()
+	net.Run(sc.Duration + 1)
+	truth := net.PathDelays(true)
+	desTime := time.Since(t0)
+	t0 = time.Now()
+	pred, res, err := sc.RunDQN(model, *shards, false)
+	if err != nil {
+		return err
+	}
+	dqnTime := time.Since(t0)
+	if *perDevice {
+		for _, sw := range sc.G.Switches() {
+			var dv, qv []float64
+			for _, v := range net.Trace.DeviceVisits(sw) {
+				if !v.Dropped {
+					dv = append(dv, v.Sojourn())
+				}
+			}
+			for _, v := range res.DeviceVisits[sw] {
+				qv = append(qv, v.Sojourn())
+			}
+			if len(dv) == 0 {
+				continue
+			}
+			fmt.Printf("switch %-3d (%s): DES n=%d mean=%.2fus p99=%.2fus | DQN n=%d mean=%.2fus p99=%.2fus\n",
+				sw, sc.G.Names[sw], len(dv), metrics.Mean(dv)*1e6, metrics.Percentile(dv, 99)*1e6,
+				len(qv), metrics.Mean(qv)*1e6, metrics.Percentile(qv, 99)*1e6)
+		}
+	}
+	sum := metrics.Compare(pred, truth)
+	fmt.Printf("scenario %s: DES %v, DeepQueueNet %v (IRSA %d/%d)\n",
+		sc.Name, desTime.Round(time.Millisecond), dqnTime.Round(time.Millisecond),
+		res.Iterations, res.Bound)
+	var allT, allP []float64
+	for _, v := range truth {
+		allT = append(allT, v...)
+	}
+	for _, v := range pred {
+		allP = append(allP, v...)
+	}
+	fmt.Printf("DES: n=%d mean %.2fus p99 %.2fus | DQN: n=%d mean %.2fus p99 %.2fus\n",
+		len(allT), metrics.Mean(allT)*1e6, metrics.Percentile(allT, 99)*1e6,
+		len(allP), metrics.Mean(allP)*1e6, metrics.Percentile(allP, 99)*1e6)
+	fmt.Printf("path-wise normalized w1: avgRTT %.4f  p99RTT %.4f  avgJitter %.4f  p99Jitter %.4f\n",
+		sum.AvgRTTW1, sum.P99RTTW1, sum.AvgJitterW1, sum.P99JitterW1)
+	return nil
+}
+
+func printPathStats(ps metrics.PathSamples) {
+	keys := make([]string, 0, len(ps))
+	for k := range ps {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println("path           n      meanRTT(us)  p99RTT(us)")
+	for _, k := range keys {
+		v := ps[k]
+		fmt.Printf("%-14s %-6d %-12.2f %-12.2f\n",
+			k, len(v), metrics.Mean(v)*1e6, metrics.Percentile(v, 99)*1e6)
+	}
+}

@@ -1,0 +1,139 @@
+// Command paper regenerates the tables and figures of the DeepQueueNet
+// evaluation (SIGCOMM 2022). Each subcommand reproduces one artifact:
+//
+//	paper table2        PTM precision vs port count
+//	paper table4        traffic-model generality (Fig. 8 data; + Table 8)
+//	paper table5        topology generality (+ Table 9)
+//	paper table6        TM generality (Fig. 10 data; + Table 10)
+//	paper table7        scalability / shard speedup
+//	paper ablation-sec  SEC on/off ablation (§6.1)
+//	paper fig6          SEC residual bins
+//	paper fig7          PTM training curve
+//	paper fig9          accuracy vs load factor
+//	paper fig12         MAP trace fitting
+//	paper fig14         queueing theory vs DES
+//	paper fig15         queueing-solver complexity
+//	paper all           everything above
+//
+// Models are trained once and cached under -models (default ./models).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"deepqueuenet/internal/experiments"
+)
+
+func main() {
+	var o experiments.Opts
+	flag.Uint64Var(&o.Seed, "seed", 42, "experiment seed")
+	flag.StringVar(&o.ModelDir, "models", "models", "model cache directory")
+	flag.BoolVar(&o.Quick, "quick", false, "reduced scale")
+	flag.IntVar(&o.Shards, "shards", 4, "DeepQueueNet inference shards")
+	flag.BoolVar(&o.Verbose, "v", true, "progress logging")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: paper [flags] <table2|table4|table5|table6|table7|ablation-sec|fig6|fig7|fig9|fig12|fig14|fig15|all>")
+		os.Exit(2)
+	}
+	for _, cmd := range flag.Args() {
+		if err := run(cmd, o); err != nil {
+			fmt.Fprintf(os.Stderr, "paper %s: %v\n", cmd, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(cmd string, o experiments.Opts) error {
+	switch cmd {
+	case "table2":
+		_, tb, err := experiments.Table2(o, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tb)
+	case "table4":
+		rows, tb, err := experiments.Table4(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tb)
+		fmt.Println(experiments.Table8(rows))
+		fmt.Println(experiments.Fig8(rows))
+	case "table5":
+		rows, tb, err := experiments.Table5(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tb)
+		fmt.Println(experiments.Table9(rows))
+	case "table6":
+		rows, tb, err := experiments.Table6(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tb)
+		fmt.Println(experiments.Table10(rows))
+		fmt.Println(experiments.Fig10(rows))
+	case "table7":
+		_, tb, err := experiments.Table7(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tb)
+	case "ablation-sec":
+		_, tb, err := experiments.AblationSEC(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tb)
+	case "fig6":
+		tb, err := experiments.Fig6(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tb)
+	case "fig7":
+		_, tb, err := experiments.Fig7(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tb)
+	case "fig9":
+		_, tb, err := experiments.Fig9(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tb)
+	case "fig12":
+		_, tb, err := experiments.Fig12(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tb)
+	case "fig14":
+		_, tb, err := experiments.Fig14(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tb)
+	case "fig15":
+		_, tb, err := experiments.Fig15(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tb)
+	case "all":
+		for _, c := range []string{"table2", "table4", "table5", "table6", "table7",
+			"ablation-sec", "fig6", "fig7", "fig9", "fig12", "fig14", "fig15"} {
+			if err := run(c, o); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", cmd)
+	}
+	return nil
+}

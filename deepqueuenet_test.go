@@ -1,0 +1,104 @@
+package deepqueuenet_test
+
+import (
+	"math"
+	"testing"
+
+	dqn "deepqueuenet"
+	"deepqueuenet/internal/rng"
+)
+
+// TestPublicAPIEndToEnd exercises the facade exactly as the README
+// quickstart does: train a small model, simulate, compare against DES.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	spec := dqn.DeviceTrainSpec{Ports: 4, Streams: 5, Duration: 0.001, Seed: 1}
+	spec.Train.Epochs = 4
+	model, rep, err := dqn.TrainDeviceModel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(rep.ValW1) {
+		t.Fatal("no holdout metric")
+	}
+
+	g := dqn.Line(3, dqn.DefaultLAN)
+	hosts := g.Hosts()
+	flows := []dqn.FlowDef{{FlowID: 1, Src: hosts[0], Dst: hosts[2]}}
+	rt, err := g.Route(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := dqn.NewSimulation(g, rt, dqn.SimConfig{
+		Sched: dqn.SchedConfig{Kind: dqn.FIFO}, Model: model, Echo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkGen := func() dqn.Generator {
+		return dqn.NewTrafficGenerator(dqn.ModelPoisson, 0.3, 10e9, dqn.ConstSize(800), rng.New(5))
+	}
+	const dur = 0.0005
+	sim.AddFlow(dqn.FlowSpec{FlowID: 1, Src: hosts[0], Dst: hosts[2], Gen: mkGen(), Stop: dur})
+	res, err := sim.Run(dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > res.Bound {
+		t.Fatalf("iterations %d over bound %d", res.Iterations, res.Bound)
+	}
+
+	net := dqn.BuildDES(g, rt, dqn.DESConfig{Sched: dqn.SchedConfig{Kind: dqn.FIFO}, Echo: true})
+	net.AddFlow(hosts[0], dqn.DESFlow{FlowID: 1, Dst: hosts[2], Source: mkGen(), Stop: dur})
+	net.Run(dur * 3)
+
+	sum := dqn.Compare(res.PathDelays(true), net.PathDelays(true))
+	if math.IsNaN(sum.AvgRTTW1) || sum.AvgRTTW1 > 0.3 {
+		t.Fatalf("facade end-to-end avgRTT w1 = %v", sum.AvgRTTW1)
+	}
+}
+
+func TestFacadeBuilders(t *testing.T) {
+	for name, g := range map[string]*dqn.Graph{
+		"line":    dqn.Line(5, dqn.DefaultLAN),
+		"torus":   dqn.Torus2D(3, 3, dqn.DefaultLAN),
+		"fattree": dqn.FatTree(dqn.FatTree16, dqn.DefaultLAN),
+		"abilene": dqn.Abilene(10e9),
+		"geant":   dqn.Geant(10e9),
+		"star":    dqn.Star(4, dqn.DefaultLAN),
+	} {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFacadeMetrics(t *testing.T) {
+	a := []float64{1, 2, 3}
+	if d := dqn.W1(a, a); d != 0 {
+		t.Fatalf("W1 self %v", d)
+	}
+	if p := dqn.Percentile(a, 50); p != 2 {
+		t.Fatalf("percentile %v", p)
+	}
+	rho := dqn.Pearson([]float64{1, 2, 3, 4}, []float64{2, 4, 6, 8})
+	if math.Abs(rho-1) > 1e-12 {
+		t.Fatalf("pearson %v", rho)
+	}
+}
+
+func TestFacadeTrafficHelpers(t *testing.T) {
+	if r := dqn.PacketRateFor(0.5, 1e9, 1000); math.Abs(r-62500) > 1e-9 {
+		t.Fatalf("rate %v", r)
+	}
+	m := dqn.ExampleMAP2()
+	rate, err := m.Rate()
+	if err != nil || math.Abs(rate-4800) > 1 {
+		t.Fatalf("MAP rate %v %v", rate, err)
+	}
+	sizes := dqn.ConstSize(500)
+	if sizes.Mean() != 500 {
+		t.Fatal("const size")
+	}
+}

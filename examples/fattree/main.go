@@ -1,0 +1,75 @@
+// Capacity planning on a FatTree16 datacenter fabric — the motivating
+// task of the paper's introduction. A trained device model sweeps the
+// offered load and reports where p99 RTT leaves the budget, without one
+// discrete event being simulated per run.
+//
+//	go run ./examples/fattree
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	dqn "deepqueuenet"
+	"deepqueuenet/internal/rng"
+)
+
+func main() {
+	fmt.Println("training an 8-port device model (one-time cost, reused across all sweeps)...")
+	spec := dqn.DeviceTrainSpec{Ports: 8, Streams: 12, Duration: 0.002, Seed: 3}
+	spec.Train.Epochs = 10
+	t0 := time.Now()
+	model, rep, err := dqn.TrainDeviceModel(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained in %v (holdout w1 %.4f)\n\n", time.Since(t0).Round(time.Second), rep.ValW1)
+
+	g := dqn.FatTree(dqn.FatTree16, dqn.DefaultLAN)
+	hosts := g.Hosts()
+	// Worst-case-ish pattern: every host sends cross-cluster.
+	half := len(hosts) / 2
+	var flows []dqn.FlowDef
+	for i, h := range hosts {
+		flows = append(flows, dqn.FlowDef{FlowID: i + 1, Src: h, Dst: hosts[(i+half)%len(hosts)]})
+	}
+	rt, err := g.Route(flows)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const p99BudgetUs = 25.0
+	fmt.Printf("p99 RTT budget: %.0f us\n", p99BudgetUs)
+	fmt.Println("load   meanRTT(us)  p99RTT(us)  verdict")
+	for _, load := range []float64{0.2, 0.35, 0.5, 0.65, 0.8} {
+		sim, err := dqn.NewSimulation(g, rt, dqn.SimConfig{
+			Sched: dqn.SchedConfig{Kind: dqn.FIFO}, Model: model, Echo: true, Shards: 4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := rng.New(11)
+		const dur = 0.001
+		for _, f := range flows {
+			gen := dqn.NewTrafficGenerator(dqn.ModelMAP, load/4, 10e9, dqn.ConstSize(800), r.Split())
+			sim.AddFlow(dqn.FlowSpec{FlowID: f.FlowID, Src: f.Src, Dst: f.Dst, Gen: gen, Stop: dur})
+		}
+		res, err := sim.Run(dur)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var all []float64
+		for _, v := range res.PathDelays(true) {
+			all = append(all, v...)
+		}
+		mean := dqn.Percentile(all, 50) // median as robust central tendency
+		p99 := dqn.Percentile(all, 99)
+		verdict := "OK"
+		if p99*1e6 > p99BudgetUs {
+			verdict = "OVER BUDGET"
+		}
+		fmt.Printf("%.2f   %-12.2f %-11.2f %s\n", load, mean*1e6, p99*1e6, verdict)
+	}
+	fmt.Println("\nEach sweep point is one DeepQueueNet inference run — no DES needed.")
+}

@@ -1,0 +1,120 @@
+// Device-parameter optimization through the simulator — §7 of the paper
+// proposes combining the fully-differentiable DeepQueueNet model with
+// gradient-based search to tune network device parameters. This example
+// implements that future-work idea with simulator-in-the-loop search:
+// find the WFQ weight split on a shared bottleneck that meets a latency
+// SLO for the premium class while giving the best-effort class as much
+// as possible.
+//
+//	go run ./examples/optimize
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	dqn "deepqueuenet"
+	"deepqueuenet/internal/rng"
+)
+
+const (
+	loadPrm = 0.20 // premium offered load
+	loadBE  = 0.60 // best-effort offered load (the aggressor)
+	simDur  = 0.005
+	rateBps = 1e9
+)
+
+func main() {
+	fmt.Println("training a multi-class device model...")
+	spec := dqn.DeviceTrainSpec{
+		Ports: 4, Streams: 18, Duration: 0.004, Seed: 21,
+		RateBps: rateBps,
+		LoadLo:  0.2, LoadHi: 0.85,
+		Scheds: []dqn.SchedConfig{
+			{Kind: dqn.WFQ, Weights: []float64{1, 1}},
+			{Kind: dqn.WFQ, Weights: []float64{2, 1}},
+			{Kind: dqn.WFQ, Weights: []float64{4, 1}},
+			{Kind: dqn.WFQ, Weights: []float64{8, 1}},
+			{Kind: dqn.WFQ, Weights: []float64{1, 4}},
+		},
+	}
+	spec.Train.Epochs = 14
+	t0 := time.Now()
+	model, rep, err := dqn.TrainDeviceModel(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained in %v (holdout w1 %.4f)\n\n", time.Since(t0).Round(time.Second), rep.ValW1)
+
+	g := dqn.Star(3, dqn.LinkParams{RateBps: rateBps, Delay: 1e-6})
+	hosts := g.Hosts()
+	flows := []dqn.FlowDef{
+		{FlowID: 1, Src: hosts[0], Dst: hosts[2]}, // premium (class 0)
+		{FlowID: 2, Src: hosts[1], Dst: hosts[2]}, // best effort (class 1)
+	}
+	rt, err := g.Route(flows)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Mean RTT of the premium class as a function of its weight share.
+	// (The mean is the right target for a learned simulator: deep tails
+	// beyond the trained load range are extrapolation-clamped.)
+	evaluate := func(wPremium float64) (meanPrem, meanBE float64) {
+		weights := []float64{wPremium, 1}
+		sim, err := dqn.NewSimulation(g, rt, dqn.SimConfig{
+			Sched: dqn.SchedConfig{Kind: dqn.WFQ, Weights: weights},
+			Model: model, Echo: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := rng.New(33)
+		loads := []float64{loadPrm, loadBE}
+		for i, f := range flows {
+			gen := dqn.NewTrafficGenerator(dqn.ModelMAP, loads[i], rateBps, dqn.ConstSize(1000), r.Split())
+			sim.AddFlow(dqn.FlowSpec{FlowID: f.FlowID, Src: f.Src, Dst: f.Dst,
+				Class: i, Weight: weights[i], Gen: gen, Stop: simDur})
+		}
+		res, err := sim.Run(simDur)
+		if err != nil {
+			log.Fatal(err)
+		}
+		paths := res.PathDelays(true)
+		return 1e6 * dqn.Percentile(paths[dqn.PathKey(flows[0].Src, flows[0].Dst)], 50),
+			1e6 * dqn.Percentile(paths[dqn.PathKey(flows[1].Src, flows[1].Dst)], 50)
+	}
+
+	// Probe the endpoints of the trained weight range, set the SLO
+	// between them, and bisect the smallest premium weight meeting it:
+	// the premium median decreases monotonically in its weight share.
+	lo, hi := 1.0, 8.0 // search within the trained weight range
+	fmt.Println("weight   premium median (us)  best-effort median (us)")
+	mLo, bLo := evaluate(lo)
+	fmt.Printf("%5.2f    %-20.2f %.2f\n", lo, mLo, bLo)
+	mHi, bHi := evaluate(hi)
+	fmt.Printf("%5.2f    %-20.2f %.2f\n", hi, mHi, bHi)
+	if mLo-mHi < 0.5 {
+		fmt.Println("\nweight share barely moves the premium median here — scheduling cannot help;")
+		fmt.Println("the knob to turn is capacity (compare examples/fattree's load sweep).")
+		return
+	}
+	sloUs := (mLo + mHi) / 2
+	fmt.Printf("\nSLO: premium median <= %.2f us; bisecting...\n", sloUs)
+	m, b := mHi, bHi
+	for i := 0; i < 6; i++ {
+		mid := (lo + hi) / 2
+		m, b = evaluate(mid)
+		fmt.Printf("%5.2f    %-20.2f %.2f\n", mid, m, b)
+		if m <= sloUs {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	fmt.Printf("\nrecommended WFQ weights: %.2f : 1 (premium median %.2f us within the %.2f us SLO)\n",
+		hi, m, sloUs)
+	fmt.Println("Every probe above is a DeepQueueNet inference run, not a DES run —")
+	fmt.Println("the what-if loop the paper's §7 envisions for device parameter tuning.")
+}

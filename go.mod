@@ -1,0 +1,3 @@
+module deepqueuenet
+
+go 1.22

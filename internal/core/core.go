@@ -1,0 +1,273 @@
+// Package core is DeepQueueNet itself: the packet-stream and device
+// models of §3.2, network composition with one-to-one topology
+// correspondence (SInit, §3.1), the forwarding-tensor PFM (Eqs. 6–7), the
+// PTM-driven device operators, and the IRSA execution engine (SRun,
+// §3.2.4) with shard-parallel inference — the CPU analogue of the paper's
+// multi-GPU model parallelism (Fig. 11).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"deepqueuenet/internal/des"
+	"deepqueuenet/internal/metrics"
+	"deepqueuenet/internal/ptm"
+	"deepqueuenet/internal/topo"
+	"deepqueuenet/internal/traffic"
+)
+
+// FlowSpec describes one simulated flow: endpoints, scheduling class
+// attributes (Eqs. 8–9), and the TGen arrival generator.
+type FlowSpec struct {
+	FlowID int
+	Src    int // host node ID
+	Dst    int // host node ID
+	Class  int
+	Weight float64
+	Proto  uint8
+	Gen    traffic.Generator
+	Start  float64
+	Stop   float64 // no arrivals at or after (0 = run duration)
+}
+
+// Config configures a DeepQueueNet simulation.
+type Config struct {
+	// Sched is the TM configuration of every switch (overridable).
+	Sched des.SchedConfig
+	// SchedOverride returns a per-switch scheduler config.
+	SchedOverride func(switchID int) (des.SchedConfig, bool)
+	// Echo reflects packets at destinations to measure RTT.
+	Echo bool
+	// Model is the default trained device model for all switches.
+	Model *ptm.PTM
+	// ModelFor returns a per-switch model (nil to use Model).
+	ModelFor func(switchID int) *ptm.PTM
+	// Shards is the number of parallel inference shards ("GPUs").
+	// 0 means 1.
+	Shards int
+	// Iterations caps IRSA iterations; 0 uses diameter(G) (Theorem 3.1).
+	Iterations int
+	// NoSEC disables statistical error correction (ablation switch).
+	NoSEC bool
+	// ConvergeEps stops IRSA early when no departure time moves by more
+	// than this (seconds). 0 uses 1 ns.
+	ConvergeEps float64
+	// Damping blends each iteration's predicted sojourns with the
+	// previous estimate: s ← Damping·ŝ + (1−Damping)·s. 1 disables
+	// damping; 0 uses the default 0.7. Damping keeps the fixed-point
+	// iteration contractive when per-device prediction error feeds back
+	// through downstream arrival estimates at high load.
+	Damping float64
+	// MeasureShards runs the shards sequentially and records each
+	// shard's compute time in Result.ShardWork. The resulting
+	// total-work/critical-path ratio is the model-parallel speedup an
+	// N-accelerator deployment achieves (Fig. 11 / Table 7) — measurable
+	// even on a single-CPU host where wall-clock parallel speedup is
+	// physically impossible.
+	MeasureShards bool
+}
+
+// hop is one device traversal on a packet's path.
+type hop struct {
+	device    int // topo node ID (switch) or host ID (host egress)
+	isHost    bool
+	inPort    int
+	outPort   int
+	rateBps   float64 // egress port line rate
+	linkDelay float64 // propagation delay after this device
+}
+
+// packet is one simulated packet with its full, PFM-determined path.
+type packet struct {
+	id     uint64
+	flow   int
+	size   int
+	class  int
+	weight float64
+	proto  uint8
+	create float64
+	echo   bool // this record is the echo leg
+	src    int
+	dst    int
+
+	hops    []hop
+	fwdHops int       // hops belonging to the forward leg
+	arrive  []float64 // arrival estimate at each hop
+	sojourn []float64 // predicted sojourn at each hop
+}
+
+// Sim is a composed DeepQueueNet model ready to run: the neural-network
+// architecture maps one-to-one to the target topology.
+type Sim struct {
+	G   *topo.Graph
+	RT  *topo.Routing
+	Cfg Config
+
+	flows []FlowSpec
+}
+
+// NewSim validates and creates a simulation (the SInit stage).
+func NewSim(g *topo.Graph, rt *topo.Routing, cfg Config) (*Sim, error) {
+	if cfg.Model == nil && cfg.ModelFor == nil {
+		return nil, errors.New("core: no device model configured")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Model != nil {
+		if d := g.MaxSwitchDegree(); cfg.Model.NumPorts < d {
+			return nil, fmt.Errorf("core: device model trained for %d ports cannot drive degree-%d switches",
+				cfg.Model.NumPorts, d)
+		}
+	}
+	return &Sim{G: g, RT: rt, Cfg: cfg}, nil
+}
+
+// AddFlow registers a flow with the simulation.
+func (s *Sim) AddFlow(f FlowSpec) {
+	if f.Gen == nil {
+		panic("core: flow without generator")
+	}
+	s.flows = append(s.flows, f)
+}
+
+// Result is the simulation output: end-to-end deliveries plus the
+// per-device predicted packet traces — the packet-level visibility the
+// paper's DNN-based EPEs lack.
+type Result struct {
+	Deliveries   []des.Delivery
+	DeviceVisits map[int][]des.Visit
+	Iterations   int // IRSA iterations actually executed
+	Diameter     int // topology diameter
+	Bound        int // Theorem 3.1 iteration bound (longest hop sequence)
+	// ShardWork is the per-shard compute time accumulated over all
+	// iterations (filled when Config.MeasureShards is set).
+	ShardWork []float64
+}
+
+// PathDelays mirrors des.Network.PathDelays for metric comparison.
+func (r *Result) PathDelays(rtt bool) metrics.PathSamples {
+	out := metrics.PathSamples{}
+	for _, d := range r.Deliveries {
+		if d.IsRTT != rtt {
+			continue
+		}
+		src, dst := d.Src, d.Dst
+		if rtt {
+			src, dst = d.Dst, d.Src
+		}
+		k := des.PathKey(src, dst)
+		out[k] = append(out[k], d.Delay())
+	}
+	return out
+}
+
+// schedOf resolves the scheduler config for a switch.
+func (s *Sim) schedOf(sw int) des.SchedConfig {
+	if s.Cfg.SchedOverride != nil {
+		if c, ok := s.Cfg.SchedOverride(sw); ok {
+			return c
+		}
+	}
+	return s.Cfg.Sched
+}
+
+// modelOf resolves the PTM for a switch.
+func (s *Sim) modelOf(sw int) *ptm.PTM {
+	if s.Cfg.ModelFor != nil {
+		if m := s.Cfg.ModelFor(sw); m != nil {
+			return m
+		}
+	}
+	return s.Cfg.Model
+}
+
+// genPackets runs the TGen stage: materialize every packet with its full
+// forwarding path (hosts' egress → switch chain → destination, plus the
+// echo leg when enabled).
+func (s *Sim) genPackets(duration float64) ([]*packet, error) {
+	var pkts []*packet
+	var id uint64
+	for _, f := range s.flows {
+		path := s.RT.Paths[f.FlowID]
+		if len(path) < 2 {
+			return nil, fmt.Errorf("core: flow %d has no routed path", f.FlowID)
+		}
+		stop := f.Stop
+		if stop <= 0 || stop > duration {
+			stop = duration
+		}
+		t := f.Start
+		for {
+			gap, size := f.Gen.NextArrival()
+			t += gap
+			if t >= stop {
+				break
+			}
+			id++
+			p := &packet{
+				id: id, flow: f.FlowID, size: size, class: f.Class,
+				weight: f.Weight, proto: f.Proto, create: t,
+				src: f.Src, dst: f.Dst,
+			}
+			p.hops = s.pathHops(path, f.FlowID)
+			p.fwdHops = len(p.hops)
+			if s.Cfg.Echo {
+				// The echo leg follows the routed reverse path: ECMP
+				// tie-breaks differ by direction, so it need not be the
+				// reversed forward path (it must match the DES exactly).
+				rev := s.RT.PathsRev[f.FlowID]
+				if len(rev) == 0 {
+					rev = reversePath(path)
+				}
+				p.hops = append(p.hops, s.pathHops(rev, f.FlowID)...)
+			}
+			p.arrive = make([]float64, len(p.hops))
+			p.sojourn = make([]float64, len(p.hops))
+			pkts = append(pkts, p)
+		}
+	}
+	sort.Slice(pkts, func(i, j int) bool { return pkts[i].create < pkts[j].create })
+	return pkts, nil
+}
+
+// pathHops expands one direction of a routed node path into device hops:
+// the source host's egress followed by each switch traversal. Hosts have
+// exactly one port (port 0).
+func (s *Sim) pathHops(path []int, flowID int) []hop {
+	hops := make([]hop, 0, len(path)-1)
+	// Source host egress.
+	src := path[0]
+	hostPort := s.G.Ports[src][0]
+	hops = append(hops, hop{
+		device: src, isHost: true, inPort: -1, outPort: 0,
+		rateBps: hostPort.RateBps, linkDelay: hostPort.Delay,
+	})
+	inPort := hostPort.PeerPort
+	for i := 1; i+1 < len(path); i++ {
+		sw := path[i]
+		out := s.RT.Lookup(sw, flowID, inPort)
+		if out < 0 {
+			// Shouldn't happen with validated routing; drop marker.
+			out = 0
+		}
+		port := s.G.Ports[sw][out]
+		hops = append(hops, hop{
+			device: sw, isHost: false, inPort: inPort, outPort: out,
+			rateBps: port.RateBps, linkDelay: port.Delay,
+		})
+		inPort = port.PeerPort
+	}
+	return hops
+}
+
+// reversePath reverses a node path (the echo leg).
+func reversePath(path []int) []int {
+	out := make([]int, len(path))
+	for i, n := range path {
+		out[len(path)-1-i] = n
+	}
+	return out
+}

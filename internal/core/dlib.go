@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"deepqueuenet/internal/ptm"
+)
+
+// DLib is the device model library (§3.1): it stores and indexes trained
+// device models by name (e.g. "switch-4port", "switch-64port") and can
+// persist them to a directory.
+type DLib struct {
+	mu     sync.RWMutex
+	models map[string]*ptm.PTM
+}
+
+// NewDLib returns an empty library.
+func NewDLib() *DLib { return &DLib{models: make(map[string]*ptm.PTM)} }
+
+// Put stores a model under name, replacing any previous entry.
+func (l *DLib) Put(name string, m *ptm.PTM) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.models[name] = m
+}
+
+// Get fetches a model by name.
+func (l *DLib) Get(name string) (*ptm.PTM, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	m, ok := l.models[name]
+	return m, ok
+}
+
+// Names lists stored model names, sorted.
+func (l *DLib) Names() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]string, 0, len(l.models))
+	for n := range l.models {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BestFor returns the stored model with the smallest port count that can
+// drive a switch of the given degree (a K-port PTM serves any device of
+// degree ≤ K).
+func (l *DLib) BestFor(degree int) (*ptm.PTM, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var best *ptm.PTM
+	for _, m := range l.models {
+		if m.NumPorts < degree {
+			continue
+		}
+		if best == nil || m.NumPorts < best.NumPorts {
+			best = m
+		}
+	}
+	return best, best != nil
+}
+
+// SaveDir writes every model to dir as <name>.ptm.json.
+func (l *DLib) SaveDir(dir string) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, m := range l.models {
+		if err := m.Save(filepath.Join(dir, name+".ptm.json")); err != nil {
+			return fmt.Errorf("dlib: saving %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// LoadDir loads every *.ptm.json model from dir.
+func LoadDir(dir string) (*DLib, error) {
+	l := NewDLib()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".ptm.json") {
+			continue
+		}
+		m, err := ptm.Load(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("dlib: loading %s: %w", e.Name(), err)
+		}
+		l.models[strings.TrimSuffix(e.Name(), ".ptm.json")] = m
+	}
+	return l, nil
+}

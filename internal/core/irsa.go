@@ -1,0 +1,344 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"deepqueuenet/internal/des"
+	"deepqueuenet/internal/ptm"
+)
+
+// entry locates one device traversal: packet index and hop index.
+type entry struct {
+	pkt int32
+	hop int32
+}
+
+// Run executes the simulation: TGen, initial inference, and the
+// Iterative Re-Sequencing Algorithm (Algorithm 1). Per Theorem 3.1 at
+// most diameter(G) iterations are needed; Run stops earlier once no
+// departure estimate moves by more than ConvergeEps.
+func (s *Sim) Run(duration float64) (*Result, error) {
+	pkts, err := s.genPackets(duration)
+	if err != nil {
+		return nil, err
+	}
+	eps := s.Cfg.ConvergeEps
+	if eps <= 0 {
+		eps = 1e-9
+	}
+	damping := s.Cfg.Damping
+	if damping <= 0 {
+		damping = 0.7
+	}
+	if damping > 1 {
+		damping = 1
+	}
+	shards := s.Cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+
+	// Index device traversals.
+	byDevice := make(map[int][]entry)
+	for pi, p := range pkts {
+		for hi := range p.hops {
+			d := p.hops[hi].device
+			byDevice[d] = append(byDevice[d], entry{pkt: int32(pi), hop: int32(hi)})
+		}
+	}
+	devices := make([]int, 0, len(byDevice))
+	for d := range byDevice {
+		devices = append(devices, d)
+	}
+	sort.Ints(devices)
+
+	// Initial inference: sojourn = transmission time only, then propagate
+	// arrival estimates (Algorithm 1's first pass over ingress streams).
+	for _, p := range pkts {
+		for h := range p.hops {
+			p.sojourn[h] = float64(p.size*8) / p.hops[h].rateBps
+		}
+	}
+	propagate(pkts)
+
+	// SEC ablation: strip the correction bins from working copies.
+	modelOf := func(sw int) *ptm.PTM {
+		m := s.modelOf(sw)
+		if m != nil && s.Cfg.NoSEC && len(m.SECBins) > 0 {
+			c := *m
+			c.SECBins = nil
+			return &c
+		}
+		return m
+	}
+
+	shardSets := PartitionDevices(devices, func(d int) int { return len(byDevice[d]) }, shards)
+
+	diameter := s.G.Diameter()
+	// Theorem 3.1 bounds convergence by the number of device hops a
+	// packet's stream can traverse. With echo legs the round trip doubles
+	// the path, so the effective bound is the longest per-packet hop
+	// sequence (= diameter for one-way runs).
+	maxIter := s.Cfg.Iterations
+	if maxIter <= 0 {
+		for _, p := range pkts {
+			if len(p.hops) > maxIter {
+				maxIter = len(p.hops)
+			}
+		}
+		if maxIter == 0 {
+			maxIter = 1
+		}
+		if damping < 1 {
+			// Damped updates converge geometrically rather than in one
+			// sweep per hop; allow extra iterations (the eps check stops
+			// earlier whenever possible).
+			maxIter += maxIter / 2
+		}
+	}
+	// Damping needs the previous iteration's sojourns.
+	var prev [][]float64
+	if damping < 1 {
+		prev = make([][]float64, len(pkts))
+		for i, p := range pkts {
+			prev[i] = make([]float64, len(p.sojourn))
+		}
+	}
+	shardWork := make([]float64, len(shardSets))
+	shardClones := make([]map[*ptm.PTM]*ptm.PTM, len(shardSets))
+	for i := range shardClones {
+		shardClones[i] = make(map[*ptm.PTM]*ptm.PTM)
+	}
+	iters := 0
+	for iter := 0; iter < maxIter; iter++ {
+		iters++
+		if damping < 1 {
+			for i, p := range pkts {
+				copy(prev[i], p.sojourn)
+			}
+		}
+		if s.Cfg.MeasureShards {
+			// Sequential execution with per-shard timing: the clean way
+			// to measure the model-parallel critical path regardless of
+			// host core count.
+			for si, shard := range shardSets {
+				t0 := time.Now()
+				for _, d := range shard {
+					s.inferDevice(d, byDevice[d], pkts, shardClones[si], modelOf)
+				}
+				shardWork[si] += time.Since(t0).Seconds()
+			}
+		} else {
+			var wg sync.WaitGroup
+			for si, shard := range shardSets {
+				wg.Add(1)
+				go func(si int, shard []int) {
+					defer wg.Done()
+					for _, d := range shard {
+						s.inferDevice(d, byDevice[d], pkts, shardClones[si], modelOf)
+					}
+				}(si, shard)
+			}
+			wg.Wait()
+		}
+		if damping < 1 && iter > 0 {
+			// Skip damping on the first iteration: the initial estimate
+			// (transmission time only) is far from the fixed point and
+			// holding on to it would only slow convergence.
+			for i, p := range pkts {
+				for h := range p.sojourn {
+					p.sojourn[h] = damping*p.sojourn[h] + (1-damping)*prev[i][h]
+				}
+			}
+		}
+
+		delta := propagate(pkts)
+		if delta <= eps {
+			break
+		}
+	}
+
+	res := s.collect(pkts, byDevice, iters, diameter, maxIter)
+	if s.Cfg.MeasureShards {
+		res.ShardWork = shardWork
+	}
+	return res, nil
+}
+
+// propagate recomputes per-packet arrival estimates from the current
+// sojourns and returns the largest change in any final departure time.
+func propagate(pkts []*packet) float64 {
+	maxDelta := 0.0
+	for _, p := range pkts {
+		t := p.create
+		for h := range p.hops {
+			if d := math.Abs(p.arrive[h] - t); d > maxDelta {
+				maxDelta = d
+			}
+			p.arrive[h] = t
+			t += p.sojourn[h] + p.hops[h].linkDelay
+		}
+	}
+	return maxDelta
+}
+
+// inferDevice recomputes the sojourn of every packet traversal of one
+// device from the current arrival estimates: exact FIFO serialization
+// for host egresses, PTM inference per egress port for switches.
+func (s *Sim) inferDevice(dev int, entries []entry, pkts []*packet,
+	clones map[*ptm.PTM]*ptm.PTM, modelOf func(int) *ptm.PTM) {
+
+	if len(entries) == 0 {
+		return
+	}
+	first := pkts[entries[0].pkt].hops[entries[0].hop]
+	if first.isHost {
+		inferHostEgress(entries, pkts)
+		return
+	}
+	// Group traversals by egress port (the PFM already mixed ingress
+	// streams; Delay() applies per egress stream, Eq. 7).
+	byPort := make(map[int][]entry)
+	for _, e := range entries {
+		out := pkts[e.pkt].hops[e.hop].outPort
+		byPort[out] = append(byPort[out], e)
+	}
+	base := modelOf(dev)
+	model := clones[base]
+	if model == nil {
+		model = base.Clone()
+		clones[base] = model
+	}
+	sched := s.schedOf(dev)
+	ports := make([]int, 0, len(byPort))
+	for p := range byPort {
+		ports = append(ports, p)
+	}
+	sort.Ints(ports)
+	for _, port := range ports {
+		es := byPort[port]
+		sort.Slice(es, func(a, b int) bool {
+			pa, pb := pkts[es[a].pkt], pkts[es[b].pkt]
+			ta, tb := pa.arrive[es[a].hop], pb.arrive[es[b].hop]
+			if ta != tb {
+				return ta < tb
+			}
+			return pa.id < pb.id
+		})
+		stream := make([]ptm.PacketIn, len(es))
+		rate := pkts[es[0].pkt].hops[es[0].hop].rateBps
+		for i, e := range es {
+			p := pkts[e.pkt]
+			stream[i] = ptm.PacketIn{
+				Arrive: p.arrive[e.hop], Size: p.size, Proto: p.proto,
+				InPort: p.hops[e.hop].inPort, Class: p.class, Weight: p.weight,
+			}
+		}
+		sojourns := model.PredictStream(stream, sched.Kind, rate, 1)
+		for i, e := range es {
+			pkts[e.pkt].sojourn[e.hop] = sojourns[i]
+		}
+	}
+}
+
+// inferHostEgress computes exact FIFO serialization at a host's single
+// egress port (a known, deterministic TM — no DNN needed, mirroring the
+// paper's exactly-solvable link model).
+func inferHostEgress(entries []entry, pkts []*packet) {
+	es := append([]entry(nil), entries...)
+	sort.Slice(es, func(a, b int) bool {
+		pa, pb := pkts[es[a].pkt], pkts[es[b].pkt]
+		ta, tb := pa.arrive[es[a].hop], pb.arrive[es[b].hop]
+		if ta != tb {
+			return ta < tb
+		}
+		return pa.id < pb.id
+	})
+	lastDepart := math.Inf(-1)
+	for _, e := range es {
+		p := pkts[e.pkt]
+		arr := p.arrive[e.hop]
+		start := arr
+		if lastDepart > start {
+			start = lastDepart
+		}
+		depart := start + float64(p.size*8)/p.hops[e.hop].rateBps
+		p.sojourn[e.hop] = depart - arr
+		lastDepart = depart
+	}
+}
+
+// collect assembles the Result: deliveries and per-device visit traces.
+func (s *Sim) collect(pkts []*packet, byDevice map[int][]entry, iters, diameter, bound int) *Result {
+	res := &Result{
+		DeviceVisits: make(map[int][]des.Visit, len(byDevice)),
+		Iterations:   iters,
+		Diameter:     diameter,
+		Bound:        bound,
+	}
+	for _, p := range pkts {
+		// One-way delivery: arrival at the destination host.
+		fwdLast := p.fwdHops - 1
+		oneWay := p.arrive[fwdLast] + p.sojourn[fwdLast] + p.hops[fwdLast].linkDelay
+		res.Deliveries = append(res.Deliveries, des.Delivery{
+			PktID: p.id, FlowID: p.flow, Src: p.src, Dst: p.dst,
+			SendTime: p.create, RecvTime: oneWay, IsRTT: false,
+			Hops: p.fwdHops,
+		})
+		if len(p.hops) > p.fwdHops {
+			last := len(p.hops) - 1
+			rtt := p.arrive[last] + p.sojourn[last] + p.hops[last].linkDelay
+			res.Deliveries = append(res.Deliveries, des.Delivery{
+				PktID: p.id, FlowID: p.flow, Src: p.dst, Dst: p.src,
+				SendTime: p.create, RecvTime: rtt, IsRTT: true,
+				Hops: len(p.hops),
+			})
+		}
+	}
+	sort.Slice(res.Deliveries, func(i, j int) bool {
+		return res.Deliveries[i].RecvTime < res.Deliveries[j].RecvTime
+	})
+	for d, es := range byDevice {
+		vs := make([]des.Visit, 0, len(es))
+		for _, e := range es {
+			p := pkts[e.pkt]
+			h := p.hops[e.hop]
+			vs = append(vs, des.Visit{
+				PktID: p.id, FlowID: p.flow, Device: d,
+				InPort: h.inPort, OutPort: h.outPort, Size: p.size,
+				Class: p.class, Weight: p.weight, Proto: p.proto,
+				Arrive: p.arrive[e.hop], Depart: p.arrive[e.hop] + p.sojourn[e.hop],
+			})
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i].Arrive < vs[j].Arrive })
+		res.DeviceVisits[d] = vs
+	}
+	return res
+}
+
+// PartitionDevices splits devices into n balanced shards using
+// longest-processing-time-first on the given work estimate. This is the
+// model-parallel network decomposition of Fig. 11.
+func PartitionDevices(devices []int, work func(int) int, n int) [][]int {
+	if n <= 1 {
+		return [][]int{append([]int(nil), devices...)}
+	}
+	sorted := append([]int(nil), devices...)
+	sort.Slice(sorted, func(a, b int) bool { return work(sorted[a]) > work(sorted[b]) })
+	shards := make([][]int, n)
+	loads := make([]int, n)
+	for _, d := range sorted {
+		best := 0
+		for i := 1; i < n; i++ {
+			if loads[i] < loads[best] {
+				best = i
+			}
+		}
+		shards[best] = append(shards[best], d)
+		loads[best] += work(d)
+	}
+	return shards
+}

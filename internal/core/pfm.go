@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sort"
+)
+
+// StreamPkt is one element of a device's port-indexed packet time series
+// (Eq. 2): the packet vector plus its arrival time.
+type StreamPkt struct {
+	PID    uint64
+	FID    int
+	Len    int
+	Trp    uint8
+	InPort int
+	Time   float64
+}
+
+// ForwardingTensor is the paper's 0/1 PFM tensor F of shape K×K×N
+// (Eq. 7): F[i][j][k] = 1 iff the k-th packet of ingress port i forwards
+// to egress port j. Building and applying it is the batched equivalent of
+// per-packet forwarding.
+type ForwardingTensor struct {
+	K, N int
+	bits []uint8 // K*K*N, row-major (i, j, k)
+}
+
+// idx addresses element (i, j, k).
+func (f *ForwardingTensor) idx(i, j, k int) int { return (i*f.K+j)*f.N + k }
+
+// At reads F[i][j][k].
+func (f *ForwardingTensor) At(i, j, k int) uint8 { return f.bits[f.idx(i, j, k)] }
+
+// BuildForwardingTensor constructs F from the padded ingress streams and
+// the forwarding table function (Eq. 6). ingress[i] is the time series of
+// port i; streams are padded implicitly — entries beyond a stream's
+// length stay zero (the paper's "empty packets").
+func BuildForwardingTensor(ingress [][]StreamPkt, forward func(fid, inPort int) int) *ForwardingTensor {
+	k := len(ingress)
+	n := 0
+	for _, s := range ingress {
+		if len(s) > n {
+			n = len(s)
+		}
+	}
+	f := &ForwardingTensor{K: k, N: n, bits: make([]uint8, k*k*n)}
+	for i, s := range ingress {
+		for kk, p := range s {
+			j := forward(p.FID, i)
+			if j >= 0 && j < k {
+				f.bits[f.idx(i, j, kk)] = 1
+			}
+		}
+	}
+	return f
+}
+
+// Apply computes T_out = F · T_in (Eq. 7 without the Delay term): it
+// mixes the ingress streams into per-egress-port streams, preserving
+// arrival-time order. Packets with no matching tensor entry (dropped by
+// forwarding) do not appear in any egress stream.
+func (f *ForwardingTensor) Apply(ingress [][]StreamPkt) [][]StreamPkt {
+	out := make([][]StreamPkt, f.K)
+	for i, s := range ingress {
+		for kk, p := range s {
+			for j := 0; j < f.K; j++ {
+				if f.At(i, j, kk) == 1 {
+					out[j] = append(out[j], p)
+				}
+			}
+		}
+	}
+	for j := range out {
+		sort.Slice(out[j], func(a, b int) bool {
+			if out[j][a].Time != out[j][b].Time {
+				return out[j][a].Time < out[j][b].Time
+			}
+			return out[j][a].PID < out[j][b].PID
+		})
+	}
+	return out
+}
+
+// ForwardDirect is the reference per-packet implementation of the same
+// mixing; tests assert Apply ≡ ForwardDirect to validate the tensor
+// formulation.
+func ForwardDirect(ingress [][]StreamPkt, forward func(fid, inPort int) int) [][]StreamPkt {
+	k := len(ingress)
+	out := make([][]StreamPkt, k)
+	for i, s := range ingress {
+		for _, p := range s {
+			j := forward(p.FID, i)
+			if j >= 0 && j < k {
+				out[j] = append(out[j], p)
+			}
+		}
+	}
+	for j := range out {
+		sort.Slice(out[j], func(a, b int) bool {
+			if out[j][a].Time != out[j][b].Time {
+				return out[j][a].Time < out[j][b].Time
+			}
+			return out[j][a].PID < out[j][b].PID
+		})
+	}
+	return out
+}

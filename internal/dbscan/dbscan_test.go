@@ -1,0 +1,151 @@
+package dbscan
+
+import (
+	"testing"
+	"testing/quick"
+
+	"deepqueuenet/internal/rng"
+)
+
+func TestTwoClearClusters(t *testing.T) {
+	xs := []float64{1.0, 1.1, 1.2, 0.9, 10.0, 10.1, 9.9, 10.2}
+	labels, n := Cluster(xs, 0.5, 3)
+	if n != 2 {
+		t.Fatalf("found %d clusters, want 2", n)
+	}
+	if labels[0] != labels[1] || labels[0] != labels[3] {
+		t.Fatalf("low cluster split: %v", labels)
+	}
+	if labels[4] != labels[5] || labels[4] != labels[7] {
+		t.Fatalf("high cluster split: %v", labels)
+	}
+	if labels[0] == labels[4] {
+		t.Fatalf("clusters merged: %v", labels)
+	}
+}
+
+func TestNoisePoint(t *testing.T) {
+	xs := []float64{1, 1.1, 1.2, 1.05, 50}
+	labels, n := Cluster(xs, 0.5, 3)
+	if n != 1 {
+		t.Fatalf("found %d clusters, want 1", n)
+	}
+	if labels[4] != Noise {
+		t.Fatalf("outlier labelled %d, want noise", labels[4])
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	if labels, n := Cluster(nil, 1, 3); n != 0 || len(labels) != 0 {
+		t.Fatal("empty input should yield no clusters")
+	}
+	if _, n := Cluster([]float64{1, 2}, 0, 3); n != 0 {
+		t.Fatal("eps=0 should yield no clusters")
+	}
+	if _, n := Cluster([]float64{1, 2}, 1, 0); n != 0 {
+		t.Fatal("minPts=0 should yield no clusters")
+	}
+}
+
+func TestAllSamePoint(t *testing.T) {
+	xs := []float64{3, 3, 3, 3, 3}
+	labels, n := Cluster(xs, 0.1, 3)
+	if n != 1 {
+		t.Fatalf("identical points should form one cluster, got %d", n)
+	}
+	for _, l := range labels {
+		if l != 0 {
+			t.Fatalf("labels %v", labels)
+		}
+	}
+}
+
+// Chained points within eps of each other must form a single cluster
+// (density reachability).
+func TestChainReachability(t *testing.T) {
+	xs := []float64{0, 0.4, 0.8, 1.2, 1.6, 2.0}
+	labels, n := Cluster(xs, 0.5, 2)
+	if n != 1 {
+		t.Fatalf("chain split into %d clusters", n)
+	}
+	for _, l := range labels {
+		if l != 0 {
+			t.Fatalf("labels %v", labels)
+		}
+	}
+}
+
+// Property: cluster labels are invariant to input permutation (up to
+// renaming), and every labelled point has at least one neighbour in eps.
+func TestPermutationInvariance(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 10 + r.Intn(60)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Normal(float64(r.Intn(3))*10, 1)
+		}
+		labels1, k1 := Cluster(xs, 1.0, 3)
+		perm := r.Perm(n)
+		shuffled := make([]float64, n)
+		for i, p := range perm {
+			shuffled[i] = xs[p]
+		}
+		labels2, k2 := Cluster(shuffled, 1.0, 3)
+		if k1 != k2 {
+			return false
+		}
+		// Same points must share cluster membership patterns: compare
+		// noise/label equivalence classes through the permutation.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				same1 := labels1[perm[i]] == labels1[perm[j]] && labels1[perm[i]] != Noise
+				same2 := labels2[i] == labels2[j] && labels2[i] != Noise
+				if same1 != same2 {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBins(t *testing.T) {
+	keys := []float64{1, 1.1, 1.2, 5, 5.1, 5.2}
+	vals := []float64{10, 20, 30, -1, -2, -3}
+	bins := Bins(keys, vals, 0.5, 2)
+	if len(bins) != 2 {
+		t.Fatalf("got %d bins, want 2", len(bins))
+	}
+	if bins[0].MeanValue != 20 {
+		t.Fatalf("bin0 mean %v, want 20", bins[0].MeanValue)
+	}
+	if bins[1].MeanValue != -2 {
+		t.Fatalf("bin1 mean %v, want -2", bins[1].MeanValue)
+	}
+	if bins[0].Lo != 1 || bins[0].Hi != 1.2 {
+		t.Fatalf("bin0 range [%v,%v]", bins[0].Lo, bins[0].Hi)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	bins := []Bin{{Lo: 0, Hi: 1, MeanValue: 5}, {Lo: 10, Hi: 11, MeanValue: 7}}
+	if b := Lookup(bins, 0.5); b.MeanValue != 5 {
+		t.Fatalf("in-range lookup failed: %+v", b)
+	}
+	if b := Lookup(bins, 2); b.MeanValue != 5 {
+		t.Fatalf("gap lookup should pick nearer bin: %+v", b)
+	}
+	if b := Lookup(bins, 9.5); b.MeanValue != 7 {
+		t.Fatalf("gap lookup should pick nearer bin: %+v", b)
+	}
+	if b := Lookup(bins, 100); b.MeanValue != 7 {
+		t.Fatalf("above-range lookup: %+v", b)
+	}
+	if b := Lookup(nil, 1); b != nil {
+		t.Fatal("empty bins should return nil")
+	}
+}

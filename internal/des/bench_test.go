@@ -1,0 +1,73 @@
+package des
+
+import (
+	"testing"
+
+	"deepqueuenet/internal/rng"
+	"deepqueuenet/internal/topo"
+	"deepqueuenet/internal/traffic"
+)
+
+func BenchmarkEventHeap(b *testing.B) {
+	s := NewSimulator()
+	r := rng.New(1)
+	// Keep a standing population of 1000 events; measure push/pop.
+	for i := 0; i < 1000; i++ {
+		s.At(r.Float64(), func() {})
+	}
+	b.ResetTimer()
+	count := 0
+	for i := 0; i < b.N; i++ {
+		t := s.Now() + r.Float64()*0.001
+		s.At(t, func() { count++ })
+		s.Run(s.events[0].time)
+	}
+}
+
+func benchScheduler(b *testing.B, s Scheduler) {
+	r := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &Packet{ID: uint64(i), Size: 64 + r.Intn(1400), Class: r.Intn(3), Weight: 1}
+		s.Enqueue(p)
+		if i%2 == 1 {
+			s.Dequeue()
+			s.Dequeue()
+		}
+	}
+}
+
+func BenchmarkFIFO(b *testing.B) { benchScheduler(b, NewFIFO(0)) }
+func BenchmarkSP(b *testing.B)   { benchScheduler(b, NewSP(3, 0)) }
+func BenchmarkWRR(b *testing.B)  { benchScheduler(b, NewWRR([]int{1, 2, 3}, 0)) }
+func BenchmarkDRR(b *testing.B)  { benchScheduler(b, NewDRR([]float64{1, 2, 3}, 1500, 0)) }
+func BenchmarkWFQ(b *testing.B)  { benchScheduler(b, NewWFQ([]float64{1, 2, 3}, 0)) }
+
+// BenchmarkDESFatTree16 measures raw DES throughput (events/sec) on the
+// paper's FatTree16 workload shape.
+func BenchmarkDESFatTree16(b *testing.B) {
+	g := topo.FatTree(topo.FatTree16, topo.DefaultLAN)
+	hosts := g.Hosts()
+	var flows []topo.FlowDef
+	for i, h := range hosts {
+		flows = append(flows, topo.FlowDef{FlowID: i + 1, Src: h,
+			Dst: hosts[(i+8)%len(hosts)]})
+	}
+	rt, err := g.Route(flows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		net := Build(g, rt, NetConfig{Sched: SchedConfig{Kind: FIFO}, Echo: true})
+		r := rng.New(uint64(i + 1))
+		for _, f := range flows {
+			gen := traffic.NewPoisson(1e5, traffic.ConstSize(800), r.Split())
+			net.AddFlow(f.Src, Flow{FlowID: f.FlowID, Dst: f.Dst, Source: gen, Stop: 0.001})
+		}
+		net.Run(0.003)
+		events += net.Sim.Processed()
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+}

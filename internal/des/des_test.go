@@ -1,0 +1,324 @@
+package des
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"deepqueuenet/internal/rng"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	s.Run(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestEventTieBreakFIFO(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(1, func() { order = append(order, i) })
+	}
+	s.Run(2)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events reordered: %v", order)
+		}
+	}
+}
+
+func TestRunHonorsDeadline(t *testing.T) {
+	s := NewSimulator()
+	ran := false
+	s.At(5, func() { ran = true })
+	s.Run(4)
+	if ran {
+		t.Fatal("event beyond deadline executed")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending %d", s.Pending())
+	}
+	s.Run(5)
+	if !ran {
+		t.Fatal("event at deadline not executed")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := NewSimulator()
+	s.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		s.At(5, func() {})
+	})
+	s.Run(20)
+}
+
+// --- scheduler unit tests ---
+
+func pkt(id uint64, size, class int) *Packet {
+	return &Packet{ID: id, Size: size, Class: class}
+}
+
+func TestFIFOOrderAndDrop(t *testing.T) {
+	f := NewFIFO(2)
+	if !f.Enqueue(pkt(1, 100, 0)) || !f.Enqueue(pkt(2, 100, 0)) {
+		t.Fatal("enqueue under capacity failed")
+	}
+	if f.Enqueue(pkt(3, 100, 0)) {
+		t.Fatal("over-capacity enqueue accepted")
+	}
+	if p := f.Dequeue(); p.ID != 1 {
+		t.Fatalf("dequeue %d", p.ID)
+	}
+	if p := f.Dequeue(); p.ID != 2 {
+		t.Fatalf("dequeue %d", p.ID)
+	}
+	if f.Dequeue() != nil {
+		t.Fatal("empty dequeue not nil")
+	}
+}
+
+func TestFIFOPreservesOrderProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		f := NewFIFO(0)
+		var want []uint64
+		id := uint64(0)
+		for op := 0; op < 200; op++ {
+			if r.Float64() < 0.6 {
+				id++
+				f.Enqueue(pkt(id, 64, 0))
+				want = append(want, id)
+			} else if len(want) > 0 {
+				p := f.Dequeue()
+				if p == nil || p.ID != want[0] {
+					return false
+				}
+				want = want[1:]
+			}
+		}
+		return f.Len() == len(want)
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSPStrictness(t *testing.T) {
+	s := NewSP(3, 0)
+	s.Enqueue(pkt(1, 100, 2))
+	s.Enqueue(pkt(2, 100, 0))
+	s.Enqueue(pkt(3, 100, 1))
+	s.Enqueue(pkt(4, 100, 0))
+	order := []uint64{2, 4, 3, 1} // class 0 first (FIFO within class)
+	for _, want := range order {
+		if p := s.Dequeue(); p.ID != want {
+			t.Fatalf("SP dequeue %d, want %d", p.ID, want)
+		}
+	}
+}
+
+func TestWRRProportions(t *testing.T) {
+	w := NewWRR([]int{1, 3}, 0)
+	// Saturate both queues.
+	for i := uint64(0); i < 400; i++ {
+		w.Enqueue(&Packet{ID: i, Size: 100, Class: int(i % 2)})
+	}
+	counts := [2]int{}
+	for i := 0; i < 200; i++ {
+		p := w.Dequeue()
+		counts[p.Class]++
+	}
+	ratio := float64(counts[1]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.2 {
+		t.Fatalf("WRR ratio %v, want ~3", ratio)
+	}
+}
+
+func TestWRRWorkConserving(t *testing.T) {
+	w := NewWRR([]int{1, 9}, 0)
+	// Only the low-weight queue has packets: it must still be served.
+	for i := uint64(0); i < 10; i++ {
+		w.Enqueue(&Packet{ID: i, Size: 100, Class: 0})
+	}
+	for i := 0; i < 10; i++ {
+		if w.Dequeue() == nil {
+			t.Fatal("WRR starved a backlogged queue")
+		}
+	}
+}
+
+func TestDRRBytesProportions(t *testing.T) {
+	d := NewDRR([]float64{1, 2}, 500, 0)
+	for i := uint64(0); i < 600; i++ {
+		d.Enqueue(&Packet{ID: i, Size: 300, Class: int(i % 2)})
+	}
+	bytes := [2]int{}
+	for i := 0; i < 300; i++ {
+		p := d.Dequeue()
+		bytes[p.Class] += p.Size
+	}
+	ratio := float64(bytes[1]) / float64(bytes[0])
+	if math.Abs(ratio-2) > 0.25 {
+		t.Fatalf("DRR byte ratio %v, want ~2", ratio)
+	}
+}
+
+func TestDRRHandlesOversizePackets(t *testing.T) {
+	// Packet larger than one quantum must still eventually be served.
+	d := NewDRR([]float64{1}, 100, 0)
+	d.Enqueue(&Packet{ID: 1, Size: 450, Class: 0})
+	if p := d.Dequeue(); p == nil || p.ID != 1 {
+		t.Fatal("DRR failed to accumulate deficit for large packet")
+	}
+}
+
+func TestWFQWeightedShares(t *testing.T) {
+	w := NewWFQ([]float64{1, 4}, 0)
+	for i := uint64(0); i < 1000; i++ {
+		w.Enqueue(&Packet{ID: i, Size: 200, Class: int(i % 2)})
+	}
+	bytes := [2]int{}
+	for i := 0; i < 500; i++ {
+		p := w.Dequeue()
+		bytes[p.Class] += p.Size
+	}
+	ratio := float64(bytes[1]) / float64(bytes[0])
+	if math.Abs(ratio-4) > 0.6 {
+		t.Fatalf("WFQ byte ratio %v, want ~4", ratio)
+	}
+}
+
+func TestWFQWorkConserving(t *testing.T) {
+	w := NewWFQ([]float64{1, 99}, 0)
+	for i := uint64(0); i < 5; i++ {
+		w.Enqueue(&Packet{ID: i, Size: 100, Class: 0})
+	}
+	for i := 0; i < 5; i++ {
+		if w.Dequeue() == nil {
+			t.Fatal("WFQ starved the only backlogged queue")
+		}
+	}
+}
+
+func TestClassedCapacityDrops(t *testing.T) {
+	s := NewSP(2, 1)
+	if !s.Enqueue(pkt(1, 100, 0)) {
+		t.Fatal("first enqueue failed")
+	}
+	if s.Enqueue(pkt(2, 100, 0)) {
+		t.Fatal("second enqueue in class 0 should drop")
+	}
+	if !s.Enqueue(pkt(3, 100, 1)) {
+		t.Fatal("other class should have room")
+	}
+}
+
+func TestClassClamping(t *testing.T) {
+	s := NewSP(2, 0)
+	s.Enqueue(pkt(1, 100, 7))  // clamps to class 1
+	s.Enqueue(pkt(2, 100, -3)) // clamps to class 0
+	lens := s.PerClassLen()
+	if lens[0] != 1 || lens[1] != 1 {
+		t.Fatalf("class clamping: %v", lens)
+	}
+}
+
+func TestSchedConfigBuild(t *testing.T) {
+	kinds := []SchedConfig{
+		{Kind: FIFO},
+		{Kind: SP, Classes: 3},
+		{Kind: WRR, Weights: []float64{1, 2}},
+		{Kind: DRR, Weights: []float64{1, 2}, QuantumUnit: 1500},
+		{Kind: WFQ, Weights: []float64{1, 2, 3}},
+	}
+	wantClasses := []int{1, 3, 2, 2, 3}
+	for i, c := range kinds {
+		s := c.Build()
+		if s.Kind() != c.Kind {
+			t.Fatalf("kind %v built %v", c.Kind, s.Kind())
+		}
+		if got := c.NumClasses(); got != wantClasses[i] {
+			t.Fatalf("%v NumClasses %d, want %d", c.Kind, got, wantClasses[i])
+		}
+		if got := len(s.PerClassLen()); got != wantClasses[i] {
+			t.Fatalf("%v PerClassLen %d, want %d", c.Kind, got, wantClasses[i])
+		}
+	}
+}
+
+// Property: under random enqueue/dequeue sequences, every multi-class
+// scheduler conserves packets per class and never emits nil while
+// backlogged.
+func TestSchedulerConservationProperty(t *testing.T) {
+	build := func(kind SchedKind) Scheduler {
+		switch kind {
+		case SP:
+			return NewSP(3, 0)
+		case WRR:
+			return NewWRR([]int{1, 2, 3}, 0)
+		case DRR:
+			return NewDRR([]float64{1, 2, 3}, 1000, 0)
+		case WFQ:
+			return NewWFQ([]float64{1, 2, 3}, 0)
+		}
+		return NewFIFO(0)
+	}
+	for _, kind := range []SchedKind{FIFO, SP, WRR, DRR, WFQ} {
+		err := quick.Check(func(seed uint64) bool {
+			r := rng.New(seed)
+			s := build(kind)
+			in := make([]int, 3)
+			out := make([]int, 3)
+			id := uint64(0)
+			for op := 0; op < 300; op++ {
+				if r.Float64() < 0.6 {
+					id++
+					c := r.Intn(3)
+					p := &Packet{ID: id, Size: 64 + r.Intn(1400), Class: c, Weight: float64(c + 1)}
+					if s.Enqueue(p) {
+						in[p.Class]++
+					}
+				} else {
+					p := s.Dequeue()
+					if p == nil {
+						if s.Len() != 0 {
+							return false // nil while backlogged
+						}
+						continue
+					}
+					out[p.Class]++
+				}
+			}
+			// Drain completely.
+			for s.Len() > 0 {
+				p := s.Dequeue()
+				if p == nil {
+					return false
+				}
+				out[p.Class]++
+			}
+			for c := 0; c < 3; c++ {
+				if in[c] != out[c] {
+					return false
+				}
+			}
+			return s.Dequeue() == nil
+		}, &quick.Config{MaxCount: 20})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package des is a packet-level discrete event simulator. It plays the
+// role of the paper's ns.py: it generates single-device training traces
+// for the PTM models and whole-network ground truth for every evaluation
+// experiment. It supports hosts, multi-port switches with pluggable
+// traffic-management schedulers (FIFO, SP, WRR, DRR, WFQ), drop-tail
+// buffer management, propagation-delay links, echo hosts for RTT
+// measurement, and per-device ingress/egress trace capture.
+package des
+
+import "container/heap"
+
+// event is one scheduled callback.
+type event struct {
+	time float64
+	seq  uint64 // FIFO tie-break for simultaneous events
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the event loop. It is single-threaded: all node callbacks
+// run sequentially in simulated-time order.
+type Simulator struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	count  uint64 // processed events
+}
+
+// NewSimulator returns an empty simulator at time 0.
+func NewSimulator() *Simulator { return &Simulator{} }
+
+// Now returns the current simulated time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Simulator) Processed() uint64 { return s.count }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: it is
+// always a causality bug.
+func (s *Simulator) At(t float64, fn func()) {
+	if t < s.now {
+		panic("des: event scheduled in the past")
+	}
+	s.seq++
+	heap.Push(&s.events, event{time: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d seconds from now.
+func (s *Simulator) After(d float64, fn func()) { s.At(s.now+d, fn) }
+
+// Run processes events until the queue is empty or simulated time exceeds
+// until. Events scheduled exactly at until still run.
+func (s *Simulator) Run(until float64) {
+	for len(s.events) > 0 {
+		if s.events[0].time > until {
+			return
+		}
+		e := heap.Pop(&s.events).(event)
+		s.now = e.time
+		s.count++
+		e.fn()
+	}
+}
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return len(s.events) }

@@ -1,0 +1,102 @@
+package des
+
+import (
+	"math"
+
+	"deepqueuenet/internal/rng"
+)
+
+// REDConfig parameterizes Random Early Detection buffer management
+// (Floyd & Jacobson): probabilistic early drops between MinTh and MaxTh
+// on the EWMA queue length, hard drops above MaxTh. The paper lists
+// buffer management among the TM mechanisms end-to-end estimators cannot
+// support (§2.3); the black-box device model covers it the same way it
+// covers schedulers — from traces.
+type REDConfig struct {
+	MinTh float64 // early-drop threshold (packets, on the average queue)
+	MaxTh float64 // forced-drop threshold (packets)
+	MaxP  float64 // drop probability at MaxTh
+	Wq    float64 // EWMA weight for the average queue size
+	// MarkECN marks ECN-capable packets (CE bit) on early detection
+	// instead of dropping them; forced drops above MaxTh still drop.
+	MarkECN bool
+}
+
+// withDefaults fills the classic recommended parameters.
+func (c REDConfig) withDefaults() REDConfig {
+	if c.MinTh <= 0 {
+		c.MinTh = 5
+	}
+	if c.MaxTh <= c.MinTh {
+		c.MaxTh = 3 * c.MinTh
+	}
+	if c.MaxP <= 0 {
+		c.MaxP = 0.1
+	}
+	if c.Wq <= 0 {
+		c.Wq = 0.002
+	}
+	return c
+}
+
+// redSched is a FIFO queue governed by RED admission.
+type redSched struct {
+	q     pktQueue
+	cap   int // hard capacity backstop (<=0 unbounded)
+	cfg   REDConfig
+	r     *rng.Rand
+	avg   float64 // EWMA of the queue length
+	count int     // packets since the last early drop (uniformization)
+}
+
+// NewRED returns a RED-managed FIFO scheduler. capacity is a hard
+// backstop beyond the RED thresholds (<= 0 for none).
+func NewRED(capacity int, cfg REDConfig, r *rng.Rand) Scheduler {
+	if r == nil {
+		panic("des: RED needs a random source")
+	}
+	return &redSched{cap: capacity, cfg: cfg.withDefaults(), r: r, count: -1}
+}
+
+func (s *redSched) Enqueue(p *Packet) bool {
+	if s.cap > 0 && s.q.len() >= s.cap {
+		return false
+	}
+	// EWMA update on each arrival.
+	s.avg = (1-s.cfg.Wq)*s.avg + s.cfg.Wq*float64(s.q.len())
+	switch {
+	case s.avg >= s.cfg.MaxTh:
+		s.count = 0
+		return false
+	case s.avg >= s.cfg.MinTh:
+		s.count++
+		pb := s.cfg.MaxP * (s.avg - s.cfg.MinTh) / (s.cfg.MaxTh - s.cfg.MinTh)
+		// Uniformized drop probability: pa = pb / (1 − count·pb).
+		den := 1 - float64(s.count)*pb
+		pa := 1.0
+		if den > 0 {
+			pa = math.Min(1, pb/den)
+		}
+		if s.r.Float64() < pa {
+			s.count = 0
+			if s.cfg.MarkECN && p.ECT {
+				p.CE = true // mark instead of drop
+				break
+			}
+			return false
+		}
+	default:
+		s.count = -1
+	}
+	s.q.push(p)
+	return true
+}
+
+func (s *redSched) Dequeue() *Packet   { return s.q.pop() }
+func (s *redSched) Len() int           { return s.q.len() }
+func (s *redSched) Bytes() int         { return s.q.bytes }
+func (s *redSched) PerClassLen() []int { return []int{s.q.len()} }
+func (s *redSched) Kind() SchedKind    { return FIFO }
+
+// AvgQueue exposes the EWMA queue estimate (for tests and monitoring).
+func (s *redSched) AvgQueue() float64 { return s.avg }

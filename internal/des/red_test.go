@@ -1,0 +1,127 @@
+package des
+
+import (
+	"testing"
+
+	"deepqueuenet/internal/rng"
+)
+
+func TestREDAdmitsBelowMinTh(t *testing.T) {
+	s := NewRED(0, REDConfig{MinTh: 5, MaxTh: 15, MaxP: 0.1, Wq: 1}, rng.New(1))
+	for i := uint64(0); i < 4; i++ {
+		if !s.Enqueue(&Packet{ID: i, Size: 100}) {
+			t.Fatalf("drop below MinTh at %d", i)
+		}
+	}
+}
+
+func TestREDDropsAboveMaxTh(t *testing.T) {
+	// Wq = 1 makes the average track the instantaneous queue exactly.
+	s := NewRED(0, REDConfig{MinTh: 2, MaxTh: 5, MaxP: 0.1, Wq: 1}, rng.New(2))
+	dropped := false
+	for i := uint64(0); i < 50; i++ {
+		if !s.Enqueue(&Packet{ID: i, Size: 100}) {
+			dropped = true
+			// Above MaxTh every arrival must drop.
+			if s.Len() < 5 {
+				t.Fatalf("forced drop with queue %d < MaxTh", s.Len())
+			}
+		}
+	}
+	if !dropped {
+		t.Fatal("no drops despite persistent overload")
+	}
+	if s.Len() > 7 {
+		t.Fatalf("queue grew to %d despite RED", s.Len())
+	}
+}
+
+func TestREDEarlyDropProbabilistic(t *testing.T) {
+	// Hold the queue between MinTh and MaxTh: some arrivals drop, some
+	// are admitted (probabilistic early detection).
+	s := NewRED(0, REDConfig{MinTh: 3, MaxTh: 30, MaxP: 0.2, Wq: 1}, rng.New(3))
+	admitted, droppedEarly := 0, 0
+	for i := uint64(0); i < 2000; i++ {
+		if s.Enqueue(&Packet{ID: i, Size: 100}) {
+			admitted++
+		} else {
+			droppedEarly++
+		}
+		// Drain to keep the queue in the early-detection band.
+		for s.Len() > 8 {
+			s.Dequeue()
+		}
+	}
+	if droppedEarly == 0 {
+		t.Fatal("no early drops in the RED band")
+	}
+	if admitted == 0 {
+		t.Fatal("RED dropped everything")
+	}
+}
+
+func TestREDHardCapacity(t *testing.T) {
+	// Even with huge thresholds, the hard capacity backstop holds. Use a
+	// tiny Wq so the average stays near zero while the real queue fills.
+	s := NewRED(10, REDConfig{MinTh: 1000, MaxTh: 2000, MaxP: 0.1, Wq: 1e-6}, rng.New(4))
+	for i := uint64(0); i < 10; i++ {
+		if !s.Enqueue(&Packet{ID: i, Size: 100}) {
+			t.Fatalf("backstop dropped under capacity at %d", i)
+		}
+	}
+	if s.Enqueue(&Packet{ID: 99, Size: 100}) {
+		t.Fatal("enqueue beyond hard capacity")
+	}
+}
+
+func TestREDFIFOOrder(t *testing.T) {
+	s := NewRED(0, REDConfig{MinTh: 100, MaxTh: 200, MaxP: 0.1, Wq: 0.002}, rng.New(5))
+	for i := uint64(1); i <= 20; i++ {
+		s.Enqueue(&Packet{ID: i, Size: 100})
+	}
+	for i := uint64(1); i <= 20; i++ {
+		p := s.Dequeue()
+		if p == nil || p.ID != i {
+			t.Fatalf("RED broke FIFO order at %d", i)
+		}
+	}
+}
+
+func TestREDECNMarking(t *testing.T) {
+	// Hold the queue in the early-detection band; with MarkECN every
+	// ECT packet must be admitted (some CE-marked), while non-ECT
+	// packets still suffer early drops.
+	run := func(ect bool) (admitted, marked, dropped int) {
+		cfg := REDConfig{MinTh: 3, MaxTh: 30, MaxP: 0.5, Wq: 1, MarkECN: true}
+		s := NewRED(0, cfg, rng.New(6)).(*redSched)
+		for i := uint64(0); i < 2000; i++ {
+			p := &Packet{ID: i, Size: 100, ECT: ect}
+			if s.Enqueue(p) {
+				admitted++
+				if p.CE {
+					marked++
+				}
+			} else {
+				dropped++
+			}
+			for s.Len() > 8 {
+				s.Dequeue()
+			}
+		}
+		return
+	}
+	admitted, marked, dropped := run(true)
+	if dropped != 0 {
+		t.Fatalf("ECT packets dropped (%d) despite MarkECN", dropped)
+	}
+	if marked == 0 || admitted == 0 {
+		t.Fatalf("no CE marks (admitted %d, marked %d)", admitted, marked)
+	}
+	_, markedPlain, droppedPlain := run(false)
+	if droppedPlain == 0 {
+		t.Fatal("non-ECT packets never dropped in the RED band")
+	}
+	if markedPlain != 0 {
+		t.Fatalf("non-ECT packets marked: %d", markedPlain)
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"deepqueuenet/internal/des"
+	"deepqueuenet/internal/ptm"
+	"deepqueuenet/internal/rng"
+)
+
+// Table2Row is one line of the device-precision table.
+type Table2Row struct {
+	Sched     string
+	Ports     int
+	Classes   int
+	W1        float64
+	W1Refined float64 // doubled chunk length (the paper's final column); NaN when skipped
+}
+
+// Table2 reproduces Table 2: the normalized Wasserstein distance of the
+// PTM sojourn prediction for K-port switches under FIFO, plus the
+// multi-class 4-port rows, with the "refined" column obtained by
+// doubling the time steps.
+func Table2(o Opts, ports []int) ([]Table2Row, *Table, error) {
+	o = o.WithDefaults()
+	if len(ports) == 0 {
+		ports = []int{2, 4, 8, 16}
+		if o.Quick {
+			ports = []int{2, 4}
+		}
+	}
+	var rows []Table2Row
+
+	evalStreams := func(spec ptm.TrainSpec, n int, seed uint64) []ptm.DeviceStream {
+		r := rng.New(seed)
+		out := make([]ptm.DeviceStream, n)
+		for i := range out {
+			out[i] = ptm.GenerateStream(spec, r.Split())
+		}
+		return out
+	}
+
+	for _, k := range ports {
+		spec := standardSpec(k, o.Seed+uint64(k), o.Quick)
+		spec.Scheds = []des.SchedConfig{{Kind: des.FIFO}}
+		// Large switches generate more packets per stream; trim so
+		// training cost stays flat.
+		if k >= 16 {
+			spec.Streams /= 2
+			spec.MaxChunksPerStream /= 2
+		}
+		base, err := CachedModel(o, fmt.Sprintf("switch%d-fifo", k), spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		exo := evalStreams(spec, 4, o.Seed+uint64(1000+k))
+		row := Table2Row{Sched: "FIFO", Ports: k, Classes: 1,
+			W1: ptm.Evaluate(base, exo, 0), W1Refined: -1}
+
+		if k <= 8 {
+			rspec := spec
+			rspec.Arch.TimeSteps = spec.Arch.TimeSteps * 2
+			rspec.Arch.Margin = spec.Arch.Margin * 2
+			refined, err := CachedModel(o, fmt.Sprintf("switch%d-fifo-refined", k), rspec)
+			if err != nil {
+				return nil, nil, err
+			}
+			row.W1Refined = ptm.Evaluate(refined, exo, 0)
+		}
+		rows = append(rows, row)
+		o.logf("table2: %d-port FIFO done (w1 %.4f)", k, row.W1)
+	}
+
+	// Multi-class rows: 4-port device with 2- and 3-class scheduling.
+	for _, classes := range []int{2, 3} {
+		spec := standardSpec(4, o.Seed+uint64(40+classes), o.Quick)
+		spec.Scheds = []des.SchedConfig{
+			{Kind: des.SP, Classes: classes},
+			{Kind: des.WFQ, Weights: equalWeights(classes)},
+		}
+		m, err := CachedModel(o, fmt.Sprintf("switch4-mc%d", classes), spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		exo := evalStreams(spec, 4, o.Seed+uint64(2000+classes))
+		rows = append(rows, Table2Row{Sched: "Multi-level", Ports: 4, Classes: classes,
+			W1: ptm.Evaluate(m, exo, 0), W1Refined: -1})
+		o.logf("table2: 4-port %d-class done", classes)
+	}
+
+	tb := &Table{Title: "Table 2: PTM precision on a K-port switch (normalized w1; lower is better)",
+		Header: []string{"sched", "device", "classes", "w1", "w1(refined 2x steps)"}}
+	for _, r := range rows {
+		ref := "-"
+		if r.W1Refined >= 0 {
+			ref = f4(r.W1Refined)
+		}
+		tb.Add(r.Sched, fmt.Sprintf("%d-port", r.Ports), fmt.Sprintf("%d", r.Classes), f4(r.W1), ref)
+	}
+	return rows, tb, nil
+}
+
+func equalWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}

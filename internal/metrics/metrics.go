@@ -1,0 +1,373 @@
+// Package metrics implements the statistical measures used in the paper's
+// evaluation: the Wasserstein-1 distance and its normalized form w1, the
+// Pearson correlation coefficient with a Fisher-z 95% confidence interval,
+// percentiles, CDFs, and per-flow jitter extraction.
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// W1 returns the Wasserstein-1 distance between the empirical distributions
+// of a and b. For one-dimensional samples the distance equals the L1
+// distance between the two quantile functions; when len(a) == len(b) it is
+// the mean absolute difference of the sorted samples, and in general it is
+// computed by integrating |F_a^-1(q) - F_b^-1(q)| over q in [0, 1].
+func W1(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.NaN()
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	if len(as) == len(bs) {
+		sum := 0.0
+		for i := range as {
+			sum += math.Abs(as[i] - bs[i])
+		}
+		return sum / float64(len(as))
+	}
+	// Merge the quantile breakpoints of both samples.
+	n, m := len(as), len(bs)
+	type bp struct{ q float64 }
+	qs := make([]float64, 0, n+m)
+	for i := 1; i <= n; i++ {
+		qs = append(qs, float64(i)/float64(n))
+	}
+	for i := 1; i <= m; i++ {
+		qs = append(qs, float64(i)/float64(m))
+	}
+	sort.Float64s(qs)
+	dist := 0.0
+	prev := 0.0
+	for _, q := range qs {
+		if q == prev {
+			continue
+		}
+		mid := (q + prev) / 2
+		ia := int(mid * float64(n))
+		ib := int(mid * float64(m))
+		if ia >= n {
+			ia = n - 1
+		}
+		if ib >= m {
+			ib = m - 1
+		}
+		dist += (q - prev) * math.Abs(as[ia]-bs[ib])
+		prev = q
+	}
+	return dist
+}
+
+// NormW1 returns the paper's normalized Wasserstein distance:
+//
+//	w1 = W1(pred, label) / W1(zeros, label)
+//
+// i.e. the W1 distance scaled by the distance of the label distribution
+// from zero. Lower is better; 0 means the predicted distribution matches
+// the ground truth exactly.
+func NormW1(pred, label []float64) float64 {
+	if len(label) == 0 {
+		return math.NaN()
+	}
+	zeros := make([]float64, len(label))
+	denom := W1(zeros, label)
+	if denom == 0 {
+		return math.NaN()
+	}
+	return W1(pred, label) / denom
+}
+
+// Pearson returns the Pearson correlation coefficient between x and y.
+// It returns NaN if either slice has zero variance or the lengths differ.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	n := float64(len(x))
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// PearsonCI returns the Pearson correlation between x and y together with
+// a 95% confidence interval computed with the Fisher z-transformation.
+func PearsonCI(x, y []float64) (rho, lo, hi float64) {
+	rho = Pearson(x, y)
+	n := float64(len(x))
+	if math.IsNaN(rho) || n < 4 {
+		return rho, math.NaN(), math.NaN()
+	}
+	// Clamp to avoid atanh(±1) = ±Inf for degenerate (perfectly
+	// correlated) samples.
+	rc := math.Max(-0.9999999, math.Min(0.9999999, rho))
+	z := math.Atanh(rc)
+	se := 1 / math.Sqrt(n-3)
+	const z95 = 1.959963984540054
+	lo = math.Tanh(z - z95*se)
+	hi = math.Tanh(z + z95*se)
+	return rho, lo, hi
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) of xs using linear
+// interpolation between order statistics. It returns NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (NaN if len < 1).
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// CDF describes an empirical cumulative distribution function as sorted
+// sample points; Eval returns P(X <= x).
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from samples.
+func NewCDF(samples []float64) (*CDF, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("metrics: empty sample for CDF")
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}, nil
+}
+
+// Eval returns the empirical probability P(X <= x).
+func (c *CDF) Eval(x float64) float64 {
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) of the CDF.
+func (c *CDF) Quantile(q float64) float64 {
+	return Percentile(c.sorted, q*100)
+}
+
+// Points returns (x, F(x)) pairs suitable for plotting, thinned to at most
+// maxPoints entries.
+func (c *CDF) Points(maxPoints int) (xs, ps []float64) {
+	n := len(c.sorted)
+	step := 1
+	if maxPoints > 0 && n > maxPoints {
+		step = n / maxPoints
+	}
+	for i := 0; i < n; i += step {
+		xs = append(xs, c.sorted[i])
+		ps = append(ps, float64(i+1)/float64(n))
+	}
+	return xs, ps
+}
+
+// Jitter returns the per-packet jitter series for an ordered sequence of
+// per-packet delays belonging to one flow: |d_i - d_{i-1}|.
+func Jitter(delays []float64) []float64 {
+	if len(delays) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(delays)-1)
+	for i := 1; i < len(delays); i++ {
+		out = append(out, math.Abs(delays[i]-delays[i-1]))
+	}
+	return out
+}
+
+// Summary bundles the four statistics reported throughout the paper's
+// evaluation tables (path-wise normalized w1): the distributions, across
+// paths, of per-path average RTT, p99 RTT, average jitter, and p99
+// jitter, each compared to ground truth with NormW1.
+type Summary struct {
+	AvgRTTW1    float64
+	P99RTTW1    float64
+	AvgJitterW1 float64
+	P99JitterW1 float64
+}
+
+// PathStats are the per-path summary statistics a predictor reports.
+// DeepQueueNet and the DES derive them from packet samples; RouteNet
+// predicts them directly (it has no packet-level visibility).
+type PathStats struct {
+	AvgRTT    float64
+	P99RTT    float64
+	AvgJitter float64
+	P99Jitter float64
+}
+
+// PathSamples groups per-path delay samples, keyed by an opaque path ID.
+type PathSamples map[string][]float64
+
+// Stats reduces per-path samples to per-path summary statistics.
+func (ps PathSamples) Stats() map[string]PathStats {
+	out := make(map[string]PathStats, len(ps))
+	for k, v := range ps {
+		if len(v) == 0 {
+			continue
+		}
+		j := Jitter(v)
+		st := PathStats{AvgRTT: Mean(v), P99RTT: Percentile(v, 99)}
+		if len(j) > 0 {
+			st.AvgJitter = Mean(j)
+			st.P99Jitter = Percentile(j, 99)
+		}
+		out[k] = st
+	}
+	return out
+}
+
+// CompareStats computes the paper's path-wise normalized w1 summary from
+// per-path statistics. Paths present in only one map are ignored.
+func CompareStats(pred, truth map[string]PathStats) Summary {
+	var pa, ta, p9, t9, pj, tj, pj9, tj9 []float64
+	for k, tv := range truth {
+		pv, ok := pred[k]
+		if !ok {
+			continue
+		}
+		pa = append(pa, pv.AvgRTT)
+		ta = append(ta, tv.AvgRTT)
+		p9 = append(p9, pv.P99RTT)
+		t9 = append(t9, tv.P99RTT)
+		pj = append(pj, pv.AvgJitter)
+		tj = append(tj, tv.AvgJitter)
+		pj9 = append(pj9, pv.P99Jitter)
+		tj9 = append(tj9, tv.P99Jitter)
+	}
+	return Summary{
+		AvgRTTW1:    NormW1(pa, ta),
+		P99RTTW1:    NormW1(p9, t9),
+		AvgJitterW1: NormW1(pj, tj),
+		P99JitterW1: NormW1(pj9, tj9),
+	}
+}
+
+// Compare computes the path-wise summary between predicted and
+// ground-truth per-path delay samples.
+func Compare(pred, truth PathSamples) Summary {
+	return CompareStats(pred.Stats(), truth.Stats())
+}
+
+// FlowSummary aggregates per-flow delivery statistics: completion
+// counts, delay moments, and tail latency. Flow-level views are the
+// "new metric applied to the output trace without retraining" the
+// paper's packet-level visibility enables.
+type FlowSummary struct {
+	FlowID    int
+	Packets   int
+	MeanDelay float64
+	P99Delay  float64
+	MaxDelay  float64
+	// Span is the time from first send to last receive (a proxy for
+	// flow completion time of the observed window).
+	Span float64
+}
+
+// FlowStats reduces (sendTime, recvTime) pairs per flow into summaries.
+// delays maps flow ID to parallel slices of send and receive times.
+func FlowStats(sends, recvs map[int][]float64) []FlowSummary {
+	var out []FlowSummary
+	for fid, s := range sends {
+		r := recvs[fid]
+		if len(s) == 0 || len(s) != len(r) {
+			continue
+		}
+		d := make([]float64, len(s))
+		firstSend, lastRecv := s[0], r[0]
+		maxD := 0.0
+		for i := range s {
+			d[i] = r[i] - s[i]
+			if d[i] > maxD {
+				maxD = d[i]
+			}
+			if s[i] < firstSend {
+				firstSend = s[i]
+			}
+			if r[i] > lastRecv {
+				lastRecv = r[i]
+			}
+		}
+		out = append(out, FlowSummary{
+			FlowID: fid, Packets: len(s),
+			MeanDelay: Mean(d), P99Delay: Percentile(d, 99), MaxDelay: maxD,
+			Span: lastRecv - firstSend,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FlowID < out[j].FlowID })
+	return out
+}
+
+// PearsonPathwise returns the Pearson correlation (with 95% CI) between
+// predicted and ground-truth per-path average RTTs — the Appendix C
+// metric (Tables 8–10). The stat selector picks which statistic to
+// correlate.
+func PearsonPathwise(pred, truth map[string]PathStats, stat func(PathStats) float64) (rho, lo, hi float64) {
+	var xs, ys []float64
+	for k, tv := range truth {
+		pv, ok := pred[k]
+		if !ok {
+			continue
+		}
+		xs = append(xs, stat(pv))
+		ys = append(ys, stat(tv))
+	}
+	return PearsonCI(xs, ys)
+}

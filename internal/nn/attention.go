@@ -1,0 +1,159 @@
+package nn
+
+import (
+	"math"
+
+	"deepqueuenet/internal/rng"
+	"deepqueuenet/internal/tensor"
+)
+
+// MultiHeadSelfAttention implements the multi-head scaled dot-product
+// self-attention block of the paper's PTM (Table 1: 3 parallel heads with
+// key/value dimensions (64, 32)). It maps a T×In sequence to T×Out.
+type MultiHeadSelfAttention struct {
+	In, Out        int
+	Heads, DK, DV  int
+	wq, wk, wv, wo *Param
+	bo             *Param
+
+	// Forward caches.
+	x       *tensor.Matrix
+	q, k, v *tensor.Matrix
+	attn    []*tensor.Matrix // per-head softmax weights (T×T)
+	concat  *tensor.Matrix   // T × Heads·DV
+}
+
+// NewMultiHeadSelfAttention returns a fresh attention block.
+func NewMultiHeadSelfAttention(in, out, heads, dk, dv int, r *rng.Rand) *MultiHeadSelfAttention {
+	a := &MultiHeadSelfAttention{In: in, Out: out, Heads: heads, DK: dk, DV: dv,
+		wq: newParam("mha.wq", in, heads*dk),
+		wk: newParam("mha.wk", in, heads*dk),
+		wv: newParam("mha.wv", in, heads*dv),
+		wo: newParam("mha.wo", heads*dv, out),
+		bo: newParam("mha.bo", 1, out)}
+	xavierInit(a.wq.W, r)
+	xavierInit(a.wk.W, r)
+	xavierInit(a.wv.W, r)
+	xavierInit(a.wo.W, r)
+	return a
+}
+
+// headSlice extracts columns [h·d, (h+1)·d) of m as a new T×d matrix.
+func headSlice(m *tensor.Matrix, h, d int) *tensor.Matrix {
+	out := tensor.New(m.Rows, d)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i)[h*d:(h+1)*d])
+	}
+	return out
+}
+
+// headScatter accumulates src (T×d) into columns [h·d, (h+1)·d) of dst.
+func headScatter(dst, src *tensor.Matrix, h, d int) {
+	for i := 0; i < src.Rows; i++ {
+		drow := dst.Row(i)
+		for j, v := range src.Row(i) {
+			drow[h*d+j] += v
+		}
+	}
+}
+
+func (a *MultiHeadSelfAttention) Forward(x *tensor.Matrix) *tensor.Matrix {
+	a.x = x
+	a.q = tensor.MatMul(x, a.wq.W)
+	a.k = tensor.MatMul(x, a.wk.W)
+	a.v = tensor.MatMul(x, a.wv.W)
+	T := x.Rows
+	a.attn = make([]*tensor.Matrix, a.Heads)
+	a.concat = tensor.New(T, a.Heads*a.DV)
+	scale := 1 / math.Sqrt(float64(a.DK))
+	for h := 0; h < a.Heads; h++ {
+		qh := headSlice(a.q, h, a.DK)
+		kh := headSlice(a.k, h, a.DK)
+		vh := headSlice(a.v, h, a.DV)
+		s := tensor.MatMulT(qh, kh) // T×T
+		s.Scale(scale)
+		tensor.SoftmaxRows(s)
+		a.attn[h] = s
+		oh := tensor.MatMul(s, vh)
+		headScatter(a.concat, oh, h, a.DV)
+	}
+	y := tensor.MatMul(a.concat, a.wo.W)
+	for i := 0; i < y.Rows; i++ {
+		row := y.Row(i)
+		for j, bv := range a.bo.W.Data {
+			row[j] += bv
+		}
+	}
+	return y
+}
+
+func (a *MultiHeadSelfAttention) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	T := a.x.Rows
+	// Output projection.
+	tensor.AddTMatMul(a.wo.G, a.concat, dy)
+	for i := 0; i < dy.Rows; i++ {
+		for j, v := range dy.Row(i) {
+			a.bo.G.Data[j] += v
+		}
+	}
+	dConcat := tensor.MatMulT(dy, a.wo.W) // T × Heads·DV
+
+	dQ := tensor.New(T, a.Heads*a.DK)
+	dK := tensor.New(T, a.Heads*a.DK)
+	dV := tensor.New(T, a.Heads*a.DV)
+	scale := 1 / math.Sqrt(float64(a.DK))
+	for h := 0; h < a.Heads; h++ {
+		dOh := headSlice(dConcat, h, a.DV)
+		attn := a.attn[h]
+		vh := headSlice(a.v, h, a.DV)
+		qh := headSlice(a.q, h, a.DK)
+		kh := headSlice(a.k, h, a.DK)
+
+		dVh := tensor.TMatMul(attn, dOh)
+		dA := tensor.MatMulT(dOh, vh) // T×T
+		// Softmax backward per row: dS = A ⊙ (dA - rowsum(A ⊙ dA)).
+		dS := tensor.New(T, T)
+		for i := 0; i < T; i++ {
+			arow, darow, dsrow := attn.Row(i), dA.Row(i), dS.Row(i)
+			dot := 0.0
+			for j := range arow {
+				dot += arow[j] * darow[j]
+			}
+			for j := range arow {
+				dsrow[j] = arow[j] * (darow[j] - dot)
+			}
+		}
+		dS.Scale(scale)
+		dQh := tensor.MatMul(dS, kh)
+		dKh := tensor.TMatMul(dS, qh)
+		headScatter(dQ, dQh, h, a.DK)
+		headScatter(dK, dKh, h, a.DK)
+		headScatter(dV, dVh, h, a.DV)
+	}
+
+	tensor.AddTMatMul(a.wq.G, a.x, dQ)
+	tensor.AddTMatMul(a.wk.G, a.x, dK)
+	tensor.AddTMatMul(a.wv.G, a.x, dV)
+	dx := tensor.MatMulT(dQ, a.wq.W)
+	tensor.AddInPlace(dx, tensor.MatMulT(dK, a.wk.W))
+	tensor.AddInPlace(dx, tensor.MatMulT(dV, a.wv.W))
+	return dx
+}
+
+func (a *MultiHeadSelfAttention) Params() []*Param {
+	return []*Param{a.wq, a.wk, a.wv, a.wo, a.bo}
+}
+
+func (a *MultiHeadSelfAttention) Clone() Layer {
+	c := NewMultiHeadSelfAttention(a.In, a.Out, a.Heads, a.DK, a.DV, rng.New(1))
+	c.wq.W.CopyFrom(a.wq.W)
+	c.wk.W.CopyFrom(a.wk.W)
+	c.wv.W.CopyFrom(a.wv.W)
+	c.wo.W.CopyFrom(a.wo.W)
+	c.bo.W.CopyFrom(a.bo.W)
+	return c
+}
+
+func (a *MultiHeadSelfAttention) Spec() LayerSpec {
+	return LayerSpec{Kind: "mha", In: a.In, Out: a.Out, Heads: a.Heads, DK: a.DK, DV: a.DV}
+}

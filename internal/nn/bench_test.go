@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"testing"
+
+	"deepqueuenet/internal/rng"
+	"deepqueuenet/internal/tensor"
+)
+
+func benchModel() *Sequential {
+	r := rng.New(1)
+	return NewSequential(
+		NewDense(15, 12, r),
+		NewActivation("tanh"),
+		NewBLSTM(12, 16, r),
+		NewBLSTM(32, 10, r),
+		NewMultiHeadSelfAttention(20, 16, 2, 8, 8, r),
+		NewActivation("tanh"),
+		NewDense(16, 1, r),
+	)
+}
+
+func benchInput(rows int) *tensor.Matrix {
+	r := rng.New(2)
+	x := tensor.New(rows, 15)
+	for i := range x.Data {
+		x.Data[i] = r.Normal(0, 1)
+	}
+	return x
+}
+
+// BenchmarkForward measures one PTM-shaped forward pass over a 32-packet
+// chunk (the inference unit of the simulator).
+func BenchmarkForward(b *testing.B) {
+	m := benchModel()
+	x := benchInput(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*32), "ns/pkt")
+}
+
+// BenchmarkForwardBackward measures one training step on a chunk.
+func BenchmarkForwardBackward(b *testing.B) {
+	m := benchModel()
+	x := benchInput(32)
+	dy := tensor.New(32, 1)
+	for i := range dy.Data {
+		dy.Data[i] = 0.1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x)
+		m.Backward(dy)
+	}
+}
+
+// BenchmarkMatMul measures the core kernel at PTM-typical sizes.
+func BenchmarkMatMul(b *testing.B) {
+	r := rng.New(3)
+	a := tensor.New(32, 32)
+	c := tensor.New(32, 64)
+	for i := range a.Data {
+		a.Data[i] = r.Normal(0, 1)
+	}
+	for i := range c.Data {
+		c.Data[i] = r.Normal(0, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(a, c)
+	}
+}

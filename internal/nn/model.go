@@ -1,0 +1,192 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"deepqueuenet/internal/rng"
+	"deepqueuenet/internal/tensor"
+)
+
+// LayerSpec is a serializable description of a layer's architecture.
+type LayerSpec struct {
+	Kind   string `json:"kind"`
+	In     int    `json:"in,omitempty"`
+	Out    int    `json:"out,omitempty"`
+	Hidden int    `json:"hidden,omitempty"`
+	Heads  int    `json:"heads,omitempty"`
+	DK     int    `json:"dk,omitempty"`
+	DV     int    `json:"dv,omitempty"`
+	Index  int    `json:"index,omitempty"`
+}
+
+// Sequential chains layers into a model. Forward output of layer i feeds
+// layer i+1.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential returns a model over the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward runs the full forward pass.
+func (s *Sequential) Forward(x *tensor.Matrix) *tensor.Matrix {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward runs the full backward pass given the output gradient.
+func (s *Sequential) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dy = s.Layers[i].Backward(dy)
+	}
+	return dy
+}
+
+// Params returns all trainable parameters in deterministic order.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrads clears all parameter gradients.
+func (s *Sequential) ZeroGrads() {
+	for _, p := range s.Params() {
+		p.G.Zero()
+	}
+}
+
+// Clone returns an independent deep copy of the model.
+func (s *Sequential) Clone() *Sequential {
+	ls := make([]Layer, len(s.Layers))
+	for i, l := range s.Layers {
+		ls[i] = l.Clone()
+	}
+	return &Sequential{Layers: ls}
+}
+
+// SyncFrom copies parameter weights from src into s (shapes must match).
+func (s *Sequential) SyncFrom(src *Sequential) {
+	dst := s.Params()
+	ps := src.Params()
+	if len(dst) != len(ps) {
+		panic("nn: SyncFrom param count mismatch")
+	}
+	for i := range dst {
+		dst[i].W.CopyFrom(ps[i].W)
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (s *Sequential) NumParams() int {
+	n := 0
+	for _, p := range s.Params() {
+		n += len(p.W.Data)
+	}
+	return n
+}
+
+// Specs returns the architecture description of the model.
+func (s *Sequential) Specs() []LayerSpec {
+	specs := make([]LayerSpec, len(s.Layers))
+	for i, l := range s.Layers {
+		specs[i] = l.Spec()
+	}
+	return specs
+}
+
+// Build constructs a model from layer specs with weights initialized from
+// the given seed.
+func Build(specs []LayerSpec, seed uint64) (*Sequential, error) {
+	r := rng.New(seed)
+	layers := make([]Layer, 0, len(specs))
+	for _, sp := range specs {
+		switch sp.Kind {
+		case "dense":
+			layers = append(layers, NewDense(sp.In, sp.Out, r))
+		case "lstm":
+			layers = append(layers, NewLSTM(sp.In, sp.Hidden, r))
+		case "blstm":
+			layers = append(layers, NewBLSTM(sp.In, sp.Hidden, r))
+		case "mha":
+			layers = append(layers, NewMultiHeadSelfAttention(sp.In, sp.Out, sp.Heads, sp.DK, sp.DV, r))
+		case "takelast":
+			layers = append(layers, NewTakeLast())
+		case "takeat":
+			layers = append(layers, NewTakeAt(sp.Index))
+		case "layernorm":
+			layers = append(layers, NewLayerNorm(sp.In))
+		case "meanpool":
+			layers = append(layers, NewMeanPool())
+		default:
+			if len(sp.Kind) > 4 && sp.Kind[:4] == "act:" {
+				layers = append(layers, NewActivation(sp.Kind[4:]))
+				continue
+			}
+			return nil, fmt.Errorf("nn: unknown layer kind %q", sp.Kind)
+		}
+	}
+	return NewSequential(layers...), nil
+}
+
+// savedModel is the on-disk JSON representation of a model.
+type savedModel struct {
+	Specs   []LayerSpec `json:"specs"`
+	Weights [][]float64 `json:"weights"`
+}
+
+// Marshal serializes the model architecture and weights to JSON.
+func (s *Sequential) Marshal() ([]byte, error) {
+	sm := savedModel{Specs: s.Specs()}
+	for _, p := range s.Params() {
+		sm.Weights = append(sm.Weights, append([]float64(nil), p.W.Data...))
+	}
+	return json.Marshal(sm)
+}
+
+// Unmarshal reconstructs a model from Marshal output.
+func Unmarshal(data []byte) (*Sequential, error) {
+	var sm savedModel
+	if err := json.Unmarshal(data, &sm); err != nil {
+		return nil, err
+	}
+	m, err := Build(sm.Specs, 1)
+	if err != nil {
+		return nil, err
+	}
+	ps := m.Params()
+	if len(ps) != len(sm.Weights) {
+		return nil, fmt.Errorf("nn: weight count mismatch (%d vs %d)", len(ps), len(sm.Weights))
+	}
+	for i, p := range ps {
+		if len(p.W.Data) != len(sm.Weights[i]) {
+			return nil, fmt.Errorf("nn: weight %d size mismatch", i)
+		}
+		copy(p.W.Data, sm.Weights[i])
+	}
+	return m, nil
+}
+
+// Save writes the model to a file.
+func (s *Sequential) Save(path string) error {
+	data, err := s.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a model from a file written by Save.
+func Load(path string) (*Sequential, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(data)
+}

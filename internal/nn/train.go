@@ -1,0 +1,255 @@
+package nn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"deepqueuenet/internal/rng"
+	"deepqueuenet/internal/tensor"
+)
+
+// Dataset is a supervised sequence-regression dataset: each sample is a
+// T×F feature chunk with a T×1 target sequence. Loss is evaluated only
+// on positions [Lo, Hi) — the chunk interior with full bidirectional
+// context (edge positions are covered by neighbouring chunks).
+type Dataset struct {
+	X      []*tensor.Matrix
+	Y      []*tensor.Matrix
+	Lo, Hi []int
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Append adds one sample with loss positions [lo, hi).
+func (d *Dataset) Append(x, y *tensor.Matrix, lo, hi int) {
+	if y.Rows != x.Rows || y.Cols != 1 {
+		panic("nn: target must be T×1 matching the input rows")
+	}
+	if lo < 0 || hi > x.Rows || lo >= hi {
+		panic("nn: invalid loss range")
+	}
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+	d.Lo = append(d.Lo, lo)
+	d.Hi = append(d.Hi, hi)
+}
+
+// Split partitions the dataset into training and validation sets with the
+// given training fraction, shuffled deterministically by seed.
+func (d *Dataset) Split(trainFrac float64, seed uint64) (train, val *Dataset) {
+	r := rng.New(seed)
+	perm := r.Perm(d.Len())
+	nTrain := int(trainFrac * float64(d.Len()))
+	train, val = &Dataset{}, &Dataset{}
+	for i, idx := range perm {
+		dst := val
+		if i < nTrain {
+			dst = train
+		}
+		dst.Append(d.X[idx], d.Y[idx], d.Lo[idx], d.Hi[idx])
+	}
+	return train, val
+}
+
+// sampleLoss runs forward/backward (backward only when train) for one
+// sample and returns the summed squared error and position count.
+func sampleLoss(m *Sequential, ds *Dataset, idx int, train bool) (sse float64, n int) {
+	pred := m.Forward(ds.X[idx])
+	lo, hi := ds.Lo[idx], ds.Hi[idx]
+	dy := tensor.New(pred.Rows, 1)
+	y := ds.Y[idx]
+	for t := lo; t < hi; t++ {
+		diff := pred.At(t, 0) - y.At(t, 0)
+		sse += diff * diff
+		dy.Set(t, 0, 2*diff/float64(hi-lo))
+	}
+	if train {
+		m.Backward(dy)
+	}
+	return sse, hi - lo
+}
+
+// TrainConfig controls the data-parallel training loop.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Workers   int // data-parallel replicas; 0 means GOMAXPROCS
+	Seed      uint64
+	ClipNorm  float64 // 0 disables gradient clipping
+	// LogEvery, if > 0, records the loss every LogEvery optimizer steps.
+	LogEvery int
+	OnStep   func(step int, loss float64)
+}
+
+// TrainResult reports the loss trajectory of a training run.
+type TrainResult struct {
+	Steps  []int
+	Losses []float64 // minibatch MSE at each recorded step
+	Final  float64   // mean loss of the last epoch
+}
+
+// Train fits the model to the dataset with data-parallel minibatch SGD
+// (Adam). Worker replicas each process a shard of every minibatch and
+// their gradients are averaged into the master model — the CPU analogue
+// of the paper's multi-GPU training. The master model is updated in
+// place.
+func Train(model *Sequential, ds *Dataset, cfg TrainConfig) TrainResult {
+	if ds.Len() == 0 {
+		return TrainResult{}
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers > ds.Len() {
+		cfg.Workers = ds.Len()
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.001
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+
+	replicas := make([]*Sequential, cfg.Workers)
+	for i := range replicas {
+		replicas[i] = model.Clone()
+	}
+	opt := NewAdam(model.Params(), cfg.LR)
+	r := rng.New(cfg.Seed)
+	var res TrainResult
+	step := 0
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := r.Perm(ds.Len())
+		epochLoss, epochBatches := 0.0, 0
+		for start := 0; start < len(perm); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(perm) {
+				end = len(perm)
+			}
+			batch := perm[start:end]
+			losses := make([]float64, cfg.Workers)
+			counts := make([]int, cfg.Workers)
+			var wg sync.WaitGroup
+			for w := 0; w < cfg.Workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rep := replicas[w]
+					rep.ZeroGrads()
+					for bi := w; bi < len(batch); bi += cfg.Workers {
+						sse, n := sampleLoss(rep, ds, batch[bi], true)
+						losses[w] += sse
+						counts[w] += n
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			// Average worker gradients into the master gradients.
+			master := model.Params()
+			for _, p := range master {
+				p.G.Zero()
+			}
+			scale := 1 / float64(len(batch))
+			loss, positions := 0.0, 0
+			for w := 0; w < cfg.Workers; w++ {
+				loss += losses[w]
+				positions += counts[w]
+				for pi, p := range replicas[w].Params() {
+					for j, g := range p.G.Data {
+						master[pi].G.Data[j] += g * scale
+					}
+				}
+			}
+			if positions > 0 {
+				loss /= float64(positions)
+			}
+			if cfg.ClipNorm > 0 {
+				ClipGrads(master, cfg.ClipNorm)
+			}
+			opt.Step()
+			for _, rep := range replicas {
+				rep.SyncFrom(model)
+			}
+
+			step++
+			epochLoss += loss
+			epochBatches++
+			if cfg.LogEvery > 0 && step%cfg.LogEvery == 0 {
+				res.Steps = append(res.Steps, step)
+				res.Losses = append(res.Losses, loss)
+				if cfg.OnStep != nil {
+					cfg.OnStep(step, loss)
+				}
+			}
+		}
+		if epochBatches > 0 {
+			res.Final = epochLoss / float64(epochBatches)
+		}
+	}
+	return res
+}
+
+// Evaluate returns the per-position MSE of the model over the dataset.
+func Evaluate(model *Sequential, ds *Dataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	sum, n := 0.0, 0
+	for i := range ds.X {
+		sse, c := sampleLoss(model, ds, i, false)
+		sum += sse
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// PredictBatch runs forward inference over many chunks in parallel using
+// worker model replicas (the inference analogue of multi-GPU execution),
+// returning the full T×1 output of each chunk.
+func PredictBatch(model *Sequential, xs []*tensor.Matrix, workers int) []*tensor.Matrix {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(xs) {
+		workers = len(xs)
+	}
+	out := make([]*tensor.Matrix, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	if workers <= 1 {
+		for i, x := range xs {
+			out[i] = model.Forward(x)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rep := model.Clone()
+			for i := w; i < len(xs); i += workers {
+				out[i] = rep.Forward(xs[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// String summarizes the training result.
+func (r TrainResult) String() string {
+	return fmt.Sprintf("final MSE %.6g over %d recorded steps", r.Final, len(r.Steps))
+}

@@ -1,0 +1,177 @@
+// Package pcap reads and writes the classic libpcap capture format
+// (stdlib only), so TGUtil can ingest PCAP files as packet-arrival traces
+// exactly as the paper's traffic generation utilities do (§3.1.1).
+//
+// Only the fields the simulator needs are modeled: per-packet timestamps
+// and original lengths. Payload bytes are preserved on read but the
+// traffic pipeline only consumes (time, length) pairs.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Magic numbers of the classic pcap format.
+const (
+	magicMicros = 0xa1b2c3d4
+	magicNanos  = 0xa1b23c4d
+)
+
+// Record is one captured packet.
+type Record struct {
+	Time    float64 // seconds since capture start epoch
+	OrigLen int     // original packet length in bytes
+	Data    []byte  // captured bytes (possibly truncated)
+}
+
+// Reader decodes a classic pcap stream.
+type Reader struct {
+	r       io.Reader
+	order   binary.ByteOrder
+	nanos   bool
+	snaplen uint32
+}
+
+// NewReader parses the global header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: reading global header: %w", err)
+	}
+	pr := &Reader{r: r}
+	magicLE := binary.LittleEndian.Uint32(hdr[0:4])
+	magicBE := binary.BigEndian.Uint32(hdr[0:4])
+	switch {
+	case magicLE == magicMicros:
+		pr.order = binary.LittleEndian
+	case magicBE == magicMicros:
+		pr.order = binary.BigEndian
+	case magicLE == magicNanos:
+		pr.order, pr.nanos = binary.LittleEndian, true
+	case magicBE == magicNanos:
+		pr.order, pr.nanos = binary.BigEndian, true
+	default:
+		return nil, errors.New("pcap: bad magic number")
+	}
+	pr.snaplen = pr.order.Uint32(hdr[16:20])
+	return pr, nil
+}
+
+// Next returns the next record, or io.EOF at end of stream.
+func (p *Reader) Next() (Record, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(p.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		return Record{}, err
+	}
+	sec := p.order.Uint32(hdr[0:4])
+	frac := p.order.Uint32(hdr[4:8])
+	capLen := p.order.Uint32(hdr[8:12])
+	origLen := p.order.Uint32(hdr[12:16])
+	if capLen > p.snaplen+65536 {
+		return Record{}, fmt.Errorf("pcap: implausible capture length %d", capLen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(p.r, data); err != nil {
+		return Record{}, fmt.Errorf("pcap: truncated packet body: %w", err)
+	}
+	t := float64(sec)
+	if p.nanos {
+		t += float64(frac) * 1e-9
+	} else {
+		t += float64(frac) * 1e-6
+	}
+	return Record{Time: t, OrigLen: int(origLen), Data: data}, nil
+}
+
+// ReadAll decodes every record in the stream.
+func ReadAll(r io.Reader) ([]Record, error) {
+	pr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for {
+		rec, err := pr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// Writer encodes records in classic pcap (microsecond, little-endian).
+type Writer struct {
+	w io.Writer
+}
+
+// NewWriter emits the global header (Ethernet link type, 64 KiB snaplen).
+func NewWriter(w io.Writer) (*Writer, error) {
+	var hdr [24]byte
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:4], magicMicros)
+	le.PutUint16(hdr[4:6], 2)       // major
+	le.PutUint16(hdr[6:8], 4)       // minor
+	le.PutUint32(hdr[16:20], 65535) // snaplen
+	le.PutUint32(hdr[20:24], 1)     // LINKTYPE_ETHERNET
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: w}, nil
+}
+
+// Write appends one record.
+func (p *Writer) Write(rec Record) error {
+	var hdr [16]byte
+	le := binary.LittleEndian
+	sec := uint32(rec.Time)
+	usec := uint32((rec.Time - float64(sec)) * 1e6)
+	le.PutUint32(hdr[0:4], sec)
+	le.PutUint32(hdr[4:8], usec)
+	le.PutUint32(hdr[8:12], uint32(len(rec.Data)))
+	origLen := rec.OrigLen
+	if origLen <= 0 {
+		origLen = len(rec.Data)
+	}
+	le.PutUint32(hdr[12:16], uint32(origLen))
+	if _, err := p.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := p.w.Write(rec.Data)
+	return err
+}
+
+// ToArrivals converts records into the (gap, size) pairs the traffic
+// replay generator consumes. Sizes fall back to captured length when the
+// original length is missing.
+func ToArrivals(recs []Record) (gaps []float64, sizes []int, err error) {
+	if len(recs) == 0 {
+		return nil, nil, errors.New("pcap: empty capture")
+	}
+	prev := recs[0].Time
+	for i, rec := range recs {
+		gap := rec.Time - prev
+		if gap < 0 {
+			return nil, nil, fmt.Errorf("pcap: record %d goes back in time", i)
+		}
+		prev = rec.Time
+		size := rec.OrigLen
+		if size <= 0 {
+			size = len(rec.Data)
+		}
+		if size <= 0 {
+			size = 64
+		}
+		gaps = append(gaps, gap)
+		sizes = append(sizes, size)
+	}
+	return gaps, sizes, nil
+}

@@ -1,0 +1,138 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Time: 1.000001, OrigLen: 1500, Data: []byte{1, 2, 3}},
+		{Time: 1.000501, OrigLen: 64, Data: []byte{4}},
+		{Time: 2.25, OrigLen: 0, Data: []byte{5, 6}},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records", len(got))
+	}
+	for i, r := range recs {
+		if math.Abs(got[i].Time-r.Time) > 2e-6 {
+			t.Fatalf("record %d time %v, want %v", i, got[i].Time, r.Time)
+		}
+		if !bytes.Equal(got[i].Data, r.Data) {
+			t.Fatalf("record %d data mismatch", i)
+		}
+	}
+	// Zero OrigLen falls back to capture length on write.
+	if got[2].OrigLen != 2 {
+		t.Fatalf("origlen fallback: %d", got[2].OrigLen)
+	}
+}
+
+func TestBigEndianRead(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [24]byte
+	binary.BigEndian.PutUint32(hdr[0:4], 0xa1b2c3d4)
+	binary.BigEndian.PutUint32(hdr[16:20], 65535)
+	buf.Write(hdr[:])
+	var ph [16]byte
+	binary.BigEndian.PutUint32(ph[0:4], 10)     // sec
+	binary.BigEndian.PutUint32(ph[4:8], 500000) // usec
+	binary.BigEndian.PutUint32(ph[8:12], 2)
+	binary.BigEndian.PutUint32(ph[12:16], 100)
+	buf.Write(ph[:])
+	buf.Write([]byte{0xaa, 0xbb})
+
+	recs, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].OrigLen != 100 || math.Abs(recs[0].Time-10.5) > 1e-9 {
+		t.Fatalf("big-endian record %+v", recs)
+	}
+}
+
+func TestNanosecondMagic(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 0xa1b23c4d)
+	binary.LittleEndian.PutUint32(hdr[16:20], 65535)
+	buf.Write(hdr[:])
+	var ph [16]byte
+	binary.LittleEndian.PutUint32(ph[0:4], 1)
+	binary.LittleEndian.PutUint32(ph[4:8], 500000000) // ns
+	binary.LittleEndian.PutUint32(ph[8:12], 0)
+	binary.LittleEndian.PutUint32(ph[12:16], 60)
+	buf.Write(ph[:])
+	recs, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(recs[0].Time-1.5) > 1e-9 {
+		t.Fatalf("nanos time %v", recs[0].Time)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	data := make([]byte, 24)
+	if _, err := NewReader(bytes.NewReader(data)); err == nil {
+		t.Fatal("expected bad magic error")
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.Write(Record{Time: 1, Data: []byte{1, 2, 3, 4}})
+	raw := buf.Bytes()
+	_, err := ReadAll(bytes.NewReader(raw[:len(raw)-2]))
+	if err == nil || err == io.EOF {
+		t.Fatal("expected truncated body error")
+	}
+}
+
+func TestToArrivals(t *testing.T) {
+	recs := []Record{
+		{Time: 1.0, OrigLen: 100},
+		{Time: 1.5, OrigLen: 200},
+		{Time: 1.6, OrigLen: 0, Data: []byte{1, 2, 3}},
+	}
+	gaps, sizes, err := ToArrivals(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gaps[0] != 0 || math.Abs(gaps[1]-0.5) > 1e-9 || math.Abs(gaps[2]-0.1) > 1e-9 {
+		t.Fatalf("gaps %v", gaps)
+	}
+	if sizes[0] != 100 || sizes[1] != 200 || sizes[2] != 3 {
+		t.Fatalf("sizes %v", sizes)
+	}
+	if _, _, err := ToArrivals(nil); err == nil {
+		t.Fatal("expected error for empty capture")
+	}
+	if _, _, err := ToArrivals([]Record{{Time: 2}, {Time: 1}}); err == nil {
+		t.Fatal("expected error for non-monotonic timestamps")
+	}
+}

@@ -1,0 +1,32 @@
+package ptm
+
+import (
+	"testing"
+
+	"deepqueuenet/internal/des"
+	"deepqueuenet/internal/rng"
+)
+
+func BenchmarkPredictStream(b *testing.B) {
+	p, err := New(Arch{TimeSteps: 17, Embed: 12, BLSTM1: 16, BLSTM2: 10, Heads: 2, DK: 8, DV: 8, HeadOut: 16}, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.Feat = &MinMax{Min: make([]float64, NumFeatures), Max: make([]float64, NumFeatures)}
+	for i := range p.Feat.Max {
+		p.Feat.Max[i] = 1
+	}
+	p.TargetMax = 1e-6
+	r := rng.New(2)
+	stream := make([]PacketIn, 1000)
+	tm := 0.0
+	for i := range stream {
+		tm += r.Exp(1e6)
+		stream[i] = PacketIn{Arrive: tm, Size: 64 + r.Intn(1400), InPort: r.Intn(8)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.PredictStream(stream, des.FIFO, 10e9, 1)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*1000), "ns/pkt")
+}

@@ -1,0 +1,340 @@
+package ptm
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"runtime"
+	"sync"
+
+	"deepqueuenet/internal/dbscan"
+	"deepqueuenet/internal/des"
+	"deepqueuenet/internal/nn"
+	"deepqueuenet/internal/tensor"
+)
+
+// Arch configures the PTM network (Fig. 5 / Table 1). The zero value is
+// replaced by CPU-friendly defaults; PaperArch mirrors Table 1.
+type Arch struct {
+	TimeSteps int // sequence chunk length (paper: 21)
+	Margin    int // bidirectional context margin per side (default TimeSteps/4)
+	Embed     int // dense embedding width
+	BLSTM1    int // first BLSTM hidden size (paper: 200)
+	BLSTM2    int // second BLSTM hidden size (paper: 100)
+	Heads     int // attention heads (paper: 3)
+	DK, DV    int // per-head key/value dims (paper: 64, 32)
+	HeadOut   int // attention output width
+}
+
+// DefaultArch is sized for CPU training while keeping the paper's
+// architecture shape.
+var DefaultArch = Arch{TimeSteps: 32, Margin: 8, Embed: 12, BLSTM1: 16, BLSTM2: 10, Heads: 2, DK: 8, DV: 8, HeadOut: 16}
+
+// PaperArch mirrors the Table 1 hyper-parameters (chunk length 21).
+var PaperArch = Arch{TimeSteps: 21, Margin: 5, Embed: 32, BLSTM1: 200, BLSTM2: 100, Heads: 3, DK: 64, DV: 32, HeadOut: 64}
+
+func (a Arch) withDefaults() Arch {
+	d := DefaultArch
+	if a.TimeSteps <= 0 {
+		a.TimeSteps = d.TimeSteps
+	}
+	if a.Margin <= 0 {
+		a.Margin = a.TimeSteps / 4
+	}
+	if 2*a.Margin >= a.TimeSteps {
+		a.Margin = (a.TimeSteps - 1) / 2
+	}
+	if a.Embed <= 0 {
+		a.Embed = d.Embed
+	}
+	if a.BLSTM1 <= 0 {
+		a.BLSTM1 = d.BLSTM1
+	}
+	if a.BLSTM2 <= 0 {
+		a.BLSTM2 = d.BLSTM2
+	}
+	if a.Heads <= 0 {
+		a.Heads = d.Heads
+	}
+	if a.DK <= 0 {
+		a.DK = d.DK
+	}
+	if a.DV <= 0 {
+		a.DV = d.DV
+	}
+	if a.HeadOut <= 0 {
+		a.HeadOut = d.HeadOut
+	}
+	return a
+}
+
+// specs builds the layer stack of Fig. 5: feature embedding, a 2-layer
+// BLSTM encoder, multi-head self-attention, and a time-distributed
+// regression head (seq2seq: one sojourn per timestep).
+func (a Arch) specs() []nn.LayerSpec {
+	return []nn.LayerSpec{
+		{Kind: "dense", In: NumFeatures, Out: a.Embed},
+		{Kind: "act:tanh"},
+		{Kind: "blstm", In: a.Embed, Hidden: a.BLSTM1},
+		{Kind: "blstm", In: 2 * a.BLSTM1, Hidden: a.BLSTM2},
+		{Kind: "mha", In: 2 * a.BLSTM2, Out: a.HeadOut, Heads: a.Heads, DK: a.DK, DV: a.DV},
+		{Kind: "act:tanh"},
+		{Kind: "dense", In: a.HeadOut, Out: 1},
+	}
+}
+
+// PTM is a trained packet-level traffic-management model: the DNN, the
+// feature and target scalers, and the SEC residual bins.
+type PTM struct {
+	Net       *nn.Sequential
+	Feat      *MinMax
+	TargetMin float64
+	TargetMax float64
+	TimeSteps int
+	Margin    int
+	NumPorts  int // training device degree K
+	SECBins   []dbscan.Bin
+}
+
+// New builds an untrained PTM with the given architecture and device
+// degree.
+func New(arch Arch, numPorts int, seed uint64) (*PTM, error) {
+	arch = arch.withDefaults()
+	net, err := nn.Build(arch.specs(), seed)
+	if err != nil {
+		return nil, err
+	}
+	return &PTM{Net: net, TimeSteps: arch.TimeSteps, Margin: arch.Margin, NumPorts: numPorts}, nil
+}
+
+// scaleTarget maps a residual to the unit training range.
+func (p *PTM) scaleTarget(v float64) float64 {
+	span := p.TargetMax - p.TargetMin
+	if span <= 0 {
+		return 0
+	}
+	return (v - p.TargetMin) / span
+}
+
+// unscaleTarget inverts scaleTarget.
+func (p *PTM) unscaleTarget(v float64) float64 {
+	span := p.TargetMax - p.TargetMin
+	if span <= 0 {
+		return p.TargetMin
+	}
+	return v*span + p.TargetMin
+}
+
+// TargetTransform maps a sojourn time to the regression target: the
+// *relative* scheduler reordering residual,
+//
+//	(sojourn − (backlog + tx)) / (backlog + tx).
+//
+// On a work-conserving port the aggregate backlog evolves identically
+// under every discipline, so the residual isolates exactly the part the
+// DNN must learn: FIFO maps to 0, strict-priority jumps go negative,
+// starved classes go positive. Normalizing by the FIFO-equivalent
+// sojourn keeps the target dimensionless and bounded, so one min-max
+// scale serves light and heavy queueing regimes alike — without it, the
+// starvation tails of low-priority training streams would stretch the
+// target range and crush the resolution of the common case.
+func TargetTransform(sojourn, backlog, tx float64) float64 {
+	base := backlog + tx
+	if base <= 0 {
+		return 0
+	}
+	return (sojourn - base) / base
+}
+
+// TargetInverse inverts TargetTransform, clamping at the transmission
+// time (a sojourn can never beat the wire).
+func TargetInverse(v, backlog, tx float64) float64 {
+	s := (backlog + tx) * (1 + v)
+	if s < tx {
+		s = tx
+	}
+	return s
+}
+
+// PredictStream predicts the sojourn time of every packet of one
+// per-egress-port ingress stream (sorted by arrival time), given the
+// egress port line rate. One forward pass covers a whole chunk of
+// packets; predictions are SEC-corrected and clamped below by the packet
+// transmission time. workers > 1 parallelizes across chunks with model
+// replicas.
+func (p *PTM) PredictStream(stream []PacketIn, kind des.SchedKind, rateBps float64, workers int) []float64 {
+	if len(stream) == 0 {
+		return nil
+	}
+	rows, aux := Featurize(stream, kind, p.NumPorts, rateBps)
+	chunks := Chunks(len(stream), p.TimeSteps, p.Margin)
+	xs := make([]*tensor.Matrix, len(chunks))
+	for i, ck := range chunks {
+		xs[i] = ck.Materialize(rows, p.TimeSteps, p.Feat)
+	}
+	preds := nn.PredictBatch(p.Net, xs, workers)
+	out := make([]float64, len(stream))
+	for ci, ck := range chunks {
+		y := preds[ci]
+		for t := ck.Lo; t < ck.Hi; t++ {
+			pos := ck.Start + t
+			if pos >= len(stream) {
+				break
+			}
+			v := y.At(t, 0)
+			// Bound extrapolation modestly beyond the trained target
+			// range (unseen-load generalization, Fig. 9) without
+			// runaway tails.
+			if v < -0.1 {
+				v = -0.1
+			}
+			if v > 1.1 {
+				v = 1.1
+			}
+			resid := p.applySEC(p.unscaleTarget(v)) // residual space
+			out[pos] = TargetInverse(resid, aux.Backlog[pos], aux.Tx[pos])
+		}
+	}
+	return out
+}
+
+// applySEC subtracts the DBSCAN-binned mean residual of the prediction's
+// neighbourhood (§4.3). Predictions and bins live in the reordering-
+// residual target space.
+func (p *PTM) applySEC(pred float64) float64 {
+	b := dbscan.Lookup(p.SECBins, pred)
+	if b == nil {
+		return pred
+	}
+	return pred - b.MeanValue
+}
+
+// FitSEC computes the SEC bins from held-out predictions and truths:
+// residuals (pred − truth) are clustered by prediction with DBSCAN; each
+// bin stores its mean residual.
+func (p *PTM) FitSEC(preds, truths []float64) {
+	if len(preds) != len(truths) || len(preds) == 0 {
+		return
+	}
+	resid := make([]float64, len(preds))
+	lo, hi := preds[0], preds[0]
+	for i := range preds {
+		resid[i] = preds[i] - truths[i]
+		if preds[i] < lo {
+			lo = preds[i]
+		}
+		if preds[i] > hi {
+			hi = preds[i]
+		}
+	}
+	span := hi - lo
+	if span <= 0 {
+		return
+	}
+	// eps at 2% of the prediction range groups "similar sojourn time
+	// predictions" (observation 2 of §4.3).
+	minPts := len(preds) / 50
+	if minPts < 5 {
+		minPts = 5
+	}
+	p.SECBins = dbscan.Bins(preds, resid, span*0.02, minPts)
+}
+
+// savedPTM is the JSON form of a PTM.
+type savedPTM struct {
+	Net       json.RawMessage `json:"net"`
+	Feat      *MinMax         `json:"feat"`
+	TargetMin float64         `json:"target_min"`
+	TargetMax float64         `json:"target_max"`
+	TimeSteps int             `json:"time_steps"`
+	Margin    int             `json:"margin"`
+	NumPorts  int             `json:"num_ports"`
+	SECBins   []dbscan.Bin    `json:"sec_bins,omitempty"`
+}
+
+// Marshal serializes the PTM to JSON.
+func (p *PTM) Marshal() ([]byte, error) {
+	netData, err := p.Net.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(savedPTM{
+		Net: netData, Feat: p.Feat,
+		TargetMin: p.TargetMin, TargetMax: p.TargetMax,
+		TimeSteps: p.TimeSteps, Margin: p.Margin,
+		NumPorts: p.NumPorts, SECBins: p.SECBins,
+	})
+}
+
+// Unmarshal reconstructs a PTM from Marshal output.
+func Unmarshal(data []byte) (*PTM, error) {
+	var sp savedPTM
+	if err := json.Unmarshal(data, &sp); err != nil {
+		return nil, err
+	}
+	if sp.TimeSteps <= 0 {
+		return nil, errors.New("ptm: invalid saved model")
+	}
+	net, err := nn.Unmarshal(sp.Net)
+	if err != nil {
+		return nil, err
+	}
+	return &PTM{Net: net, Feat: sp.Feat, TargetMin: sp.TargetMin,
+		TargetMax: sp.TargetMax, TimeSteps: sp.TimeSteps, Margin: sp.Margin,
+		NumPorts: sp.NumPorts, SECBins: sp.SECBins}, nil
+}
+
+// Save writes the PTM to a file.
+func (p *PTM) Save(path string) error {
+	data, err := p.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a PTM from a file.
+func Load(path string) (*PTM, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(data)
+}
+
+// Clone returns an independent copy sharing no mutable state (for
+// shard-parallel inference).
+func (p *PTM) Clone() *PTM {
+	c := *p
+	c.Net = p.Net.Clone()
+	return &c
+}
+
+// PredictStreams runs PredictStream over several independent streams in
+// parallel (one worker per stream up to GOMAXPROCS).
+func (p *PTM) PredictStreams(streams [][]PacketIn, kind des.SchedKind, rateBps float64) [][]float64 {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(streams) {
+		workers = len(streams)
+	}
+	out := make([][]float64, len(streams))
+	if workers <= 1 {
+		for i, s := range streams {
+			out[i] = p.PredictStream(s, kind, rateBps, 1)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rep := p.Clone()
+			for i := w; i < len(streams); i += workers {
+				out[i] = rep.PredictStream(streams[i], kind, rateBps, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,65 @@
+package ptm
+
+import "errors"
+
+// MinMax scales features to [0, 1] per dimension, the paper's
+// MinMaxScaler (§4.1). Degenerate dimensions (max == min) map to 0.
+type MinMax struct {
+	Min []float64 `json:"min"`
+	Max []float64 `json:"max"`
+}
+
+// FitMinMax computes per-dimension ranges over rows.
+func FitMinMax(rows [][]float64) (*MinMax, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("ptm: no rows to fit scaler")
+	}
+	d := len(rows[0])
+	s := &MinMax{Min: make([]float64, d), Max: make([]float64, d)}
+	copy(s.Min, rows[0])
+	copy(s.Max, rows[0])
+	for _, r := range rows[1:] {
+		if len(r) != d {
+			return nil, errors.New("ptm: ragged feature rows")
+		}
+		for j, v := range r {
+			if v < s.Min[j] {
+				s.Min[j] = v
+			}
+			if v > s.Max[j] {
+				s.Max[j] = v
+			}
+		}
+	}
+	return s, nil
+}
+
+// Transform scales one row in place.
+func (s *MinMax) Transform(row []float64) {
+	for j := range row {
+		span := s.Max[j] - s.Min[j]
+		if span <= 0 {
+			row[j] = 0
+			continue
+		}
+		row[j] = (row[j] - s.Min[j]) / span
+	}
+}
+
+// Scale1 scales a scalar with dimension j's range.
+func (s *MinMax) Scale1(j int, v float64) float64 {
+	span := s.Max[j] - s.Min[j]
+	if span <= 0 {
+		return 0
+	}
+	return (v - s.Min[j]) / span
+}
+
+// Unscale1 inverts Scale1.
+func (s *MinMax) Unscale1(j int, v float64) float64 {
+	span := s.Max[j] - s.Min[j]
+	if span <= 0 {
+		return s.Min[j]
+	}
+	return v*span + s.Min[j]
+}

@@ -1,0 +1,94 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+)
+
+// Closed-form single-queue results used to cross-validate both the DES
+// and the LDQBD solver. All take arrival rate lambda and service rate mu
+// in packets/second.
+
+// MM1MeanSojourn returns E[T] = 1/(µ−λ) for the M/M/1 queue.
+func MM1MeanSojourn(lambda, mu float64) (float64, error) {
+	if err := checkStable(lambda, mu); err != nil {
+		return 0, err
+	}
+	return 1 / (mu - lambda), nil
+}
+
+// MM1QueueLenPMF returns P(N = n) = (1−ρ)ρⁿ for the M/M/1 queue.
+func MM1QueueLenPMF(lambda, mu float64, n int) (float64, error) {
+	if err := checkStable(lambda, mu); err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, nil
+	}
+	rho := lambda / mu
+	return (1 - rho) * math.Pow(rho, float64(n)), nil
+}
+
+// MD1MeanWait returns the Pollaczek–Khinchine mean waiting time for
+// deterministic service: W = ρ/(2µ(1−ρ)).
+func MD1MeanWait(lambda, mu float64) (float64, error) {
+	if err := checkStable(lambda, mu); err != nil {
+		return 0, err
+	}
+	rho := lambda / mu
+	return rho / (2 * mu * (1 - rho)), nil
+}
+
+// MG1MeanWait returns the Pollaczek–Khinchine mean waiting time for
+// general service with the given squared coefficient of variation of
+// service times: W = (1+C²)/2 · ρ/(µ(1−ρ)).
+func MG1MeanWait(lambda, mu, scv float64) (float64, error) {
+	if err := checkStable(lambda, mu); err != nil {
+		return 0, err
+	}
+	if scv < 0 {
+		return 0, errors.New("queueing: negative SCV")
+	}
+	rho := lambda / mu
+	return (1 + scv) / 2 * rho / (mu * (1 - rho)), nil
+}
+
+// MM1KBlocking returns the Erlang loss of the finite M/M/1/K queue:
+// P(N = K) = (1−ρ)ρᴷ / (1−ρ^{K+1}) (ρ ≠ 1), the probability an arrival
+// is dropped.
+func MM1KBlocking(lambda, mu float64, k int) (float64, error) {
+	if lambda <= 0 || mu <= 0 {
+		return 0, errors.New("queueing: rates must be positive")
+	}
+	if k < 1 {
+		return 0, errors.New("queueing: capacity must be >= 1")
+	}
+	rho := lambda / mu
+	if math.Abs(rho-1) < 1e-12 {
+		return 1 / float64(k+1), nil
+	}
+	return (1 - rho) * math.Pow(rho, float64(k)) / (1 - math.Pow(rho, float64(k+1))), nil
+}
+
+// KingmanGG1Wait returns Kingman's heavy-traffic approximation of the
+// G/G/1 mean wait: W ≈ ρ/(1−ρ) · (Ca²+Cs²)/2 · 1/µ.
+func KingmanGG1Wait(lambda, mu, ca2, cs2 float64) (float64, error) {
+	if err := checkStable(lambda, mu); err != nil {
+		return 0, err
+	}
+	if ca2 < 0 || cs2 < 0 {
+		return 0, errors.New("queueing: negative SCV")
+	}
+	rho := lambda / mu
+	return rho / (1 - rho) * (ca2 + cs2) / 2 / mu, nil
+}
+
+func checkStable(lambda, mu float64) error {
+	if lambda <= 0 || mu <= 0 {
+		return errors.New("queueing: rates must be positive")
+	}
+	if lambda >= mu {
+		return errors.New("queueing: unstable (lambda >= mu)")
+	}
+	return nil
+}

@@ -1,0 +1,385 @@
+// Package queueing implements the paper's Appendix B: a state-aware
+// queueing-theoretic model of multi-queue packet schedulers (WFQ/WRR/DRR
+// treated as WFQ, and SP) fed by MAP arrivals, reformulated as a
+// level-dependent quasi-birth-death (LDQBD) process and solved with a
+// truncated matrix-analytic backward recursion.
+//
+// Its purpose in the reproduction is twofold: validating the DES against
+// exact theory (Fig. 14) and demonstrating the exponential state-space
+// blow-up that motivates the PTM (Fig. 15, Appendix B.2's O(M³·L^{3K})).
+package queueing
+
+import (
+	"errors"
+	"fmt"
+
+	"deepqueuenet/internal/linalg"
+	"deepqueuenet/internal/traffic"
+)
+
+// Discipline selects the scheduler model (Appendix B.1.2).
+type Discipline int
+
+// Disciplines.
+const (
+	// WFQDisc models WFQ/WRR/DRR: service rate shared among non-empty
+	// queues in proportion to weights.
+	WFQDisc Discipline = iota
+	// SPDisc models strict priority: class 0 preempts all lower classes.
+	SPDisc
+)
+
+// Model is a K-class multi-queue scheduler with MAP aggregate arrivals
+// split per class with probabilities Probs, exponential service at total
+// rate Mu (packets/s), and the given discipline.
+type Model struct {
+	Arrivals *traffic.MAP
+	Probs    []float64 // class mix, sums to 1
+	Mu       float64   // total service rate (packets/s)
+	Weights  []float64 // WFQ weights (ignored for SP)
+	Disc     Discipline
+}
+
+// Validate checks the model parameters.
+func (m *Model) Validate() error {
+	if m.Arrivals == nil {
+		return errors.New("queueing: nil arrival MAP")
+	}
+	if err := m.Arrivals.Validate(); err != nil {
+		return err
+	}
+	k := len(m.Probs)
+	if k == 0 {
+		return errors.New("queueing: no classes")
+	}
+	sum := 0.0
+	for _, p := range m.Probs {
+		if p <= 0 {
+			return errors.New("queueing: class probabilities must be positive")
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("queueing: class probabilities sum to %g", sum)
+	}
+	if m.Mu <= 0 {
+		return errors.New("queueing: service rate must be positive")
+	}
+	if m.Disc == WFQDisc && len(m.Weights) != k {
+		return errors.New("queueing: WFQ needs one weight per class")
+	}
+	return nil
+}
+
+// Utilization returns ρ = λ/μ.
+func (m *Model) Utilization() (float64, error) {
+	lam, err := m.Arrivals.Rate()
+	if err != nil {
+		return 0, err
+	}
+	return lam / m.Mu, nil
+}
+
+// g returns the per-class service rates for queue state n (Appendix
+// B.1.2's state-aware allocation).
+func (m *Model) g(n []int) []float64 {
+	k := len(n)
+	out := make([]float64, k)
+	switch m.Disc {
+	case WFQDisc:
+		den := 0.0
+		for i := 0; i < k; i++ {
+			if n[i] > 0 {
+				den += m.Weights[i]
+			}
+		}
+		if den == 0 {
+			return out
+		}
+		for i := 0; i < k; i++ {
+			if n[i] > 0 {
+				out[i] = m.Mu * m.Weights[i] / den
+			}
+		}
+	case SPDisc:
+		for i := 0; i < k; i++ {
+			if n[i] > 0 {
+				out[i] = m.Mu
+				break
+			}
+		}
+	}
+	return out
+}
+
+// compositions enumerates all K-part compositions of l in the paper's
+// state-descending order (e.g. l=2, K=2: (2,0), (1,1), (0,2)).
+func compositions(l, k int) [][]int {
+	if k == 1 {
+		return [][]int{{l}}
+	}
+	var out [][]int
+	for first := l; first >= 0; first-- {
+		for _, rest := range compositions(l-first, k-1) {
+			comp := append([]int{first}, rest...)
+			out = append(out, comp)
+		}
+	}
+	return out
+}
+
+// levelSpace caches the state enumeration of one level.
+type levelSpace struct {
+	comps [][]int
+	index map[string]int // composition key -> composition index
+}
+
+func makeLevel(l, k int) levelSpace {
+	comps := compositions(l, k)
+	idx := make(map[string]int, len(comps))
+	for i, c := range comps {
+		idx[compKey(c)] = i
+	}
+	return levelSpace{comps: comps, index: idx}
+}
+
+func compKey(c []int) string {
+	b := make([]byte, 0, len(c)*3)
+	for _, v := range c {
+		b = append(b, byte(v), byte(v>>8), '|')
+	}
+	return string(b)
+}
+
+// Solution is the solved stationary distribution up to the truncation
+// level.
+type Solution struct {
+	K, M, L int
+	// Phi[l] is the stationary probability vector of level l (length
+	// c_l · M, composition-major).
+	Phi [][]float64
+	// levels caches the per-level composition enumerations.
+	levels []levelSpace
+	// TailMass is the probability truncated away (diagnostic).
+	TailMass float64
+}
+
+// Solve computes the stationary distribution with queue lengths
+// truncated at total backlog L. The computational cost grows with the
+// per-level block size d_l = M·C(l+K−1, K−1) — exponential in K, the
+// paper's core feasibility argument.
+func (m *Model) Solve(L int) (*Solution, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	rho, err := m.Utilization()
+	if err != nil {
+		return nil, err
+	}
+	if rho >= 1 {
+		return nil, fmt.Errorf("queueing: unstable system (rho = %.3f)", rho)
+	}
+	if L < 1 {
+		return nil, errors.New("queueing: truncation level must be >= 1")
+	}
+	K := len(m.Probs)
+	M := m.Arrivals.States()
+	levels := make([]levelSpace, L+1)
+	for l := 0; l <= L; l++ {
+		levels[l] = makeLevel(l, K)
+	}
+
+	d := func(l int) int { return len(levels[l].comps) * M }
+
+	// Block builders.
+	up := func(l int) [][]float64 { // Q_{l,l+1}
+		a := linalg.Zeros(d(l), d(l+1))
+		for ci, n := range levels[l].comps {
+			for i := 0; i < K; i++ {
+				n2 := append([]int(nil), n...)
+				n2[i]++
+				cj := levels[l+1].index[compKey(n2)]
+				for j := 0; j < M; j++ {
+					for k2 := 0; k2 < M; k2++ {
+						a[ci*M+j][cj*M+k2] += m.Probs[i] * m.Arrivals.D1[j][k2]
+					}
+				}
+			}
+		}
+		return a
+	}
+	down := func(l int) [][]float64 { // Q_{l,l-1}
+		a := linalg.Zeros(d(l), d(l-1))
+		for ci, n := range levels[l].comps {
+			rates := m.g(n)
+			for i := 0; i < K; i++ {
+				if n[i] == 0 || rates[i] == 0 {
+					continue
+				}
+				n2 := append([]int(nil), n...)
+				n2[i]--
+				cj := levels[l-1].index[compKey(n2)]
+				for j := 0; j < M; j++ {
+					a[ci*M+j][cj*M+j] += rates[i]
+				}
+			}
+		}
+		return a
+	}
+	local := func(l int, top bool) [][]float64 { // Q_{l,l}
+		a := linalg.Zeros(d(l), d(l))
+		for ci, n := range levels[l].comps {
+			rates := m.g(n)
+			totalG := 0.0
+			for _, r := range rates {
+				totalG += r
+			}
+			for j := 0; j < M; j++ {
+				row := ci*M + j
+				for k2 := 0; k2 < M; k2++ {
+					if k2 != j {
+						a[row][ci*M+k2] += m.Arrivals.D0[j][k2]
+					}
+				}
+				diag := m.Arrivals.D0[j][j] - totalG
+				if top {
+					// Truncation: fold the up-rate back into the
+					// diagonal so the generator stays conservative.
+					upRate := 0.0
+					for k2 := 0; k2 < M; k2++ {
+						upRate += m.Arrivals.D1[j][k2]
+					}
+					diag += upRate
+				}
+				a[row][row] += diag
+			}
+		}
+		return a
+	}
+
+	// Backward R recursion: R_l = Q_{l,l+1} · (−(Q_{l+1,l+1} +
+	// R_{l+1}·Q_{l+2,l+1}))⁻¹ with R_L = 0 at the truncation boundary.
+	R := make([][][]float64, L) // R[l] maps level l -> l+1
+	var Rnext [][]float64
+	for l := L - 1; l >= 0; l-- {
+		inner := local(l+1, l+1 == L)
+		if Rnext != nil {
+			inner = linalg.Add(inner, linalg.Mul(Rnext, down(l+2)))
+		}
+		neg := linalg.Scale(inner, -1)
+		inv, err := linalg.Inverse(neg)
+		if err != nil {
+			return nil, fmt.Errorf("queueing: level %d inversion: %w", l, err)
+		}
+		R[l] = linalg.Mul(up(l), inv)
+		Rnext = R[l]
+	}
+
+	// Boundary: φ₀ (Q_{0,0} + R_0 Q_{1,0}) = 0, then normalize.
+	b0 := linalg.Add(local(0, L == 0), linalg.Mul(R[0], down(1)))
+	phi0, err := solveBoundary(b0)
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{K: K, M: M, L: L, levels: levels}
+	sol.Phi = make([][]float64, L+1)
+	sol.Phi[0] = phi0
+	for l := 0; l < L; l++ {
+		sol.Phi[l+1] = linalg.VecMat(sol.Phi[l], R[l])
+	}
+	total := 0.0
+	for l := 0; l <= L; l++ {
+		for _, v := range sol.Phi[l] {
+			total += v
+		}
+	}
+	if total <= 0 {
+		return nil, errors.New("queueing: degenerate solution")
+	}
+	for l := 0; l <= L; l++ {
+		for i := range sol.Phi[l] {
+			sol.Phi[l][i] /= total
+		}
+	}
+	// Estimate truncated tail mass from the top-level share.
+	top := 0.0
+	for _, v := range sol.Phi[L] {
+		top += v
+	}
+	sol.TailMass = top
+	return sol, nil
+}
+
+// solveBoundary finds the null vector of bᵀ with unit sum.
+func solveBoundary(b [][]float64) ([]float64, error) {
+	n := len(b)
+	a := linalg.Zeros(n, n)
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i][j] = b[j][i]
+		}
+	}
+	for j := 0; j < n; j++ {
+		a[n-1][j] = 1
+	}
+	rhs[n-1] = 1
+	return linalg.Solve(a, rhs)
+}
+
+// MarginalQueueLen returns P(n_class = n) for n = 0..L.
+func (s *Solution) MarginalQueueLen(class int) []float64 {
+	out := make([]float64, s.L+1)
+	for l := 0; l <= s.L; l++ {
+		for ci, comp := range s.levels[l].comps {
+			nk := comp[class]
+			if nk > s.L {
+				nk = s.L
+			}
+			for j := 0; j < s.M; j++ {
+				out[nk] += s.Phi[l][ci*s.M+j]
+			}
+		}
+	}
+	return out
+}
+
+// QueueLenCDF returns P(n_class ≤ n).
+func (s *Solution) QueueLenCDF(class, n int) float64 {
+	marg := s.MarginalQueueLen(class)
+	c := 0.0
+	for i := 0; i <= n && i < len(marg); i++ {
+		c += marg[i]
+	}
+	return c
+}
+
+// TotalQueueLenDist returns P(total backlog = l) for l = 0..L.
+func (s *Solution) TotalQueueLenDist() []float64 {
+	out := make([]float64, s.L+1)
+	for l := 0; l <= s.L; l++ {
+		for _, v := range s.Phi[l] {
+			out[l] += v
+		}
+	}
+	return out
+}
+
+// MeanQueueLen returns E[n_class].
+func (s *Solution) MeanQueueLen(class int) float64 {
+	m := 0.0
+	for n, p := range s.MarginalQueueLen(class) {
+		m += float64(n) * p
+	}
+	return m
+}
+
+// StateCount returns the total number of CTMC states in the truncated
+// model: Σ_l M·c_l — the quantity that explodes with K (Fig. 15).
+func (s *Solution) StateCount() int {
+	n := 0
+	for l := 0; l <= s.L; l++ {
+		n += len(s.levels[l].comps) * s.M
+	}
+	return n
+}

@@ -1,0 +1,227 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"deepqueuenet/internal/des"
+	"deepqueuenet/internal/metrics"
+	"deepqueuenet/internal/rng"
+	"deepqueuenet/internal/topo"
+	"deepqueuenet/internal/traffic"
+)
+
+func TestCompositionsCountAndOrder(t *testing.T) {
+	// c_l = C(l+K-1, K-1): for l=2, K=2 → 3 compositions.
+	cs := compositions(2, 2)
+	if len(cs) != 3 {
+		t.Fatalf("%d compositions", len(cs))
+	}
+	want := [][]int{{2, 0}, {1, 1}, {0, 2}}
+	for i := range want {
+		for j := range want[i] {
+			if cs[i][j] != want[i][j] {
+				t.Fatalf("composition order %v", cs)
+			}
+		}
+	}
+	// l=3, K=3 → C(5,2) = 10.
+	if n := len(compositions(3, 3)); n != 10 {
+		t.Fatalf("K=3 l=3: %d", n)
+	}
+}
+
+func TestMM1GeometricQueue(t *testing.T) {
+	// Single class, Poisson arrivals, FIFO (WFQ with one class):
+	// P(n) = (1-ρ)·ρⁿ.
+	lam, mu := 600.0, 1000.0
+	m := &Model{
+		Arrivals: traffic.PoissonMAP(lam),
+		Probs:    []float64{1},
+		Mu:       mu,
+		Weights:  []float64{1},
+		Disc:     WFQDisc,
+	}
+	sol, err := m.Solve(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := lam / mu
+	marg := sol.MarginalQueueLen(0)
+	for n := 0; n <= 10; n++ {
+		want := (1 - rho) * math.Pow(rho, float64(n))
+		if math.Abs(marg[n]-want) > 1e-6 {
+			t.Fatalf("P(n=%d) = %v, want %v", n, marg[n], want)
+		}
+	}
+	// Mean queue length ρ/(1−ρ).
+	if got, want := sol.MeanQueueLen(0), rho/(1-rho); math.Abs(got-want) > 0.01 {
+		t.Fatalf("mean %v, want %v", got, want)
+	}
+}
+
+func TestSPTwoClassPriority(t *testing.T) {
+	// Under SP the high-priority class behaves like an M/M/1 alone:
+	// its marginal queue length must match the single-class solution.
+	lam, mu := 800.0, 2000.0
+	m := &Model{
+		Arrivals: traffic.PoissonMAP(lam),
+		Probs:    []float64{0.5, 0.5},
+		Mu:       mu,
+		Disc:     SPDisc,
+	}
+	sol, err := m.Solve(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho0 := (lam * 0.5) / mu
+	marg := sol.MarginalQueueLen(0)
+	for n := 0; n <= 5; n++ {
+		want := (1 - rho0) * math.Pow(rho0, float64(n))
+		if math.Abs(marg[n]-want) > 0.005 {
+			t.Fatalf("high-priority P(n=%d) = %v, want %v", n, marg[n], want)
+		}
+	}
+	// The low-priority class must be strictly worse off.
+	if sol.MeanQueueLen(1) <= sol.MeanQueueLen(0) {
+		t.Fatalf("SP: low class mean %v <= high class mean %v",
+			sol.MeanQueueLen(1), sol.MeanQueueLen(0))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := &Model{Arrivals: traffic.PoissonMAP(100), Probs: []float64{0.5, 0.5},
+		Mu: 50, Disc: SPDisc}
+	if _, err := m.Solve(10); err == nil {
+		t.Fatal("unstable system must be rejected")
+	}
+	m2 := &Model{Arrivals: traffic.PoissonMAP(100), Probs: []float64{0.7},
+		Mu: 500, Disc: WFQDisc, Weights: []float64{1}}
+	if err := m2.Validate(); err == nil {
+		t.Fatal("probabilities not summing to 1 must be rejected")
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	m := &Model{
+		Arrivals: traffic.ExampleMAP2().Scale(0.01), // rate 48, keep it stable
+		Probs:    []float64{0.2, 0.3, 0.5},
+		Mu:       100,
+		Weights:  []float64{1, 1, 1},
+		Disc:     WFQDisc,
+	}
+	sol, err := m.Solve(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, d := range sol.TotalQueueLenDist() {
+		total += d
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("distribution sums to %v", total)
+	}
+	if sol.TailMass > 0.01 {
+		t.Fatalf("truncation too aggressive: tail %v", sol.TailMass)
+	}
+}
+
+// TestAgainstDES is the Fig. 14 experiment in miniature: queue-length
+// CDFs from the LDQBD model must match a DES of the same system.
+func TestAgainstDES(t *testing.T) {
+	// Appendix B.3 setting, scaled to stay fast: MAP(2) arrivals split
+	// 20/30/50% across 3 classes, exponential packet sizes with mean
+	// 1426 B (the theory's exponential service), service rate
+	// 100 Mb/s => mu = 100e6/(8*1426) ≈ 8766 pkt/s, rho ≈ 0.55.
+	agg := traffic.ExampleMAP2()
+	probs := []float64{0.2, 0.3, 0.5}
+	const linkRate = 100e6
+	const pktSize = 1426
+
+	for _, disc := range []Discipline{SPDisc, WFQDisc} {
+		m := &Model{Arrivals: agg, Probs: probs, Mu: linkRate / (8 * pktSize), Disc: disc,
+			Weights: []float64{1, 1, 1}}
+		sol, err := m.Solve(30)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// DES: 4 hosts -> 1 switch; 3 source flows (one per class) from
+		// 3 hosts to the 4th. Splitting a MAP by class probability is
+		// exactly SplitClass.
+		g := topo.Star(4, topo.LinkParams{RateBps: linkRate, Delay: 1e-6})
+		hosts := g.Hosts()
+		var defs []topo.FlowDef
+		for i := 0; i < 3; i++ {
+			defs = append(defs, topo.FlowDef{FlowID: i + 1, Src: hosts[i], Dst: hosts[3]})
+		}
+		rt, _ := g.Route(defs)
+		var sched des.SchedConfig
+		if disc == SPDisc {
+			sched = des.SchedConfig{Kind: des.SP, Classes: 3}
+		} else {
+			sched = des.SchedConfig{Kind: des.WFQ, Weights: []float64{1, 1, 1}}
+		}
+		net := des.Build(g, rt, des.NetConfig{Sched: sched})
+		r := rng.New(42)
+		for i := 0; i < 3; i++ {
+			sub := agg.SplitClass(probs[i])
+			sizes := &traffic.ExpSize{MeanBytes: pktSize, R: r.Split()}
+			net.AddFlow(hosts[i], des.Flow{FlowID: i + 1, Dst: hosts[3], Class: i,
+				Weight: 1, Source: sub.NewSampler(sizes, r.Split()), Stop: 20})
+		}
+		sw := g.Switches()[0]
+		// Monitor the egress port toward host 3 — find it via the graph.
+		outPort := -1
+		for pi, p := range g.Ports[sw] {
+			if p.Peer == hosts[3] {
+				outPort = pi
+			}
+		}
+		mon := net.MonitorQueue(sw, outPort, 5e-4)
+		net.Run(20)
+
+		for class := 0; class < 3; class++ {
+			lens := mon.ClassLens(class)
+			cdfEmp, err := metrics.NewCDF(lens)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range []int{0, 1, 2, 5} {
+				theory := sol.QueueLenCDF(class, n)
+				emp := cdfEmp.Eval(float64(n))
+				if math.Abs(theory-emp) > 0.06 {
+					t.Fatalf("%v class %d: P(n<=%d) theory %.4f vs DES %.4f",
+						disc, class, n, theory, emp)
+				}
+			}
+		}
+	}
+}
+
+func TestStateCountGrowth(t *testing.T) {
+	// The per-truncation state count must grow combinatorially with K —
+	// the Fig. 15 feasibility wall.
+	counts := make([]int, 0, 3)
+	for k := 1; k <= 3; k++ {
+		probs := make([]float64, k)
+		ws := make([]float64, k)
+		for i := range probs {
+			probs[i] = 1 / float64(k)
+			ws[i] = 1
+		}
+		m := &Model{Arrivals: traffic.PoissonMAP(100), Probs: probs, Mu: 1000,
+			Weights: ws, Disc: WFQDisc}
+		sol, err := m.Solve(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, sol.StateCount())
+	}
+	if !(counts[0] < counts[1] && counts[1] < counts[2]) {
+		t.Fatalf("state counts not growing: %v", counts)
+	}
+	if counts[2] < 5*counts[0] {
+		t.Fatalf("growth too slow to be combinatorial: %v", counts)
+	}
+}

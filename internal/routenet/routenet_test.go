@@ -1,0 +1,167 @@
+package routenet
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"deepqueuenet/internal/des"
+	"deepqueuenet/internal/metrics"
+	"deepqueuenet/internal/rng"
+	"deepqueuenet/internal/topo"
+	"deepqueuenet/internal/traffic"
+)
+
+// desScenario runs one DES scenario and returns training samples.
+func desScenario(t *testing.T, g *topo.Graph, loads map[int]float64, flows []topo.FlowDef,
+	model traffic.Model, seed uint64, dur float64) ([]Sample, *Scenario, metrics.PathSamples) {
+	t.Helper()
+	rt, err := g.Route(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := des.Build(g, rt, des.NetConfig{Sched: des.SchedConfig{Kind: des.FIFO}, Echo: true})
+	r := rng.New(seed)
+	for _, f := range flows {
+		gen := traffic.NewGenerator(model, loads[f.FlowID], 10e9, traffic.ConstSize(800), r.Split())
+		net.AddFlow(f.Src, des.Flow{FlowID: f.FlowID, Dst: f.Dst, Proto: 17, Source: gen, Stop: dur})
+	}
+	net.Run(dur * 3)
+	sc := &Scenario{G: g, RT: rt, Loads: loads, Flows: flows}
+	truth := net.PathDelays(true)
+	stats := truth.Stats()
+	var samples []Sample
+	for _, pf := range sc.Features() {
+		if st, ok := stats[pf.Key]; ok {
+			samples = append(samples, Sample{Feat: pf, Stats: st})
+		}
+	}
+	return samples, sc, truth
+}
+
+func lineFlows(g *topo.Graph) []topo.FlowDef {
+	hosts := g.Hosts()
+	var flows []topo.FlowDef
+	for i := range hosts {
+		flows = append(flows, topo.FlowDef{FlowID: i + 1, Src: hosts[i],
+			Dst: hosts[(i+len(hosts)/2)%len(hosts)]})
+	}
+	return flows
+}
+
+func TestTrainAndPredictInDistribution(t *testing.T) {
+	g := topo.Line(4, topo.DefaultLAN)
+	flows := lineFlows(g)
+	var samples []Sample
+	r := rng.New(1)
+	for s := 0; s < 8; s++ {
+		loads := map[int]float64{}
+		for _, f := range flows {
+			loads[f.FlowID] = r.Uniform(0.05, 0.2)
+		}
+		ss, _, _ := desScenario(t, g, loads, flows, traffic.ModelMAP, uint64(s+10), 0.001)
+		samples = append(samples, ss...)
+	}
+	m, err := Train(samples, TrainConfig{Epochs: 400, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate on a fresh same-distribution scenario.
+	loads := map[int]float64{}
+	for _, f := range flows {
+		loads[f.FlowID] = 0.12
+	}
+	_, sc, truth := desScenario(t, g, loads, flows, traffic.ModelMAP, 99, 0.001)
+	pred := m.Predict(sc)
+	sum := metrics.CompareStats(pred, truth.Stats())
+	if math.IsNaN(sum.AvgRTTW1) || sum.AvgRTTW1 > 0.5 {
+		t.Fatalf("in-distribution avgRTT w1 = %v", sum.AvgRTTW1)
+	}
+	t.Logf("RouteNet in-distribution: avgRTT w1=%.4f", sum.AvgRTTW1)
+}
+
+// The structural property the paper demonstrates (Table 4): with the
+// traffic matrix unchanged, RouteNet's prediction cannot react to a
+// change of arrival process, because rates are its only input.
+func TestBlindToArrivalProcess(t *testing.T) {
+	g := topo.Line(4, topo.DefaultLAN)
+	flows := lineFlows(g)
+	loads := map[int]float64{}
+	for _, f := range flows {
+		loads[f.FlowID] = 0.1
+	}
+	rt, err := g.Route(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scMAP := &Scenario{G: g, RT: rt, Loads: loads, Flows: flows}
+	scOnOff := &Scenario{G: g, RT: rt, Loads: loads, Flows: flows}
+	fa := scMAP.Features()
+	fb := scOnOff.Features()
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatal("features differ despite identical traffic matrix")
+		}
+	}
+}
+
+func TestFeaturesReflectSharedLinks(t *testing.T) {
+	g := topo.Line(4, topo.DefaultLAN)
+	flows := lineFlows(g)
+	loads := map[int]float64{}
+	for _, f := range flows {
+		loads[f.FlowID] = 0.1
+	}
+	rt, _ := g.Route(flows)
+	sc := &Scenario{G: g, RT: rt, Loads: loads, Flows: flows}
+	feats := sc.Features()
+	if len(feats) != len(flows) {
+		t.Fatalf("%d features for %d flows", len(feats), len(flows))
+	}
+	// The middle link carries multiple flows: some path must see a max
+	// link load above its own offered load.
+	found := false
+	for _, f := range feats {
+		if f.Vals[3] > 0.15 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no path sees aggregated link load; feature extraction broken")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	g := topo.Line(4, topo.DefaultLAN)
+	flows := lineFlows(g)
+	loads := map[int]float64{}
+	for _, f := range flows {
+		loads[f.FlowID] = 0.1
+	}
+	samples, sc, _ := desScenario(t, g, loads, flows, traffic.ModelPoisson, 3, 0.0005)
+	m, err := Train(samples, TrainConfig{Epochs: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rn.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Predict(sc)
+	b := m2.Predict(sc)
+	for k, av := range a {
+		if b[k] != av {
+			t.Fatalf("loaded model differs on %s", k)
+		}
+	}
+}
+
+func TestTrainRejectsEmpty(t *testing.T) {
+	if _, err := Train(nil, TrainConfig{}); err == nil {
+		t.Fatal("expected error")
+	}
+}

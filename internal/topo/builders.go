@@ -1,0 +1,276 @@
+package topo
+
+import "fmt"
+
+// LinkParams bundles the physical properties used by the builders. The
+// paper's evaluation uses 10 Gb/s links; delays default to 1 µs for LAN
+// topologies and are overridden per-edge for WANs.
+type LinkParams struct {
+	RateBps float64
+	Delay   float64
+}
+
+// DefaultLAN matches the paper's evaluation setting (10 Gbps links).
+var DefaultLAN = LinkParams{RateBps: 10e9, Delay: 1e-6}
+
+// Line builds a chain of n switches, each with one attached host:
+//
+//	h0   h1   ...  h(n-1)
+//	|    |         |
+//	s0 - s1 - ... - s(n-1)
+//
+// Line4 and Line6 in Table 5 are Line(4) and Line(6).
+func Line(n int, lp LinkParams) *Graph {
+	if n < 2 {
+		panic("topo: Line needs at least 2 switches")
+	}
+	g := New()
+	sw := make([]int, n)
+	for i := 0; i < n; i++ {
+		sw[i] = g.AddNode(Switch, fmt.Sprintf("s%d", i))
+	}
+	for i := 0; i+1 < n; i++ {
+		g.Connect(sw[i], sw[i+1], lp.RateBps, lp.Delay)
+	}
+	for i := 0; i < n; i++ {
+		h := g.AddNode(Host, fmt.Sprintf("h%d", i))
+		g.Connect(h, sw[i], lp.RateBps, lp.Delay)
+	}
+	return g
+}
+
+// Torus2D builds an r×c switch torus with one host per switch
+// (2dTorus(4x4) and 2dTorus(6x6) in Table 5).
+func Torus2D(rows, cols int, lp LinkParams) *Graph {
+	if rows < 2 || cols < 2 {
+		panic("topo: torus needs at least 2x2")
+	}
+	g := New()
+	sw := make([][]int, rows)
+	for i := range sw {
+		sw[i] = make([]int, cols)
+		for j := range sw[i] {
+			sw[i][j] = g.AddNode(Switch, fmt.Sprintf("s%d_%d", i, j))
+		}
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			right := sw[i][(j+1)%cols]
+			down := sw[(i+1)%rows][j]
+			// A 2-wide dimension would otherwise create duplicate edges.
+			if cols > 2 || j == 0 {
+				g.Connect(sw[i][j], right, lp.RateBps, lp.Delay)
+			}
+			if rows > 2 || i == 0 {
+				g.Connect(sw[i][j], down, lp.RateBps, lp.Delay)
+			}
+		}
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			h := g.AddNode(Host, fmt.Sprintf("h%d_%d", i, j))
+			g.Connect(h, sw[i][j], lp.RateBps, lp.Delay)
+		}
+	}
+	return g
+}
+
+// FatTreeParams is MimicNet's FatTree parameterization (Table 3).
+type FatTreeParams struct {
+	NumToRsAndUplinks int // t: ToRs per cluster == agg uplinks per cluster
+	NumServersPerRack int
+	NumClusters       int
+}
+
+// FatTree16 is the FatTree(k=4) network with 16 servers of Table 3.
+var FatTree16 = FatTreeParams{NumToRsAndUplinks: 2, NumServersPerRack: 4, NumClusters: 2}
+
+// FatTree64 is the 4-ary 3-tree with 64 servers of Table 3.
+var FatTree64 = FatTreeParams{NumToRsAndUplinks: 4, NumServersPerRack: 4, NumClusters: 4}
+
+// FatTree128 is the FatTree(8) network with 128 servers of Table 3.
+var FatTree128 = FatTreeParams{NumToRsAndUplinks: 4, NumServersPerRack: 4, NumClusters: 8}
+
+// FatTree builds the cluster/ToR/aggregation/core structure MimicNet
+// parameterizes: each cluster has t ToR switches (each with
+// NumServersPerRack hosts) fully meshed to t aggregation switches;
+// aggregation switch j of every cluster connects to core switches
+// [j·t, (j+1)·t).
+func FatTree(p FatTreeParams, lp LinkParams) *Graph {
+	t := p.NumToRsAndUplinks
+	if t < 1 || p.NumServersPerRack < 1 || p.NumClusters < 1 {
+		panic("topo: invalid FatTree parameters")
+	}
+	g := New()
+	numCore := t * t
+	cores := make([]int, numCore)
+	for i := range cores {
+		cores[i] = g.AddNode(Switch, fmt.Sprintf("core%d", i))
+	}
+	for c := 0; c < p.NumClusters; c++ {
+		aggs := make([]int, t)
+		tors := make([]int, t)
+		for j := 0; j < t; j++ {
+			aggs[j] = g.AddNode(Switch, fmt.Sprintf("agg%d_%d", c, j))
+		}
+		for j := 0; j < t; j++ {
+			tors[j] = g.AddNode(Switch, fmt.Sprintf("tor%d_%d", c, j))
+		}
+		for _, a := range aggs {
+			for _, tr := range tors {
+				g.Connect(a, tr, lp.RateBps, lp.Delay)
+			}
+		}
+		for j, a := range aggs {
+			for k := 0; k < t; k++ {
+				g.Connect(a, cores[j*t+k], lp.RateBps, lp.Delay)
+			}
+		}
+		for j, tr := range tors {
+			for s := 0; s < p.NumServersPerRack; s++ {
+				h := g.AddNode(Host, fmt.Sprintf("h%d_%d_%d", c, j, s))
+				g.Connect(h, tr, lp.RateBps, lp.Delay)
+			}
+		}
+	}
+	return g
+}
+
+// wanEdge describes one WAN link by endpoint names and propagation delay.
+type wanEdge struct {
+	a, b  string
+	delay float64
+}
+
+// buildWAN assembles a WAN graph: one switch plus one attached host per
+// PoP, and the given inter-PoP links.
+func buildWAN(names []string, edges []wanEdge, rate float64) *Graph {
+	g := New()
+	sw := make(map[string]int, len(names))
+	for _, n := range names {
+		sw[n] = g.AddNode(Switch, n)
+	}
+	for _, e := range edges {
+		a, ok := sw[e.a]
+		if !ok {
+			panic("topo: unknown WAN node " + e.a)
+		}
+		b, ok := sw[e.b]
+		if !ok {
+			panic("topo: unknown WAN node " + e.b)
+		}
+		g.Connect(a, b, rate, e.delay)
+	}
+	for _, n := range names {
+		h := g.AddNode(Host, "h_"+n)
+		g.Connect(h, sw[n], rate, 1e-6)
+	}
+	return g
+}
+
+// Abilene builds the 11-PoP Abilene research backbone (Internet Topology
+// Zoo), with propagation delays approximating the geographic fibre spans.
+func Abilene(rate float64) *Graph {
+	names := []string{
+		"STTL", "SNVA", "LOSA", "DNVR", "KSCY", "HSTN",
+		"ATLA", "WASH", "NYCM", "CHIN", "IPLS",
+	}
+	ms := func(v float64) float64 { return v * 1e-3 }
+	edges := []wanEdge{
+		{"STTL", "SNVA", ms(6.0)}, {"STTL", "DNVR", ms(5.5)},
+		{"SNVA", "LOSA", ms(2.5)}, {"SNVA", "DNVR", ms(5.0)},
+		{"LOSA", "HSTN", ms(7.5)}, {"DNVR", "KSCY", ms(3.0)},
+		{"KSCY", "HSTN", ms(4.0)}, {"KSCY", "IPLS", ms(2.5)},
+		{"HSTN", "ATLA", ms(5.5)}, {"ATLA", "WASH", ms(3.5)},
+		{"ATLA", "IPLS", ms(2.5)}, {"WASH", "NYCM", ms(1.5)},
+		{"NYCM", "CHIN", ms(4.0)}, {"CHIN", "IPLS", ms(1.0)},
+	}
+	return buildWAN(names, edges, rate)
+}
+
+// Geant builds a 22-PoP GÉANT European research backbone (Internet
+// Topology Zoo, 2004 snapshot), with approximate fibre delays.
+func Geant(rate float64) *Graph {
+	names := []string{
+		"AT", "BE", "CH", "CZ", "DE", "ES", "FR", "GR", "HR", "HU",
+		"IE", "IL", "IT", "LU", "NL", "PL", "PT", "SE", "SI", "SK",
+		"UK", "NY",
+	}
+	ms := func(v float64) float64 { return v * 1e-3 }
+	edges := []wanEdge{
+		{"UK", "IE", ms(2.3)}, {"UK", "NL", ms(1.8)}, {"UK", "FR", ms(1.7)},
+		{"UK", "NY", ms(28.0)}, {"NL", "DE", ms(2.0)}, {"NL", "BE", ms(0.9)},
+		{"BE", "FR", ms(1.3)}, {"BE", "LU", ms(1.0)}, {"LU", "DE", ms(1.2)},
+		{"FR", "CH", ms(2.2)}, {"FR", "ES", ms(4.2)}, {"ES", "PT", ms(2.5)},
+		{"ES", "IT", ms(4.3)}, {"PT", "UK", ms(7.9)}, {"CH", "IT", ms(1.7)},
+		{"CH", "DE", ms(1.9)}, {"DE", "AT", ms(2.6)}, {"DE", "CZ", ms(1.4)},
+		{"DE", "SE", ms(5.2)}, {"DE", "NY", ms(31.0)}, {"CZ", "SK", ms(1.5)},
+		{"CZ", "PL", ms(2.6)}, {"PL", "SE", ms(4.1)}, {"SK", "HU", ms(0.8)},
+		{"AT", "HU", ms(1.1)}, {"AT", "SI", ms(1.4)}, {"AT", "IT", ms(3.6)},
+		{"SI", "HR", ms(0.6)}, {"HR", "HU", ms(1.5)}, {"HU", "GR", ms(4.0)},
+		{"GR", "IT", ms(4.6)}, {"IT", "IL", ms(11.0)}, {"IL", "NY", ms(45.0)},
+		{"SE", "NY", ms(33.0)},
+	}
+	return buildWAN(names, edges, rate)
+}
+
+// Star builds a single switch with n hosts: the K-port single-device
+// topology used to generate PTM training traces (§5.2).
+func Star(n int, lp LinkParams) *Graph {
+	if n < 2 {
+		panic("topo: Star needs at least 2 hosts")
+	}
+	g := New()
+	sw := g.AddNode(Switch, "sw")
+	for i := 0; i < n; i++ {
+		h := g.AddNode(Host, fmt.Sprintf("h%d", i))
+		g.Connect(h, sw, lp.RateBps, lp.Delay)
+	}
+	return g
+}
+
+// Dumbbell builds two switches joined by one (optionally slower)
+// bottleneck link, with n hosts on each side.
+func Dumbbell(n int, lp LinkParams, bottleneckRate float64) *Graph {
+	if n < 1 {
+		panic("topo: Dumbbell needs at least 1 host per side")
+	}
+	g := New()
+	s0 := g.AddNode(Switch, "s0")
+	s1 := g.AddNode(Switch, "s1")
+	g.Connect(s0, s1, bottleneckRate, lp.Delay)
+	for i := 0; i < n; i++ {
+		h := g.AddNode(Host, fmt.Sprintf("l%d", i))
+		g.Connect(h, s0, lp.RateBps, lp.Delay)
+	}
+	for i := 0; i < n; i++ {
+		h := g.AddNode(Host, fmt.Sprintf("r%d", i))
+		g.Connect(h, s1, lp.RateBps, lp.Delay)
+	}
+	return g
+}
+
+// LeafSpine builds a two-tier Clos fabric: every leaf connects to every
+// spine, with hostsPerLeaf hosts per leaf — the most common modern
+// datacenter fabric besides FatTree.
+func LeafSpine(leaves, spines, hostsPerLeaf int, lp LinkParams) *Graph {
+	if leaves < 1 || spines < 1 || hostsPerLeaf < 1 {
+		panic("topo: invalid leaf-spine parameters")
+	}
+	g := New()
+	sp := make([]int, spines)
+	for i := range sp {
+		sp[i] = g.AddNode(Switch, fmt.Sprintf("spine%d", i))
+	}
+	for l := 0; l < leaves; l++ {
+		leaf := g.AddNode(Switch, fmt.Sprintf("leaf%d", l))
+		for _, s := range sp {
+			g.Connect(leaf, s, lp.RateBps, lp.Delay)
+		}
+		for h := 0; h < hostsPerLeaf; h++ {
+			host := g.AddNode(Host, fmt.Sprintf("h%d_%d", l, h))
+			g.Connect(host, leaf, lp.RateBps, lp.Delay)
+		}
+	}
+	return g
+}

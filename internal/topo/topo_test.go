@@ -1,0 +1,329 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"deepqueuenet/internal/rng"
+)
+
+func TestLineStructure(t *testing.T) {
+	g := Line(4, DefaultLAN)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Hosts()) != 4 || len(g.Switches()) != 4 {
+		t.Fatalf("Line(4): %d hosts, %d switches", len(g.Hosts()), len(g.Switches()))
+	}
+	// End hosts are 1 + 3 + 1 hops apart.
+	if d := g.Diameter(); d != 5 {
+		t.Fatalf("Line(4) diameter %d, want 5", d)
+	}
+}
+
+func TestTorusStructure(t *testing.T) {
+	for _, tc := range []struct{ r, c int }{{4, 4}, {6, 6}, {2, 3}} {
+		g := Torus2D(tc.r, tc.c, DefaultLAN)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%dx%d: %v", tc.r, tc.c, err)
+		}
+		if len(g.Hosts()) != tc.r*tc.c {
+			t.Fatalf("%dx%d torus: %d hosts", tc.r, tc.c, len(g.Hosts()))
+		}
+		// Every torus switch has 4 switch neighbours + 1 host (except
+		// 2-wide dimensions which have fewer parallel edges).
+		if tc.r >= 3 && tc.c >= 3 {
+			for _, s := range g.Switches() {
+				if g.Degree(s) != 5 {
+					t.Fatalf("torus switch degree %d", g.Degree(s))
+				}
+			}
+		}
+	}
+}
+
+func TestFatTreeHostCounts(t *testing.T) {
+	for _, tc := range []struct {
+		p    FatTreeParams
+		want int
+	}{
+		{FatTree16, 16}, {FatTree64, 64}, {FatTree128, 128},
+	} {
+		g := FatTree(tc.p, DefaultLAN)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(g.Hosts()); got != tc.want {
+			t.Fatalf("FatTree: %d hosts, want %d", got, tc.want)
+		}
+	}
+}
+
+func TestWANs(t *testing.T) {
+	ab := Abilene(10e9)
+	if err := ab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ab.Switches()) != 11 || len(ab.Hosts()) != 11 {
+		t.Fatalf("Abilene: %d switches, %d hosts", len(ab.Switches()), len(ab.Hosts()))
+	}
+	ge := Geant(10e9)
+	if err := ge.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ge.Switches()) != 22 {
+		t.Fatalf("GEANT: %d switches", len(ge.Switches()))
+	}
+}
+
+func TestStarAndDumbbell(t *testing.T) {
+	st := Star(8, DefaultLAN)
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g := st.MaxSwitchDegree(); g != 8 {
+		t.Fatalf("Star(8) switch degree %d", g)
+	}
+	db := Dumbbell(3, DefaultLAN, 1e9)
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Hosts()) != 6 {
+		t.Fatalf("Dumbbell hosts %d", len(db.Hosts()))
+	}
+}
+
+func TestRoutePathsValid(t *testing.T) {
+	g := FatTree(FatTree16, DefaultLAN)
+	hosts := g.Hosts()
+	var flows []FlowDef
+	id := 0
+	for i := 0; i < len(hosts); i++ {
+		for j := 0; j < len(hosts); j++ {
+			if i == j {
+				continue
+			}
+			flows = append(flows, FlowDef{FlowID: id, Src: hosts[i], Dst: hosts[j]})
+			id++
+		}
+	}
+	rt, err := g.Route(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flows {
+		path := rt.Paths[f.FlowID]
+		if path[0] != f.Src || path[len(path)-1] != f.Dst {
+			t.Fatalf("flow %d path endpoints %v", f.FlowID, path)
+		}
+		// Consecutive nodes must be adjacent.
+		for i := 0; i+1 < len(path); i++ {
+			adj := false
+			for _, p := range g.Ports[path[i]] {
+				if p.Peer == path[i+1] {
+					adj = true
+					break
+				}
+			}
+			if !adj {
+				t.Fatalf("flow %d: %d and %d not adjacent", f.FlowID, path[i], path[i+1])
+			}
+		}
+		// Intermediate nodes are switches.
+		for _, n := range path[1 : len(path)-1] {
+			if g.Kinds[n] != Switch {
+				t.Fatalf("flow %d routes through host %d", f.FlowID, n)
+			}
+		}
+	}
+}
+
+// Walking the forwarding tables from the source must reach the
+// destination, in both directions, for every topology in the paper.
+func TestForwardingTableWalk(t *testing.T) {
+	graphs := map[string]*Graph{
+		"line6":     Line(6, DefaultLAN),
+		"torus4x4":  Torus2D(4, 4, DefaultLAN),
+		"fattree16": FatTree(FatTree16, DefaultLAN),
+		"abilene":   Abilene(10e9),
+		"geant":     Geant(10e9),
+	}
+	for name, g := range graphs {
+		hosts := g.Hosts()
+		r := rng.New(7)
+		var flows []FlowDef
+		for f := 0; f < 30; f++ {
+			i, j := r.Intn(len(hosts)), r.Intn(len(hosts))
+			if i == j {
+				continue
+			}
+			flows = append(flows, FlowDef{FlowID: f, Src: hosts[i], Dst: hosts[j]})
+		}
+		rt, err := g.Route(flows)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		walk := func(flowID, src, dst int) {
+			cur := src
+			inPort := -1
+			for hops := 0; cur != dst; hops++ {
+				if hops > g.NumNodes() {
+					t.Fatalf("%s flow %d: loop detected", name, flowID)
+				}
+				var out int
+				if g.Kinds[cur] == Host {
+					out = 0 // hosts have exactly one port
+				} else {
+					out = rt.Lookup(cur, flowID, inPort)
+					if out < 0 {
+						t.Fatalf("%s flow %d: no route at node %d in-port %d", name, flowID, cur, inPort)
+					}
+				}
+				p := g.Ports[cur][out]
+				inPort = p.PeerPort
+				cur = p.Peer
+			}
+		}
+		for _, f := range flows {
+			walk(f.FlowID, f.Src, f.Dst)
+			walk(f.FlowID, f.Dst, f.Src) // echo leg
+		}
+	}
+}
+
+func TestRouteDeterministic(t *testing.T) {
+	g := Torus2D(4, 4, DefaultLAN)
+	hosts := g.Hosts()
+	flows := []FlowDef{{FlowID: 1, Src: hosts[0], Dst: hosts[9]}}
+	rt1, err := g.Route(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2, _ := g.Route(flows)
+	p1, p2 := rt1.Paths[1], rt2.Paths[1]
+	if len(p1) != len(p2) {
+		t.Fatal("nondeterministic path length")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("nondeterministic routing")
+		}
+	}
+}
+
+func TestRouteRejectsSelfFlow(t *testing.T) {
+	g := Line(2, DefaultLAN)
+	h := g.Hosts()
+	if _, err := g.Route([]FlowDef{{FlowID: 0, Src: h[0], Dst: h[0]}}); err == nil {
+		t.Fatal("expected error for self flow")
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	rt := &Routing{NextPort: map[int]map[PortFlowKey]int{}}
+	if p := rt.Lookup(5, 1, 0); p != -1 {
+		t.Fatalf("missing lookup returned %d", p)
+	}
+}
+
+// Property: shortest-path length from Route equals BFS distance.
+func TestRouteIsShortest(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		g := Torus2D(3+r.Intn(3), 3+r.Intn(3), DefaultLAN)
+		hosts := g.Hosts()
+		i, j := r.Intn(len(hosts)), r.Intn(len(hosts))
+		if i == j {
+			return true
+		}
+		rt, err := g.Route([]FlowDef{{FlowID: 0, Src: hosts[i], Dst: hosts[j]}})
+		if err != nil {
+			return false
+		}
+		dist := g.bfs(hosts[j])
+		return len(rt.Paths[0])-1 == dist[hosts[i]]
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectedAndValidateFailures(t *testing.T) {
+	g := New()
+	g.AddNode(Switch, "a")
+	g.AddNode(Switch, "b")
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected validation failure")
+	}
+}
+
+func TestReversePathsValid(t *testing.T) {
+	g := FatTree(FatTree16, DefaultLAN)
+	hosts := g.Hosts()
+	var flows []FlowDef
+	for i := range hosts {
+		flows = append(flows, FlowDef{FlowID: i + 1, Src: hosts[i],
+			Dst: hosts[(i+5)%len(hosts)]})
+	}
+	rt, err := g.Route(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flows {
+		rev := rt.PathsRev[f.FlowID]
+		if len(rev) == 0 {
+			t.Fatalf("flow %d has no reverse path", f.FlowID)
+		}
+		if rev[0] != f.Dst || rev[len(rev)-1] != f.Src {
+			t.Fatalf("flow %d reverse endpoints %v", f.FlowID, rev)
+		}
+		// The reverse path must be consistent with the installed
+		// forwarding entries (walk it through Lookup).
+		cur := f.Dst
+		inPort := -1
+		for i := 1; i < len(rev); i++ {
+			var out int
+			if g.Kinds[cur] == Host {
+				out = 0
+			} else {
+				out = rt.Lookup(cur, f.FlowID, inPort)
+				if out < 0 {
+					t.Fatalf("flow %d: reverse walk stuck at %d", f.FlowID, cur)
+				}
+			}
+			p := g.Ports[cur][out]
+			if p.Peer != rev[i] {
+				t.Fatalf("flow %d: PathsRev disagrees with forwarding at hop %d", f.FlowID, i)
+			}
+			inPort = p.PeerPort
+			cur = p.Peer
+		}
+	}
+}
+
+func TestLeafSpine(t *testing.T) {
+	g := LeafSpine(4, 2, 8, DefaultLAN)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Hosts()) != 32 {
+		t.Fatalf("%d hosts", len(g.Hosts()))
+	}
+	if len(g.Switches()) != 6 {
+		t.Fatalf("%d switches", len(g.Switches()))
+	}
+	// Any host pair is at most host-leaf-spine-leaf-host = 4 hops.
+	if d := g.Diameter(); d != 4 {
+		t.Fatalf("leaf-spine diameter %d, want 4", d)
+	}
+	// Leaves have spines + hosts ports; spines have leaves ports.
+	for _, s := range g.Switches() {
+		d := g.Degree(s)
+		if d != 4 && d != 10 {
+			t.Fatalf("unexpected switch degree %d", d)
+		}
+	}
+}

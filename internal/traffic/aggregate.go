@@ -1,0 +1,183 @@
+package traffic
+
+import (
+	"container/heap"
+	"math"
+
+	"deepqueuenet/internal/rng"
+)
+
+// Superpose merges several generators into one aggregate arrival process
+// (the superposition of sources), preserving global time order.
+type Superpose struct {
+	gens []Generator
+	h    arrivalHeap
+	now  float64
+}
+
+type arrival struct {
+	t    float64
+	size int
+	gen  int
+}
+
+type arrivalHeap []arrival
+
+func (h arrivalHeap) Len() int            { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(arrival)) }
+func (h *arrivalHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	a := old[n-1]
+	*h = old[:n-1]
+	return a
+}
+
+// NewSuperpose merges the given generators.
+func NewSuperpose(gens ...Generator) *Superpose {
+	s := &Superpose{gens: gens}
+	for i, g := range gens {
+		gap, size := g.NextArrival()
+		heap.Push(&s.h, arrival{t: gap, size: size, gen: i})
+	}
+	return s
+}
+
+// NextArrival implements Generator.
+func (s *Superpose) NextArrival() (float64, int) {
+	a := heap.Pop(&s.h).(arrival)
+	gap := a.t - s.now
+	s.now = a.t
+	ng, nsize := s.gens[a.gen].NextArrival()
+	heap.Push(&s.h, arrival{t: a.t + ng, size: nsize, gen: a.gen})
+	return gap, a.size
+}
+
+// paretoOnOff is one heavy-tailed on-off source: Pareto-distributed on
+// and off period durations with exponential intra-burst gaps. Aggregating
+// many such sources yields the long-range-dependent, self-similar
+// traffic observed in the BC-pAug89 Bellcore LAN trace.
+type paretoOnOff struct {
+	peakRate  float64
+	onShape   float64
+	offShape  float64
+	meanOn    float64
+	meanOff   float64
+	sizes     SizeModel
+	r         *rng.Rand
+	on        bool
+	remaining float64
+}
+
+func (p *paretoOnOff) drawOn() float64 {
+	xm := p.meanOn * (p.onShape - 1) / p.onShape
+	return p.r.Pareto(xm, p.onShape)
+}
+
+func (p *paretoOnOff) drawOff() float64 {
+	xm := p.meanOff * (p.offShape - 1) / p.offShape
+	return p.r.Pareto(xm, p.offShape)
+}
+
+// NextArrival implements Generator.
+func (p *paretoOnOff) NextArrival() (float64, int) {
+	gap := 0.0
+	for {
+		if p.remaining <= 0 {
+			if p.on {
+				p.remaining = p.drawOn()
+			} else {
+				p.remaining = p.drawOff()
+			}
+		}
+		if !p.on {
+			gap += p.remaining
+			p.remaining = 0
+			p.on = true
+			continue
+		}
+		d := p.r.Exp(p.peakRate)
+		if d <= p.remaining {
+			p.remaining -= d
+			gap += d
+			return gap, p.sizes.Next()
+		}
+		gap += p.remaining
+		p.remaining = 0
+		p.on = false
+	}
+}
+
+// NewBCLike builds the BC-pAug89 stand-in: the superposition of nSources
+// Pareto on-off sources (shape 1.4, the heavy-tail regime that produces
+// Hurst ≈ 0.8 self-similarity), calibrated to the given aggregate packet
+// rate, with LAN-like packet sizes.
+func NewBCLike(nSources int, aggregateRate float64, r *rng.Rand) Generator {
+	if nSources < 1 {
+		nSources = 16
+	}
+	perSource := aggregateRate / float64(nSources)
+	gens := make([]Generator, nSources)
+	for i := range gens {
+		rr := r.Split()
+		// Duty cycle meanOn/(meanOn+meanOff) = 1/3 → peak = 3× mean.
+		g := &paretoOnOff{
+			peakRate: perSource * 3,
+			onShape:  1.4, offShape: 1.4,
+			meanOn: 0.02, meanOff: 0.04,
+			sizes: &BimodalSize{Small: 64, Large: 1518, PSmall: 0.45, R: rr},
+			r:     rr,
+			on:    rr.Float64() < 0.33,
+		}
+		gens[i] = g
+	}
+	return NewSuperpose(gens...)
+}
+
+// lognormalIAT draws IATs from a lognormal (heavy-tailed but light
+// relative to Pareto), matching the character of the Anarchy Online game
+// traffic trace: small packets with bursty, correlated gaps.
+type lognormalIAT struct {
+	mu, sigma float64
+	sizes     SizeModel
+	r         *rng.Rand
+	burst     int // packets remaining in the current burst
+	burstGap  float64
+}
+
+// NextArrival implements Generator.
+func (l *lognormalIAT) NextArrival() (float64, int) {
+	if l.burst > 0 {
+		l.burst--
+		return l.burstGap, l.sizes.Next()
+	}
+	gap := l.r.LogNormal(l.mu, l.sigma)
+	// Occasionally open a short burst of closely spaced packets.
+	if l.r.Float64() < 0.25 {
+		l.burst = 1 + l.r.Intn(4)
+		l.burstGap = gap / 20
+	}
+	return gap, l.sizes.Next()
+}
+
+// NewAnarchyLike builds the Anarchy-trace stand-in: lognormal IATs with
+// sporadic bursts and game-like small packets, calibrated to the target
+// mean packet rate.
+func NewAnarchyLike(rate float64, r *rng.Rand) Generator {
+	sigma := 1.2
+	// Lognormal mean = exp(mu + sigma²/2); account for the extra burst
+	// packets (≈25% of base arrivals open a burst of mean 3 packets at
+	// negligible gap), which multiply the rate by ≈1.75.
+	if rate <= 0 {
+		panic("traffic: rate must be positive")
+	}
+	base := rate / 1.75
+	mu := -sigma*sigma/2 - math.Log(base)
+	return &lognormalIAT{
+		mu: mu, sigma: sigma,
+		sizes: &BimodalSize{Small: 98, Large: 580, PSmall: 0.8, R: r},
+		r:     r,
+	}
+}

@@ -1,0 +1,91 @@
+package traffic
+
+import "deepqueuenet/internal/rng"
+
+// PacketRateFor returns the packet rate (packets/s) that loads a link of
+// rateBps bits/s to the given load factor with the given mean packet size
+// in bytes: ρ·C / (8·E[S]).
+func PacketRateFor(load, rateBps, meanSizeBytes float64) float64 {
+	if load <= 0 || rateBps <= 0 || meanSizeBytes <= 0 {
+		panic("traffic: invalid calibration inputs")
+	}
+	return load * rateBps / (8 * meanSizeBytes)
+}
+
+// Model names a traffic generation family, matching the models the paper
+// evaluates generality over (§6.1).
+type Model int
+
+// Traffic generation models.
+const (
+	ModelPoisson Model = iota
+	ModelOnOff
+	ModelMAP
+	ModelBCLike
+	ModelAnarchyLike
+)
+
+// String returns the model name.
+func (m Model) String() string {
+	switch m {
+	case ModelPoisson:
+		return "Poisson"
+	case ModelOnOff:
+		return "OnOff"
+	case ModelMAP:
+		return "MAP"
+	case ModelBCLike:
+		return "BC-pAug89"
+	case ModelAnarchyLike:
+		return "Anarchy"
+	}
+	return "?"
+}
+
+// NewGenerator builds a generator of the given model calibrated to load ρ
+// on a link of rateBps with the given size model. The MAP model uses the
+// Appendix B.3 MAP(2) shape rescaled to the target rate.
+func NewGenerator(m Model, load, rateBps float64, sizes SizeModel, r *rng.Rand) Generator {
+	pps := PacketRateFor(load, rateBps, sizes.Mean())
+	switch m {
+	case ModelPoisson:
+		return NewPoisson(pps, sizes, r)
+	case ModelOnOff:
+		// Paper defaults: P(leave On)=0.2, P(leave Off)=0.5 per slot →
+		// mean runs of 5 and 2 slots, duty cycle 5/7. Peak rate is the
+		// mean rate divided by the duty cycle.
+		const duty = 5.0 / 7.0
+		return NewOnOff(pps/duty, 0.2, 0.5, 0, sizes, r)
+	case ModelMAP:
+		base := ExampleMAP2()
+		rate, err := base.Rate()
+		if err != nil {
+			panic(err)
+		}
+		return base.Scale(pps/rate).NewSampler(sizes, r)
+	case ModelBCLike:
+		return NewBCLike(16, pps, r)
+	case ModelAnarchyLike:
+		return NewAnarchyLike(pps, r)
+	}
+	panic("traffic: unknown model")
+}
+
+// MeasuredRate estimates a generator's mean packet rate and mean size by
+// drawing n arrivals (test/calibration helper).
+func MeasuredRate(g Generator, n int) (pps, meanSize float64) {
+	if n <= 0 {
+		n = 10000
+	}
+	total := 0.0
+	bytes := 0.0
+	for i := 0; i < n; i++ {
+		gap, size := g.NextArrival()
+		total += gap
+		bytes += float64(size)
+	}
+	if total == 0 {
+		return 0, bytes / float64(n)
+	}
+	return float64(n) / total, bytes / float64(n)
+}

@@ -1,0 +1,34 @@
+package traffic
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"deepqueuenet/internal/pcap"
+)
+
+// FromPCAP builds a replay generator from a classic-pcap capture,
+// matching the paper's TGUtil PCAP ingestion path (§3.1.1). When cyclic
+// is set the capture loops forever.
+func FromPCAP(r io.Reader, cyclic bool) (Generator, error) {
+	recs, err := pcap.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	gaps, sizes, err := pcap.ToArrivals(recs)
+	if err != nil {
+		return nil, err
+	}
+	return NewReplay(gaps, sizes, cyclic), nil
+}
+
+// FromPCAPFile opens path and builds a replay generator.
+func FromPCAPFile(path string, cyclic bool) (Generator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("traffic: opening pcap: %w", err)
+	}
+	defer f.Close()
+	return FromPCAP(f, cyclic)
+}

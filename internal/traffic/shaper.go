@@ -1,0 +1,46 @@
+package traffic
+
+// Shaped wraps a generator with a token-bucket shaper: emissions are
+// delayed so the long-term rate never exceeds RateBps and bursts never
+// exceed BurstBytes. This models host-side rate limiting, another TM
+// mechanism the device model can learn from traces.
+type Shaped struct {
+	Inner      Generator
+	RateBps    float64 // token fill rate (bits/s)
+	BurstBytes int     // bucket depth (bytes)
+
+	tokens float64 // current tokens (bytes)
+	inited bool
+}
+
+// NewShaped returns a token-bucket-shaped generator.
+func NewShaped(inner Generator, rateBps float64, burstBytes int) *Shaped {
+	if rateBps <= 0 || burstBytes <= 0 {
+		panic("traffic: shaper needs positive rate and burst")
+	}
+	return &Shaped{Inner: inner, RateBps: rateBps, BurstBytes: burstBytes}
+}
+
+// NextArrival implements Generator: arrivals that would overdraw the
+// bucket are postponed until enough tokens accumulate.
+func (s *Shaped) NextArrival() (float64, int) {
+	if !s.inited {
+		s.tokens = float64(s.BurstBytes)
+		s.inited = true
+	}
+	gap, size := s.Inner.NextArrival()
+	fill := s.RateBps / 8 // bytes per second
+	s.tokens += gap * fill
+	if s.tokens > float64(s.BurstBytes) {
+		s.tokens = float64(s.BurstBytes)
+	}
+	need := float64(size)
+	if s.tokens >= need {
+		s.tokens -= need
+		return gap, size
+	}
+	// Wait for the deficit to fill.
+	wait := (need - s.tokens) / fill
+	s.tokens = 0
+	return gap + wait, size
+}

@@ -1,0 +1,69 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"deepqueuenet/internal/rng"
+)
+
+func TestShapedEnforcesRate(t *testing.T) {
+	r := rng.New(1)
+	// Source offers 2x the shaped rate.
+	inner := NewPoisson(20000, ConstSize(1000), r)
+	shaped := NewShaped(inner, 80e6, 3000) // 80 Mb/s = 10000 pkt/s at 1000 B
+	pps, _ := MeasuredRate(shaped, 100000)
+	if pps > 10100 {
+		t.Fatalf("shaped rate %v exceeds the bucket rate", pps)
+	}
+	if pps < 9500 {
+		t.Fatalf("shaped rate %v far below the bucket rate under overload", pps)
+	}
+}
+
+func TestShapedPassthroughUnderRate(t *testing.T) {
+	r := rng.New(2)
+	inner := NewPoisson(1000, ConstSize(100), r)
+	shaped := NewShaped(inner, 8e6, 10000) // 10000 pkt/s capacity
+	pps, _ := MeasuredRate(shaped, 50000)
+	if math.Abs(pps-1000)/1000 > 0.05 {
+		t.Fatalf("under-rate traffic distorted: %v", pps)
+	}
+}
+
+func TestShapedBurstBounded(t *testing.T) {
+	// A burst of back-to-back packets beyond the bucket depth must be
+	// spread to the token rate.
+	gaps := make([]float64, 20)
+	sizes := make([]int, 20)
+	for i := range gaps {
+		gaps[i] = 0 // all at once
+		sizes[i] = 1000
+	}
+	gaps[0] = 1 // give the bucket time to be full at the first packet
+	shaped := NewShaped(NewReplay(gaps, sizes, false), 8e6, 2000)
+	// First two packets fit the 2000-byte bucket; the rest must each
+	// wait 1000 B / 1 MB/s = 1 ms.
+	total := 0.0
+	var times []float64
+	for i := 0; i < 20; i++ {
+		gap, _ := shaped.NextArrival()
+		total += gap
+		times = append(times, total)
+	}
+	for i := 3; i < 20; i++ {
+		d := times[i] - times[i-1]
+		if math.Abs(d-0.001) > 1e-9 {
+			t.Fatalf("post-bucket spacing %v at %d, want 1 ms", d, i)
+		}
+	}
+}
+
+func TestShapedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad shaper params")
+		}
+	}()
+	NewShaped(NewReplay([]float64{1}, []int{1}, true), 0, 100)
+}

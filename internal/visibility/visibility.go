@@ -1,0 +1,175 @@
+// Package visibility implements trace-analysis queries over per-device
+// packet traces — the packet-level visibility that distinguishes
+// DeepQueueNet (and DES) from end-to-end estimators (§1, §2.3). Because
+// the simulation output is a packet trace per device, questions like
+// "which device introduces the most delay to a flow" or "where is the
+// bottleneck of the topology given a traffic pattern" are post-hoc
+// queries, never retraining.
+package visibility
+
+import (
+	"sort"
+
+	"deepqueuenet/internal/des"
+	"deepqueuenet/internal/metrics"
+)
+
+// DeviceReport summarizes one device's traffic and delay contribution.
+type DeviceReport struct {
+	Device      int
+	Packets     int
+	Drops       int
+	Bytes       int
+	MeanSojourn float64
+	P99Sojourn  float64
+	// Utilization estimates the device's busiest-egress utilization:
+	// transmitted bytes over the observation span at the port line rate
+	// (needs rateBps > 0 and a non-degenerate span).
+	Utilization float64
+}
+
+// DeviceBreakdown computes per-device reports from visit traces, sorted
+// by mean sojourn (worst first). rateBps, when positive, enables the
+// utilization estimate.
+func DeviceBreakdown(visits map[int][]des.Visit, rateBps float64) []DeviceReport {
+	var out []DeviceReport
+	for dev, vs := range visits {
+		if len(vs) == 0 {
+			continue
+		}
+		rep := DeviceReport{Device: dev}
+		var sojourns []float64
+		portBytes := map[int]int{}
+		lo, hi := vs[0].Arrive, vs[0].Arrive
+		for _, v := range vs {
+			if v.Dropped {
+				rep.Drops++
+				continue
+			}
+			rep.Packets++
+			rep.Bytes += v.Size
+			sojourns = append(sojourns, v.Sojourn())
+			portBytes[v.OutPort] += v.Size
+			if v.Arrive < lo {
+				lo = v.Arrive
+			}
+			if v.Depart > hi {
+				hi = v.Depart
+			}
+		}
+		if len(sojourns) == 0 {
+			continue
+		}
+		rep.MeanSojourn = metrics.Mean(sojourns)
+		rep.P99Sojourn = metrics.Percentile(sojourns, 99)
+		if rateBps > 0 && hi > lo {
+			maxBytes := 0
+			for _, b := range portBytes {
+				if b > maxBytes {
+					maxBytes = b
+				}
+			}
+			rep.Utilization = float64(maxBytes*8) / (rateBps * (hi - lo))
+		}
+		out = append(out, rep)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MeanSojourn != out[j].MeanSojourn {
+			return out[i].MeanSojourn > out[j].MeanSojourn
+		}
+		return out[i].Device < out[j].Device
+	})
+	return out
+}
+
+// Bottleneck returns the device with the largest mean sojourn, or -1
+// when there are no visits.
+func Bottleneck(visits map[int][]des.Visit) int {
+	reports := DeviceBreakdown(visits, 0)
+	if len(reports) == 0 {
+		return -1
+	}
+	return reports[0].Device
+}
+
+// HopContribution is one device's share of a flow's end-to-end delay.
+type HopContribution struct {
+	Device      int
+	Packets     int
+	MeanSojourn float64
+	Share       float64 // fraction of the flow's summed mean sojourns
+}
+
+// FlowBreakdown decomposes a flow's delay across the devices it
+// traverses: "which device introduces the most delay to this flow".
+func FlowBreakdown(visits map[int][]des.Visit, flowID int) []HopContribution {
+	var out []HopContribution
+	total := 0.0
+	for dev, vs := range visits {
+		var sojourns []float64
+		for _, v := range vs {
+			if v.FlowID == flowID && !v.Dropped {
+				sojourns = append(sojourns, v.Sojourn())
+			}
+		}
+		if len(sojourns) == 0 {
+			continue
+		}
+		m := metrics.Mean(sojourns)
+		out = append(out, HopContribution{Device: dev, Packets: len(sojourns), MeanSojourn: m})
+		total += m
+	}
+	if total > 0 {
+		for i := range out {
+			out[i].Share = out[i].MeanSojourn / total
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MeanSojourn != out[j].MeanSojourn {
+			return out[i].MeanSojourn > out[j].MeanSojourn
+		}
+		return out[i].Device < out[j].Device
+	})
+	return out
+}
+
+// FlowVolume is one flow's traffic contribution at a device or network.
+type FlowVolume struct {
+	FlowID  int
+	Packets int
+	Bytes   int
+}
+
+// HeavyHitters ranks flows by bytes observed across all devices
+// (counting each traversal, so multi-hop flows weigh their footprint).
+func HeavyHitters(visits map[int][]des.Visit, topN int) []FlowVolume {
+	agg := map[int]*FlowVolume{}
+	for _, vs := range visits {
+		for _, v := range vs {
+			if v.Dropped {
+				continue
+			}
+			f := agg[v.FlowID]
+			if f == nil {
+				f = &FlowVolume{FlowID: v.FlowID}
+				agg[v.FlowID] = f
+			}
+			f.Packets++
+			f.Bytes += v.Size
+		}
+	}
+	out := make([]FlowVolume, 0, len(agg))
+	for _, f := range agg {
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].FlowID < out[j].FlowID
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package visibility
+
+import (
+	"math"
+	"testing"
+
+	"deepqueuenet/internal/des"
+)
+
+func sampleVisits() map[int][]des.Visit {
+	return map[int][]des.Visit{
+		// Device 1: fast, flow 7 only.
+		1: {
+			{PktID: 1, FlowID: 7, Size: 100, OutPort: 0, Arrive: 0.0, Depart: 0.001},
+			{PktID: 2, FlowID: 7, Size: 100, OutPort: 0, Arrive: 0.1, Depart: 0.101},
+		},
+		// Device 2: slow, both flows, one drop.
+		2: {
+			{PktID: 1, FlowID: 7, Size: 100, OutPort: 1, Arrive: 0.0, Depart: 0.01},
+			{PktID: 3, FlowID: 8, Size: 400, OutPort: 1, Arrive: 0.05, Depart: 0.07},
+			{PktID: 4, FlowID: 8, Size: 400, OutPort: 1, Dropped: true, Arrive: 0.06},
+		},
+	}
+}
+
+func TestDeviceBreakdownOrderingAndCounts(t *testing.T) {
+	reports := DeviceBreakdown(sampleVisits(), 0)
+	if len(reports) != 2 {
+		t.Fatalf("%d reports", len(reports))
+	}
+	// Device 2 has the larger mean sojourn and sorts first.
+	if reports[0].Device != 2 || reports[1].Device != 1 {
+		t.Fatalf("order %+v", reports)
+	}
+	if reports[0].Packets != 2 || reports[0].Drops != 1 {
+		t.Fatalf("device 2 counts %+v", reports[0])
+	}
+	if math.Abs(reports[0].MeanSojourn-0.015) > 1e-12 {
+		t.Fatalf("device 2 mean %v", reports[0].MeanSojourn)
+	}
+	if reports[1].Bytes != 200 {
+		t.Fatalf("device 1 bytes %d", reports[1].Bytes)
+	}
+}
+
+func TestUtilizationEstimate(t *testing.T) {
+	visits := map[int][]des.Visit{
+		1: {
+			{PktID: 1, Size: 1000, OutPort: 0, Arrive: 0, Depart: 0.5},
+			{PktID: 2, Size: 1000, OutPort: 0, Arrive: 0.5, Depart: 1.0},
+		},
+	}
+	// 2000 B over 1 s at 16 kb/s line rate → utilization 1.0.
+	reports := DeviceBreakdown(visits, 16000)
+	if math.Abs(reports[0].Utilization-1.0) > 1e-9 {
+		t.Fatalf("utilization %v", reports[0].Utilization)
+	}
+}
+
+func TestBottleneck(t *testing.T) {
+	if b := Bottleneck(sampleVisits()); b != 2 {
+		t.Fatalf("bottleneck %d, want 2", b)
+	}
+	if b := Bottleneck(nil); b != -1 {
+		t.Fatalf("empty bottleneck %d", b)
+	}
+}
+
+func TestFlowBreakdownShares(t *testing.T) {
+	hops := FlowBreakdown(sampleVisits(), 7)
+	if len(hops) != 2 {
+		t.Fatalf("%d hops", len(hops))
+	}
+	// Device 2 contributes 0.01 mean, device 1 contributes 0.001.
+	if hops[0].Device != 2 {
+		t.Fatalf("worst hop %+v", hops[0])
+	}
+	total := hops[0].Share + hops[1].Share
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("shares sum to %v", total)
+	}
+	if hops[0].Share < 0.9 {
+		t.Fatalf("dominant hop share %v", hops[0].Share)
+	}
+	// Unknown flow: empty.
+	if got := FlowBreakdown(sampleVisits(), 999); len(got) != 0 {
+		t.Fatalf("unknown flow got %+v", got)
+	}
+}
+
+func TestHeavyHitters(t *testing.T) {
+	hh := HeavyHitters(sampleVisits(), 0)
+	if len(hh) != 2 {
+		t.Fatalf("%d flows", len(hh))
+	}
+	// Flow 7: 3 traversals x 100 B = 300 B; flow 8: 1 x 400 B (drop
+	// excluded) = 400 B.
+	if hh[0].FlowID != 8 || hh[0].Bytes != 400 {
+		t.Fatalf("top flow %+v", hh[0])
+	}
+	if hh[1].FlowID != 7 || hh[1].Packets != 3 {
+		t.Fatalf("second flow %+v", hh[1])
+	}
+	if got := HeavyHitters(sampleVisits(), 1); len(got) != 1 {
+		t.Fatalf("topN not applied: %d", len(got))
+	}
+}

@@ -1,0 +1,177 @@
+package workloads
+
+import (
+	"testing"
+	"testing/quick"
+
+	"deepqueuenet/internal/topo"
+)
+
+func hostsOf(g *topo.Graph) map[int]bool {
+	m := map[int]bool{}
+	for _, h := range g.Hosts() {
+		m[h] = true
+	}
+	return m
+}
+
+func checkFlows(t *testing.T, g *topo.Graph, flows []topo.FlowDef) {
+	t.Helper()
+	hosts := hostsOf(g)
+	seen := map[int]bool{}
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Fatalf("self flow %+v", f)
+		}
+		if !hosts[f.Src] || !hosts[f.Dst] {
+			t.Fatalf("non-host endpoint %+v", f)
+		}
+		if seen[f.FlowID] {
+			t.Fatalf("duplicate flow ID %d", f.FlowID)
+		}
+		seen[f.FlowID] = true
+	}
+}
+
+func TestPermutationCoversAllHosts(t *testing.T) {
+	g := topo.FatTree(topo.FatTree16, topo.DefaultLAN)
+	flows, err := Build(g, Spec{Pattern: Permutation, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFlows(t, g, flows)
+	if len(flows) != 16 {
+		t.Fatalf("%d flows", len(flows))
+	}
+	srcs := map[int]bool{}
+	for _, f := range flows {
+		srcs[f.Src] = true
+	}
+	if len(srcs) != 16 {
+		t.Fatal("not every host sends")
+	}
+}
+
+func TestStride(t *testing.T) {
+	g := topo.Line(6, topo.DefaultLAN)
+	flows, err := Build(g, Spec{Pattern: Stride, StrideBy: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFlows(t, g, flows)
+	hosts := g.Hosts()
+	if flows[0].Src != hosts[0] || flows[0].Dst != hosts[2] {
+		t.Fatalf("stride mapping %+v", flows[0])
+	}
+	// Stride multiple of N is degenerate.
+	if _, err := Build(g, Spec{Pattern: Stride, StrideBy: 6}); err == nil {
+		t.Fatal("degenerate stride accepted")
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	g := topo.Star(4, topo.DefaultLAN)
+	flows, err := Build(g, Spec{Pattern: AllToAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFlows(t, g, flows)
+	if len(flows) != 4*3 {
+		t.Fatalf("%d flows", len(flows))
+	}
+}
+
+func TestIncast(t *testing.T) {
+	g := topo.Star(5, topo.DefaultLAN)
+	flows, err := Build(g, Spec{Pattern: Incast, Victim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFlows(t, g, flows)
+	victim := g.Hosts()[2]
+	if len(flows) != 4 {
+		t.Fatalf("%d flows", len(flows))
+	}
+	for _, f := range flows {
+		if f.Dst != victim {
+			t.Fatalf("incast flow to %d", f.Dst)
+		}
+	}
+	// Incast sharing concentrates on the victim's link.
+	_, sh, err := Analyze(g, flows, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.MaxFlowsPerLink != 4 {
+		t.Fatalf("incast max sharing %d, want 4", sh.MaxFlowsPerLink)
+	}
+}
+
+func TestHotspot(t *testing.T) {
+	g := topo.FatTree(topo.FatTree16, topo.DefaultLAN)
+	flows, err := Build(g, Spec{Pattern: Hotspot, Seed: 5, HotFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFlows(t, g, flows)
+	victim := g.Hosts()[0]
+	hot := 0
+	for _, f := range flows {
+		if f.Dst == victim {
+			hot++
+		}
+	}
+	if hot < 6 || hot > 9 {
+		t.Fatalf("%d hotspot flows of %d", hot, len(flows))
+	}
+}
+
+func TestAnalyzeEchoDoublesDirections(t *testing.T) {
+	g := topo.Line(3, topo.DefaultLAN)
+	flows, err := Build(g, Spec{Pattern: Stride, StrideBy: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, noEcho, err := Analyze(g, flows, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, withEcho, err := Analyze(g, flows, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withEcho.MaxFlowsPerLink < noEcho.MaxFlowsPerLink {
+		t.Fatalf("echo reduced sharing: %d vs %d", withEcho.MaxFlowsPerLink, noEcho.MaxFlowsPerLink)
+	}
+	if withEcho.Links < noEcho.Links {
+		t.Fatalf("echo reduced link coverage")
+	}
+}
+
+// Property: every pattern yields valid, routable flows on a torus.
+func TestAllPatternsRoutable(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		g := topo.Torus2D(3, 3, topo.DefaultLAN)
+		for _, p := range []Pattern{Permutation, Stride, AllToAll, Incast, Hotspot} {
+			flows, err := Build(g, Spec{Pattern: p, Seed: seed})
+			if err != nil {
+				return false
+			}
+			if _, _, err := Analyze(g, flows, true); err != nil {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTooFewHosts(t *testing.T) {
+	g := topo.New()
+	g.AddNode(topo.Host, "h")
+	if _, err := Build(g, Spec{Pattern: Permutation}); err == nil {
+		t.Fatal("single-host pattern accepted")
+	}
+}
