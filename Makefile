@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race vet check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Short-mode race pass is quick; the full race suite trains models.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the CI gate: static analysis plus the full suite under the
+# race detector (the shard fan-out and DLib are the concurrency-bearing
+# paths it watches).
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -34,6 +34,7 @@ package deepqueuenet
 import (
 	"deepqueuenet/internal/core"
 	"deepqueuenet/internal/des"
+	"deepqueuenet/internal/guard"
 	"deepqueuenet/internal/metrics"
 	"deepqueuenet/internal/ptm"
 	"deepqueuenet/internal/topo"
@@ -65,7 +66,8 @@ var (
 	FatTree128 = topo.FatTree128
 )
 
-// Topology builders.
+// Topology builders. These panic on invalid parameters; the Build*
+// variants below are the error-returning forms for library consumers.
 var (
 	Line      = topo.Line
 	Torus2D   = topo.Torus2D
@@ -75,6 +77,23 @@ var (
 	Geant     = topo.Geant
 	Star      = topo.Star
 	Dumbbell  = topo.Dumbbell
+)
+
+// Error-returning topology builders: constructor panics are converted to
+// errors and the resulting graph is validated (so e.g. zero-rate
+// LinkParams fail at build time with a descriptive error).
+var (
+	BuildLine      = topo.BuildLine
+	BuildTorus2D   = topo.BuildTorus2D
+	BuildFatTree   = topo.BuildFatTree
+	BuildLeafSpine = topo.BuildLeafSpine
+	BuildAbilene   = topo.BuildAbilene
+	BuildGeant     = topo.BuildGeant
+	BuildStar      = topo.BuildStar
+	BuildDumbbell  = topo.BuildDumbbell
+	// BuildTopology converts any panicking graph-construction function
+	// into an error-returning, validated build.
+	BuildTopology = topo.Try
 )
 
 // Scheduler configuration re-exports.
@@ -174,6 +193,30 @@ type (
 	FlowSpec = core.FlowSpec
 	// DLib stores trained device models.
 	DLib = core.DLib
+	// EngineDeviceModel abstracts the per-device model the engine
+	// drives; implement it to plug in alternative inference backends
+	// via SimConfig.DeviceFor.
+	EngineDeviceModel = core.DeviceModel
+	// PTMDeviceModel adapts a *DeviceModel (PTM) to EngineDeviceModel.
+	PTMDeviceModel = core.PTMModel
+)
+
+// Robustness re-exports: the structured errors RunContext and Run return
+// on cancellation, shard panics, and divergence.
+type (
+	// ShardError is a panic recovered inside one inference shard.
+	ShardError = guard.ShardError
+	// DivergenceError reports a non-converging IRSA run with its delta
+	// trace.
+	DivergenceError = guard.DivergenceError
+)
+
+// Cancellation sentinels: errors returned by (*Simulation).RunContext
+// match these via errors.Is when the context is canceled or its deadline
+// passes. The underlying context error stays in the chain.
+var (
+	ErrCanceled = guard.ErrCanceled
+	ErrDeadline = guard.ErrDeadline
 )
 
 // NewDLib returns an empty device model library.

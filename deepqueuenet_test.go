@@ -1,10 +1,13 @@
 package deepqueuenet_test
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
 	dqn "deepqueuenet"
+	"deepqueuenet/internal/ptm"
 	"deepqueuenet/internal/rng"
 )
 
@@ -100,5 +103,44 @@ func TestFacadeTrafficHelpers(t *testing.T) {
 	sizes := dqn.ConstSize(500)
 	if sizes.Mean() != 500 {
 		t.Fatal("const size")
+	}
+}
+
+// TestFacadeFailureSemantics exercises the robustness surface end to
+// end: error-returning builders, zero-rate rejection, and cancellation
+// sentinels.
+func TestFacadeFailureSemantics(t *testing.T) {
+	if _, err := dqn.BuildLine(1, dqn.DefaultLAN); err == nil {
+		t.Fatal("BuildLine(1) must return an error, not panic")
+	}
+	if _, err := dqn.BuildStar(4, dqn.LinkParams{RateBps: 0, Delay: 1e-6}); err == nil {
+		t.Fatal("zero-rate links must fail at build time")
+	}
+	g, err := dqn.BuildLine(3, dqn.DefaultLAN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts()
+	rt, err := g.Route([]dqn.FlowDef{{FlowID: 1, Src: hosts[0], Dst: hosts[2]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := ptm.New(dqn.DeviceArch{TimeSteps: 8, Margin: 2, Embed: 4,
+		BLSTM1: 4, BLSTM2: 4, Heads: 1, DK: 2, DV: 2, HeadOut: 4}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.TargetMax = 1
+	sim, err := dqn.NewSimulation(g, rt, dqn.SimConfig{
+		Sched: dqn.SchedConfig{Kind: dqn.FIFO}, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.AddFlow(dqn.FlowSpec{FlowID: 1, Src: hosts[0], Dst: hosts[2],
+		Gen: dqn.NewTrafficGenerator(dqn.ModelPoisson, 0.2, 10e9, dqn.ConstSize(800), rng.New(7))})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sim.RunContext(ctx, 0.001); !errors.Is(err, dqn.ErrCanceled) {
+		t.Fatalf("want dqn.ErrCanceled, got %v", err)
 	}
 }

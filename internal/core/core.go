@@ -44,6 +44,11 @@ type Config struct {
 	Model *ptm.PTM
 	// ModelFor returns a per-switch model (nil to use Model).
 	ModelFor func(switchID int) *ptm.PTM
+	// DeviceFor returns a per-switch DeviceModel implementation,
+	// overriding Model/ModelFor for that switch (nil to fall through).
+	// This is the seam for alternative inference backends and for fault
+	// injection in tests.
+	DeviceFor func(switchID int) DeviceModel
 	// Shards is the number of parallel inference shards ("GPUs").
 	// 0 means 1.
 	Shards int
@@ -67,6 +72,11 @@ type Config struct {
 	// even on a single-CPU host where wall-clock parallel speedup is
 	// physically impossible.
 	MeasureShards bool
+	// DivergePatience is the number of consecutive iterations the
+	// convergence delta may grow before the divergence watchdog aborts
+	// the run with a DivergenceError. 0 uses guard.DefaultPatience;
+	// NaN/Inf deltas abort immediately regardless.
+	DivergePatience int
 }
 
 // hop is one device traversal on a packet's path.
@@ -108,13 +118,16 @@ type Sim struct {
 	flows []FlowSpec
 }
 
-// NewSim validates and creates a simulation (the SInit stage).
+// NewSim validates and creates a simulation (the SInit stage). The
+// topology is structurally validated here — in particular a zero- or
+// negative-rate link, which would otherwise produce +Inf transmission
+// times during inference, is rejected with a descriptive error.
 func NewSim(g *topo.Graph, rt *topo.Routing, cfg Config) (*Sim, error) {
-	if cfg.Model == nil && cfg.ModelFor == nil {
+	if cfg.Model == nil && cfg.ModelFor == nil && cfg.DeviceFor == nil {
 		return nil, errors.New("core: no device model configured")
 	}
 	if err := g.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: invalid topology: %w", err)
 	}
 	if cfg.Model != nil {
 		if d := g.MaxSwitchDegree(); cfg.Model.NumPorts < d {
@@ -145,7 +158,19 @@ type Result struct {
 	// ShardWork is the per-shard compute time accumulated over all
 	// iterations (filled when Config.MeasureShards is set).
 	ShardWork []float64
+	// DegradedDevices lists (sorted) the devices whose PTM was missing
+	// or failed validation and that therefore ran the exact
+	// transmission-time + FIFO-serialization fallback model. A non-empty
+	// set means the run completed with reduced accuracy on those devices
+	// rather than failing.
+	DegradedDevices []int
+	// DegradedReasons explains, per degraded device, why its model was
+	// rejected.
+	DegradedReasons map[int]string
 }
+
+// Degraded reports whether any device ran the fallback model.
+func (r *Result) Degraded() bool { return len(r.DegradedDevices) > 0 }
 
 // PathDelays mirrors des.Network.PathDelays for metric comparison.
 func (r *Result) PathDelays(rtt bool) metrics.PathSamples {

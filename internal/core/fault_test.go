@@ -1,0 +1,385 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deepqueuenet/internal/des"
+	"deepqueuenet/internal/guard"
+	"deepqueuenet/internal/ptm"
+	"deepqueuenet/internal/topo"
+	"deepqueuenet/internal/traffic"
+)
+
+// panicModel is a DeviceModel that explodes on first use.
+type panicModel struct{}
+
+func (m *panicModel) PredictStream([]ptm.PacketIn, des.SchedKind, float64, int) []float64 {
+	panic("mock ptm exploded")
+}
+func (m *panicModel) CloneModel() DeviceModel { return m }
+func (m *panicModel) Ports() int              { return 0 }
+func (m *panicModel) Validate() error         { return nil }
+
+// inflatingModel doubles its predicted sojourns on every call: a learned
+// model destabilizing over the inference horizon. Shared across clones
+// (CloneModel returns the receiver) so growth accumulates across
+// iterations; use with Shards <= 1.
+type inflatingModel struct{ sojourn float64 }
+
+func (m *inflatingModel) PredictStream(stream []ptm.PacketIn, _ des.SchedKind, _ float64, _ int) []float64 {
+	m.sojourn *= 2
+	out := make([]float64, len(stream))
+	for i := range out {
+		out[i] = m.sojourn
+	}
+	return out
+}
+func (m *inflatingModel) CloneModel() DeviceModel { return m }
+func (m *inflatingModel) Ports() int              { return 0 }
+func (m *inflatingModel) Validate() error         { return nil }
+
+// cancelingModel cancels the run's context during its first prediction
+// and counts calls, modeling a cancellation that lands mid-iteration.
+type cancelingModel struct {
+	cancel context.CancelFunc
+	calls  atomic.Int64
+}
+
+func (m *cancelingModel) PredictStream(stream []ptm.PacketIn, _ des.SchedKind, rateBps float64, _ int) []float64 {
+	if m.calls.Add(1) == 1 {
+		m.cancel()
+	}
+	out := make([]float64, len(stream))
+	for i := range out {
+		out[i] = float64(stream[i].Size*8) / rateBps
+	}
+	return out
+}
+func (m *cancelingModel) CloneModel() DeviceModel { return m }
+func (m *cancelingModel) Ports() int              { return 0 }
+func (m *cancelingModel) Validate() error         { return nil }
+
+// nanModel returns a valid-looking tinyModel poisoned with a NaN weight.
+func nanModel(ports int) *ptm.PTM {
+	m := tinyModel(ports)
+	m.Net.Params()[0].W.Data[0] = math.NaN()
+	return m
+}
+
+func addTestFlow(sim *Sim, hosts []int) {
+	sim.AddFlow(FlowSpec{FlowID: 1, Src: hosts[0], Dst: hosts[2],
+		Gen: traffic.NewReplay([]float64{1e-6, 1e-6, 1e-6, 1e-6}, []int{100, 200, 100, 200}, true)})
+}
+
+func TestShardPanicIsolated(t *testing.T) {
+	bad := &panicModel{}
+	victim := -1
+	sim, hosts := lineSim(t, Config{
+		Sched: des.SchedConfig{Kind: des.FIFO},
+		DeviceFor: func(sw int) DeviceModel {
+			if victim < 0 {
+				victim = sw // first switch asked for becomes the victim
+			}
+			if sw == victim {
+				return bad
+			}
+			return nil
+		},
+	})
+	addTestFlow(sim, hosts)
+	res, err := sim.Run(0.001)
+	if err == nil {
+		t.Fatal("panicking device model must surface as an error")
+	}
+	var se *guard.ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *guard.ShardError, got %T: %v", err, err)
+	}
+	if se.Device != victim {
+		t.Fatalf("ShardError device %d, want %d", se.Device, victim)
+	}
+	if se.Panic == nil || len(se.Stack) == 0 {
+		t.Fatalf("ShardError missing diagnostics: %+v", se)
+	}
+	if res == nil {
+		t.Fatal("partial result must accompany the shard error")
+	}
+}
+
+func TestShardPanicIsolatedMeasureShards(t *testing.T) {
+	// The sequential (MeasureShards) execution path recovers too.
+	sim, hosts := lineSim(t, Config{
+		Sched:         des.SchedConfig{Kind: des.FIFO},
+		MeasureShards: true,
+		DeviceFor:     func(int) DeviceModel { return &panicModel{} },
+	})
+	addTestFlow(sim, hosts)
+	_, err := sim.Run(0.001)
+	var se *guard.ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *guard.ShardError, got %v", err)
+	}
+}
+
+func TestCancellationStopsWithinOneIteration(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m := &cancelingModel{cancel: cancel}
+	sim, hosts := lineSim(t, Config{
+		Sched:      des.SchedConfig{Kind: des.FIFO},
+		Iterations: 100,
+		DeviceFor:  func(int) DeviceModel { return m },
+	})
+	addTestFlow(sim, hosts)
+	res, err := sim.RunContext(ctx, 0.001)
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("want guard.ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("underlying context error lost: %v", err)
+	}
+	if res == nil {
+		t.Fatal("canceled run must return the partial result")
+	}
+	if res.Iterations > 2 {
+		t.Fatalf("cancel mid-iteration 0 ran %d iterations, want <= 2 of 100", res.Iterations)
+	}
+}
+
+func TestDeadlineBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	sim, hosts := lineSim(t, Config{Sched: des.SchedConfig{Kind: des.FIFO}})
+	addTestFlow(sim, hosts)
+	_, err := sim.RunContext(ctx, 0.001)
+	if !errors.Is(err, guard.ErrDeadline) {
+		t.Fatalf("want guard.ErrDeadline, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("underlying deadline error lost: %v", err)
+	}
+}
+
+func TestDivergenceWatchdogTrips(t *testing.T) {
+	m := &inflatingModel{sojourn: 1e-6}
+	sim, hosts := lineSim(t, Config{
+		Sched:      des.SchedConfig{Kind: des.FIFO},
+		Iterations: 60,
+		Damping:    1, // undamped: let the inflation feed straight through
+		DeviceFor:  func(int) DeviceModel { return m },
+	})
+	addTestFlow(sim, hosts)
+	res, err := sim.Run(0.001)
+	var de *guard.DivergenceError
+	if !errors.As(err, &de) {
+		t.Fatalf("want *guard.DivergenceError, got %v (res iters %v)", err, res)
+	}
+	if len(de.Trace) == 0 {
+		t.Fatal("DivergenceError must carry the delta trace")
+	}
+	if res.Iterations >= 60 {
+		t.Fatalf("watchdog must abort before maxIter, ran %d", res.Iterations)
+	}
+	for _, d := range de.Trace {
+		if math.IsNaN(d) {
+			return // NaN abort is fine too
+		}
+	}
+	last := de.Trace[len(de.Trace)-1]
+	if last <= de.Trace[0] {
+		t.Fatalf("trace should show growth: %v", de.Trace)
+	}
+}
+
+func TestNaNSojournTripsWatchdog(t *testing.T) {
+	nan := &inflatingModel{sojourn: math.NaN()}
+	sim, hosts := lineSim(t, Config{
+		Sched:      des.SchedConfig{Kind: des.FIFO},
+		Iterations: 60,
+		DeviceFor:  func(int) DeviceModel { return nan },
+	})
+	addTestFlow(sim, hosts)
+	_, err := sim.Run(0.001)
+	var de *guard.DivergenceError
+	if !errors.As(err, &de) {
+		t.Fatalf("NaN sojourns must trip the watchdog, got %v", err)
+	}
+	if !strings.Contains(de.Reason, "non-finite") {
+		t.Fatalf("reason should flag the non-finite delta: %q", de.Reason)
+	}
+}
+
+func TestInvalidModelDegradesDevice(t *testing.T) {
+	g := topo.Line(3, topo.DefaultLAN)
+	hosts := g.Hosts()
+	rt, err := g.Route([]topo.FlowDef{{FlowID: 1, Src: hosts[0], Dst: hosts[2]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := g.Switches()[1]
+	sim, err := NewSim(g, rt, Config{
+		Sched: des.SchedConfig{Kind: des.FIFO},
+		Model: tinyModel(4),
+		ModelFor: func(sw int) *ptm.PTM {
+			if sw == bad {
+				return nanModel(4)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addTestFlow(sim, hosts)
+	res, err := sim.Run(0.001)
+	if err != nil {
+		t.Fatalf("one invalid PTM must degrade, not fail: %v", err)
+	}
+	if !res.Degraded() || len(res.DegradedDevices) != 1 || res.DegradedDevices[0] != bad {
+		t.Fatalf("degraded set %v, want [%d]", res.DegradedDevices, bad)
+	}
+	if !strings.Contains(res.DegradedReasons[bad], "non-finite") {
+		t.Fatalf("reason should name the validation failure: %q", res.DegradedReasons[bad])
+	}
+	if len(res.Deliveries) == 0 {
+		t.Fatal("degraded run must still deliver packets")
+	}
+	for _, d := range res.Deliveries {
+		if math.IsNaN(d.RecvTime) || math.IsInf(d.RecvTime, 0) {
+			t.Fatalf("degraded run produced non-finite delivery: %+v", d)
+		}
+	}
+}
+
+func TestMissingModelDegradesDevice(t *testing.T) {
+	g := topo.Line(3, topo.DefaultLAN)
+	hosts := g.Hosts()
+	rt, err := g.Route([]topo.FlowDef{{FlowID: 1, Src: hosts[0], Dst: hosts[2]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := g.Switches()[0]
+	sim, err := NewSim(g, rt, Config{
+		Sched: des.SchedConfig{Kind: des.FIFO},
+		ModelFor: func(sw int) *ptm.PTM {
+			if sw == covered {
+				return tinyModel(4)
+			}
+			return nil // every other switch has no model at all
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addTestFlow(sim, hosts)
+	res, err := sim.Run(0.001)
+	if err != nil {
+		t.Fatalf("missing per-device models must degrade, not fail: %v", err)
+	}
+	if len(res.DegradedDevices) != 2 {
+		t.Fatalf("degraded set %v, want the 2 uncovered switches", res.DegradedDevices)
+	}
+	for _, d := range res.DegradedDevices {
+		if d == covered {
+			t.Fatalf("covered switch %d wrongly degraded (%v)", covered, res.DegradedReasons)
+		}
+	}
+}
+
+func TestUndersizedPerDeviceModelDegrades(t *testing.T) {
+	// A per-device override trained for fewer ports than the switch
+	// degree degrades that switch instead of producing garbage features.
+	g := topo.Line(3, topo.DefaultLAN)
+	hosts := g.Hosts()
+	rt, _ := g.Route([]topo.FlowDef{{FlowID: 1, Src: hosts[0], Dst: hosts[2]}})
+	mid := g.Switches()[1] // degree 3: two neighbours + host
+	small := tinyModel(2)
+	sim, err := NewSim(g, rt, Config{
+		Sched: des.SchedConfig{Kind: des.FIFO},
+		Model: tinyModel(4),
+		ModelFor: func(sw int) *ptm.PTM {
+			if sw == mid {
+				return small
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addTestFlow(sim, hosts)
+	res, err := sim.Run(0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DegradedDevices) != 1 || res.DegradedDevices[0] != mid {
+		t.Fatalf("degraded set %v, want [%d]: %v", res.DegradedDevices, mid, res.DegradedReasons)
+	}
+}
+
+func TestZeroRateLinkRejectedAtNewSim(t *testing.T) {
+	g := topo.New()
+	s0 := g.AddNode(topo.Switch, "s0")
+	s1 := g.AddNode(topo.Switch, "s1")
+	h0 := g.AddNode(topo.Host, "h0")
+	h1 := g.AddNode(topo.Host, "h1")
+	g.Connect(h0, s0, topo.DefaultLAN.RateBps, topo.DefaultLAN.Delay)
+	g.Connect(s0, s1, 0, topo.DefaultLAN.Delay) // the broken link
+	g.Connect(s1, h1, topo.DefaultLAN.RateBps, topo.DefaultLAN.Delay)
+	rt := &topo.Routing{}
+	_, err := NewSim(g, rt, Config{Model: tinyModel(4)})
+	if err == nil {
+		t.Fatal("zero-rate link must be rejected at NewSim")
+	}
+	if !strings.Contains(err.Error(), "rate must be positive") {
+		t.Fatalf("error should explain the zero-rate link: %v", err)
+	}
+}
+
+func TestCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sim, hosts := lineSim(t, Config{Sched: des.SchedConfig{Kind: des.FIFO}})
+	addTestFlow(sim, hosts)
+	res, err := sim.RunContext(ctx, 0.001)
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("want guard.ErrCanceled, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("even a pre-start cancel returns a non-nil (empty) result")
+	}
+	if len(res.Deliveries) != 0 || res.Iterations != 0 {
+		t.Fatalf("pre-start cancel must return an empty result, got %d deliveries, %d iterations",
+			len(res.Deliveries), res.Iterations)
+	}
+}
+
+func TestDeterministicDeliveryOrder(t *testing.T) {
+	run := func() *Result {
+		sim, hosts := lineSim(t, Config{Sched: des.SchedConfig{Kind: des.FIFO}, Echo: true, Shards: 4})
+		// Two flows with identical timing force RecvTime ties.
+		sim.AddFlow(FlowSpec{FlowID: 1, Src: hosts[0], Dst: hosts[2],
+			Gen: traffic.NewReplay([]float64{1e-6, 1e-6, 1e-6}, []int{100, 100, 100}, true)})
+		res, err := sim.Run(0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Deliveries) != len(b.Deliveries) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(a.Deliveries), len(b.Deliveries))
+	}
+	for i := range a.Deliveries {
+		if a.Deliveries[i] != b.Deliveries[i] {
+			t.Fatalf("delivery %d differs between identical runs:\n%+v\n%+v",
+				i, a.Deliveries[i], b.Deliveries[i])
+		}
+	}
+}

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sort"
 	"sync"
 	"time"
 
 	"deepqueuenet/internal/des"
+	"deepqueuenet/internal/guard"
 	"deepqueuenet/internal/ptm"
 )
 
@@ -21,6 +24,26 @@ type entry struct {
 // most diameter(G) iterations are needed; Run stops earlier once no
 // departure estimate moves by more than ConvergeEps.
 func (s *Sim) Run(duration float64) (*Result, error) {
+	return s.RunContext(context.Background(), duration)
+}
+
+// RunContext is Run with cooperative cancellation: ctx is checked
+// between IRSA iterations and between devices inside each shard loop, so
+// a cancel or deadline stops the run within one device inference. On
+// cancellation it returns the partial Result assembled from the current
+// estimates together with an error matching guard.ErrCanceled or
+// guard.ErrDeadline (and the underlying context error).
+//
+// Three further failure modes surface as errors instead of process
+// faults: a panic inside a shard goroutine is recovered into a
+// *guard.ShardError; a diverging or NaN-poisoned delta sequence aborts
+// with a *guard.DivergenceError carrying the delta trace; and a device
+// whose model is missing or fails validation is degraded to the exact
+// FIFO-serialization fallback and listed in Result.DegradedDevices.
+func (s *Sim) RunContext(ctx context.Context, duration float64) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return &Result{}, guard.FromContext(err)
+	}
 	pkts, err := s.genPackets(duration)
 	if err != nil {
 		return nil, err
@@ -64,16 +87,9 @@ func (s *Sim) Run(duration float64) (*Result, error) {
 	}
 	propagate(pkts)
 
-	// SEC ablation: strip the correction bins from working copies.
-	modelOf := func(sw int) *ptm.PTM {
-		m := s.modelOf(sw)
-		if m != nil && s.Cfg.NoSEC && len(m.SECBins) > 0 {
-			c := *m
-			c.SECBins = nil
-			return &c
-		}
-		return m
-	}
+	// Resolve and validate every switch's model once; devices with a
+	// missing or invalid model degrade to the exact FIFO fallback.
+	devModels, degraded := s.resolveDeviceModels(devices, byDevice, pkts)
 
 	shardSets := PartitionDevices(devices, func(d int) int { return len(byDevice[d]) }, shards)
 
@@ -108,12 +124,34 @@ func (s *Sim) Run(duration float64) (*Result, error) {
 		}
 	}
 	shardWork := make([]float64, len(shardSets))
-	shardClones := make([]map[*ptm.PTM]*ptm.PTM, len(shardSets))
+	shardClones := make([]map[DeviceModel]DeviceModel, len(shardSets))
 	for i := range shardClones {
-		shardClones[i] = make(map[*ptm.PTM]*ptm.PTM)
+		shardClones[i] = make(map[DeviceModel]DeviceModel)
 	}
+	// finish assembles the (possibly partial) Result from the current
+	// estimates — also the exit path for canceled and failed runs, so
+	// callers get the partial trace alongside the error for diagnosis.
 	iters := 0
+	finish := func(err error) (*Result, error) {
+		res := s.collect(pkts, byDevice, iters, diameter, maxIter)
+		if s.Cfg.MeasureShards {
+			res.ShardWork = shardWork
+		}
+		res.DegradedReasons = degraded
+		for d := range degraded {
+			res.DegradedDevices = append(res.DegradedDevices, d)
+		}
+		sort.Ints(res.DegradedDevices)
+		return res, err
+	}
+	watchdog := &guard.Watchdog{Patience: s.Cfg.DivergePatience}
+	// One error slot per shard: each worker writes only its own slot, so
+	// panic reports need no lock.
+	shardErrs := make([]error, len(shardSets))
 	for iter := 0; iter < maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return finish(guard.FromContext(err))
+		}
 		iters++
 		if damping < 1 {
 			for i, p := range pkts {
@@ -126,9 +164,7 @@ func (s *Sim) Run(duration float64) (*Result, error) {
 			// host core count.
 			for si, shard := range shardSets {
 				t0 := time.Now()
-				for _, d := range shard {
-					s.inferDevice(d, byDevice[d], pkts, shardClones[si], modelOf)
-				}
+				shardErrs[si] = s.runShard(ctx, iter, si, shard, byDevice, pkts, devModels, shardClones[si])
 				shardWork[si] += time.Since(t0).Seconds()
 			}
 		} else {
@@ -137,12 +173,16 @@ func (s *Sim) Run(duration float64) (*Result, error) {
 				wg.Add(1)
 				go func(si int, shard []int) {
 					defer wg.Done()
-					for _, d := range shard {
-						s.inferDevice(d, byDevice[d], pkts, shardClones[si], modelOf)
-					}
+					shardErrs[si] = s.runShard(ctx, iter, si, shard, byDevice, pkts, devModels, shardClones[si])
 				}(si, shard)
 			}
 			wg.Wait()
+		}
+		if err := errors.Join(shardErrs...); err != nil {
+			return finish(err)
+		}
+		if err := ctx.Err(); err != nil {
+			return finish(guard.FromContext(err))
 		}
 		if damping < 1 && iter > 0 {
 			// Skip damping on the first iteration: the initial estimate
@@ -156,26 +196,62 @@ func (s *Sim) Run(duration float64) (*Result, error) {
 		}
 
 		delta := propagate(pkts)
+		if err := watchdog.Observe(iter, delta); err != nil {
+			return finish(err)
+		}
 		if delta <= eps {
 			break
 		}
 	}
 
-	res := s.collect(pkts, byDevice, iters, diameter, maxIter)
-	if s.Cfg.MeasureShards {
-		res.ShardWork = shardWork
+	return finish(nil)
+}
+
+// runShard infers every device of one shard, stopping early on
+// cancellation and recovering any panic into a *guard.ShardError so a
+// crashing device model cannot take down the process.
+func (s *Sim) runShard(ctx context.Context, iter, si int, shard []int,
+	byDevice map[int][]entry, pkts []*packet,
+	devModels map[int]DeviceModel, clones map[DeviceModel]DeviceModel) error {
+
+	for _, d := range shard {
+		if ctx.Err() != nil {
+			return nil // the caller maps ctx.Err() to the cancel error
+		}
+		if err := s.inferDeviceGuarded(iter, si, d, byDevice[d], pkts, devModels[d], clones); err != nil {
+			return err
+		}
 	}
-	return res, nil
+	return nil
+}
+
+// inferDeviceGuarded runs inferDevice with panic isolation.
+func (s *Sim) inferDeviceGuarded(iter, si, dev int, entries []entry, pkts []*packet,
+	model DeviceModel, clones map[DeviceModel]DeviceModel) (err error) {
+
+	defer func() {
+		if se := guard.Recovered(si, dev, iter, recover()); se != nil {
+			err = se
+		}
+	}()
+	s.inferDevice(dev, entries, pkts, model, clones)
+	return nil
 }
 
 // propagate recomputes per-packet arrival estimates from the current
 // sojourns and returns the largest change in any final departure time.
+// A NaN or ±Inf estimate is returned as-is (not swallowed by the max
+// comparison) so the divergence watchdog sees the poisoning immediately.
 func propagate(pkts []*packet) float64 {
 	maxDelta := 0.0
 	for _, p := range pkts {
 		t := p.create
 		for h := range p.hops {
-			if d := math.Abs(p.arrive[h] - t); d > maxDelta {
+			d := math.Abs(p.arrive[h] - t)
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				return d
+			}
+			if d > maxDelta {
 				maxDelta = d
 			}
 			p.arrive[h] = t
@@ -187,16 +263,18 @@ func propagate(pkts []*packet) float64 {
 
 // inferDevice recomputes the sojourn of every packet traversal of one
 // device from the current arrival estimates: exact FIFO serialization
-// for host egresses, PTM inference per egress port for switches.
+// for host egresses, PTM inference per egress port for switches. A
+// switch without a usable model (nil here = degraded) runs the exact
+// serialization fallback on every egress port.
 func (s *Sim) inferDevice(dev int, entries []entry, pkts []*packet,
-	clones map[*ptm.PTM]*ptm.PTM, modelOf func(int) *ptm.PTM) {
+	model DeviceModel, clones map[DeviceModel]DeviceModel) {
 
 	if len(entries) == 0 {
 		return
 	}
 	first := pkts[entries[0].pkt].hops[entries[0].hop]
 	if first.isHost {
-		inferHostEgress(entries, pkts)
+		serializeFIFO(entries, pkts)
 		return
 	}
 	// Group traversals by egress port (the PFM already mixed ingress
@@ -206,18 +284,25 @@ func (s *Sim) inferDevice(dev int, entries []entry, pkts []*packet,
 		out := pkts[e.pkt].hops[e.hop].outPort
 		byPort[out] = append(byPort[out], e)
 	}
-	base := modelOf(dev)
-	model := clones[base]
-	if model == nil {
-		model = base.Clone()
-		clones[base] = model
-	}
-	sched := s.schedOf(dev)
 	ports := make([]int, 0, len(byPort))
 	for p := range byPort {
 		ports = append(ports, p)
 	}
 	sort.Ints(ports)
+	if model == nil {
+		// Degraded device: exact transmission + FIFO queueing per egress
+		// port — the availability-preserving fallback.
+		for _, port := range ports {
+			serializeFIFO(byPort[port], pkts)
+		}
+		return
+	}
+	rep := clones[model]
+	if rep == nil {
+		rep = model.CloneModel()
+		clones[model] = rep
+	}
+	sched := s.schedOf(dev)
 	for _, port := range ports {
 		es := byPort[port]
 		sort.Slice(es, func(a, b int) bool {
@@ -237,17 +322,19 @@ func (s *Sim) inferDevice(dev int, entries []entry, pkts []*packet,
 				InPort: p.hops[e.hop].inPort, Class: p.class, Weight: p.weight,
 			}
 		}
-		sojourns := model.PredictStream(stream, sched.Kind, rate, 1)
+		sojourns := rep.PredictStream(stream, sched.Kind, rate, 1)
 		for i, e := range es {
 			pkts[e.pkt].sojourn[e.hop] = sojourns[i]
 		}
 	}
 }
 
-// inferHostEgress computes exact FIFO serialization at a host's single
-// egress port (a known, deterministic TM — no DNN needed, mirroring the
-// paper's exactly-solvable link model).
-func inferHostEgress(entries []entry, pkts []*packet) {
+// serializeFIFO computes exact FIFO serialization over one egress
+// port's traversals (a known, deterministic TM — no DNN needed,
+// mirroring the paper's exactly-solvable link model). It serves host
+// egresses and, per port, the graceful-degradation fallback for switches
+// whose PTM is missing or invalid.
+func serializeFIFO(entries []entry, pkts []*packet) {
 	es := append([]entry(nil), entries...)
 	sort.Slice(es, func(a, b int) bool {
 		pa, pb := pkts[es[a].pkt], pkts[es[b].pkt]
@@ -299,7 +386,17 @@ func (s *Sim) collect(pkts []*packet, byDevice map[int][]entry, iters, diameter,
 		}
 	}
 	sort.Slice(res.Deliveries, func(i, j int) bool {
-		return res.Deliveries[i].RecvTime < res.Deliveries[j].RecvTime
+		a, b := res.Deliveries[i], res.Deliveries[j]
+		if a.RecvTime != b.RecvTime {
+			return a.RecvTime < b.RecvTime
+		}
+		if a.PktID != b.PktID {
+			// Secondary key: deliveries that tie on RecvTime order by
+			// packet ID so repeated runs produce byte-identical traces.
+			return a.PktID < b.PktID
+		}
+		// A packet's one-way and echo records can tie too: one-way first.
+		return !a.IsRTT && b.IsRTT
 	})
 	for d, es := range byDevice {
 		vs := make([]des.Visit, 0, len(es))
@@ -313,7 +410,12 @@ func (s *Sim) collect(pkts []*packet, byDevice map[int][]entry, iters, diameter,
 				Arrive: p.arrive[e.hop], Depart: p.arrive[e.hop] + p.sojourn[e.hop],
 			})
 		}
-		sort.Slice(vs, func(i, j int) bool { return vs[i].Arrive < vs[j].Arrive })
+		sort.Slice(vs, func(i, j int) bool {
+			if vs[i].Arrive != vs[j].Arrive {
+				return vs[i].Arrive < vs[j].Arrive
+			}
+			return vs[i].PktID < vs[j].PktID // deterministic tie-break
+		})
 		res.DeviceVisits[d] = vs
 	}
 	return res

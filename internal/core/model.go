@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"deepqueuenet/internal/des"
+	"deepqueuenet/internal/ptm"
+)
+
+// DeviceModel abstracts the trained per-device TM model the engine
+// drives: sojourn prediction over one egress-port stream, goroutine-safe
+// cloning for shard parallelism, the training device degree, and
+// structural validation. *ptm.PTM is the canonical implementation (via
+// PTMModel); alternative backends and fault-injection mocks implement it
+// directly.
+//
+// Implementations must be comparable (pointer receivers or small structs
+// of comparable fields): the engine keys its per-shard clone cache on the
+// DeviceModel value.
+type DeviceModel interface {
+	// PredictStream predicts the sojourn time of every packet of one
+	// per-egress-port ingress stream, sorted by arrival time.
+	PredictStream(stream []ptm.PacketIn, kind des.SchedKind, rateBps float64, workers int) []float64
+	// CloneModel returns an independent copy safe to use from another
+	// goroutine. Implementations without mutable inference state may
+	// return the receiver.
+	CloneModel() DeviceModel
+	// Ports returns the training device degree K (a K-port model serves
+	// devices of degree <= K). 0 means unconstrained.
+	Ports() int
+	// Validate reports whether the model is structurally sound. The
+	// engine degrades devices whose model fails validation to the exact
+	// FIFO-serialization fallback instead of running them.
+	Validate() error
+}
+
+// PTMModel adapts a *ptm.PTM to the DeviceModel interface.
+type PTMModel struct{ *ptm.PTM }
+
+// CloneModel implements DeviceModel.
+func (m PTMModel) CloneModel() DeviceModel { return PTMModel{m.PTM.Clone()} }
+
+// Ports implements DeviceModel.
+func (m PTMModel) Ports() int { return m.PTM.NumPorts }
+
+// resolveModel returns the device model for switch sw: Cfg.DeviceFor
+// first, then the PTM resolution chain (ModelFor, Model) wrapped in
+// PTMModel with the NoSEC ablation applied. It returns nil when no model
+// is configured for the device.
+func (s *Sim) resolveModel(sw int) DeviceModel {
+	if s.Cfg.DeviceFor != nil {
+		if m := s.Cfg.DeviceFor(sw); m != nil {
+			return m
+		}
+	}
+	m := s.modelOf(sw)
+	if m == nil {
+		return nil
+	}
+	if s.Cfg.NoSEC && len(m.SECBins) > 0 {
+		// SEC ablation: strip the correction bins from a working copy.
+		c := *m
+		c.SECBins = nil
+		m = &c
+	}
+	return PTMModel{m}
+}
+
+// resolveDeviceModels validates the model of every switch device once
+// per run. Devices with a missing or invalid model, or a model trained
+// for fewer ports than the device's degree, are degraded: they fall back
+// to the exact transmission-time + FIFO-serialization device model, and
+// the reason is recorded so Result can report the degraded set. Distinct
+// devices sharing one model validate it once.
+func (s *Sim) resolveDeviceModels(devices []int, byDevice map[int][]entry, pkts []*packet) (map[int]DeviceModel, map[int]string) {
+	models := make(map[int]DeviceModel, len(devices))
+	degraded := make(map[int]string)
+	validated := make(map[DeviceModel]error)
+	for _, d := range devices {
+		es := byDevice[d]
+		if len(es) == 0 || pkts[es[0].pkt].hops[es[0].hop].isHost {
+			continue // hosts use the exact link model, no PTM involved
+		}
+		m := s.resolveModel(d)
+		if m == nil {
+			degraded[d] = "no device model configured"
+			continue
+		}
+		verr, seen := validated[m]
+		if !seen {
+			verr = m.Validate()
+			validated[m] = verr
+		}
+		if verr != nil {
+			degraded[d] = verr.Error()
+			continue
+		}
+		if k := m.Ports(); k > 0 && d < s.G.NumNodes() && s.G.Degree(d) > k {
+			degraded[d] = fmt.Sprintf("model trained for %d ports cannot drive degree-%d device",
+				k, s.G.Degree(d))
+			continue
+		}
+		models[d] = m
+	}
+	return models, degraded
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sort"
+	"testing"
+)
+
+// partitionInvariants checks the structural contract of PartitionDevices:
+// every device appears in exactly one shard, and the LPT balance property
+// holds — no shard's load exceeds the lightest shard's load by more than
+// one largest work item (otherwise LPT would have placed that item on the
+// lighter shard).
+func partitionInvariants(t *testing.T, devices []int, work func(int) int, shards [][]int) {
+	t.Helper()
+	seen := make(map[int]int)
+	for _, sh := range shards {
+		for _, d := range sh {
+			seen[d]++
+		}
+	}
+	if len(seen) != len(devices) {
+		t.Fatalf("partition covers %d devices, want %d", len(seen), len(devices))
+	}
+	maxItem := 0
+	for _, d := range devices {
+		if seen[d] != 1 {
+			t.Fatalf("device %d appears %d times", d, seen[d])
+		}
+		if w := work(d); w > maxItem {
+			maxItem = w
+		}
+	}
+	loads := make([]int, len(shards))
+	for i, sh := range shards {
+		for _, d := range sh {
+			loads[i] += work(d)
+		}
+	}
+	sort.Ints(loads)
+	if len(loads) > 1 && loads[len(loads)-1]-loads[0] > maxItem {
+		t.Fatalf("imbalance %d exceeds largest item %d (loads %v)",
+			loads[len(loads)-1]-loads[0], maxItem, loads)
+	}
+}
+
+func TestPartitionDevicesMoreShardsThanDevices(t *testing.T) {
+	devices := []int{3, 1, 2}
+	work := func(d int) int { return d }
+	shards := PartitionDevices(devices, work, 8)
+	if len(shards) != 8 {
+		t.Fatalf("want 8 shards, got %d", len(shards))
+	}
+	partitionInvariants(t, devices, work, shards)
+	empty := 0
+	for _, sh := range shards {
+		if len(sh) == 0 {
+			empty++
+		}
+	}
+	if empty != 5 {
+		t.Fatalf("3 devices over 8 shards must leave 5 empty, got %d", empty)
+	}
+}
+
+func TestPartitionDevicesEmpty(t *testing.T) {
+	work := func(int) int { return 1 }
+	for _, n := range []int{1, 4} {
+		shards := PartitionDevices(nil, work, n)
+		if len(shards) != n {
+			t.Fatalf("n=%d: got %d shards", n, len(shards))
+		}
+		for _, sh := range shards {
+			if len(sh) != 0 {
+				t.Fatalf("n=%d: empty input yielded non-empty shard %v", n, sh)
+			}
+		}
+	}
+}
+
+func TestPartitionDevicesSingleShard(t *testing.T) {
+	devices := []int{5, 2, 9}
+	shards := PartitionDevices(devices, func(int) int { return 1 }, 1)
+	if len(shards) != 1 || len(shards[0]) != 3 {
+		t.Fatalf("single shard must hold everything: %v", shards)
+	}
+	// n <= 1 must not alias the caller's slice.
+	shards[0][0] = -1
+	if devices[0] == -1 {
+		t.Fatal("PartitionDevices aliased the input slice")
+	}
+}
+
+func TestPartitionDevicesAllEqualWork(t *testing.T) {
+	devices := make([]int, 12)
+	for i := range devices {
+		devices[i] = i
+	}
+	work := func(int) int { return 7 }
+	shards := PartitionDevices(devices, work, 4)
+	partitionInvariants(t, devices, work, shards)
+	for i, sh := range shards {
+		if len(sh) != 3 {
+			t.Fatalf("equal work must split evenly, shard %d has %d devices", i, len(sh))
+		}
+	}
+}
+
+func TestPartitionDevicesSkewedWork(t *testing.T) {
+	// One giant device plus many small ones: the giant must sit alone-ish
+	// and the imbalance stays within one item.
+	devices := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	work := func(d int) int {
+		if d == 0 {
+			return 100
+		}
+		return 3
+	}
+	shards := PartitionDevices(devices, work, 3)
+	partitionInvariants(t, devices, work, shards)
+	for _, sh := range shards {
+		for _, d := range sh {
+			if d == 0 && len(sh) != 1 {
+				t.Fatalf("giant device must be alone on its shard, got %v", sh)
+			}
+		}
+	}
+}
+
+func TestPartitionDevicesZeroWork(t *testing.T) {
+	devices := []int{1, 2, 3, 4}
+	work := func(int) int { return 0 }
+	shards := PartitionDevices(devices, work, 2)
+	partitionInvariants(t, devices, work, shards)
+}

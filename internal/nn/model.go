@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -150,11 +151,14 @@ func (s *Sequential) Marshal() ([]byte, error) {
 	return json.Marshal(sm)
 }
 
-// Unmarshal reconstructs a model from Marshal output.
+// Unmarshal reconstructs a model from Marshal output. Unknown fields
+// are rejected so a corrupted or foreign file fails loudly at load time.
 func Unmarshal(data []byte) (*Sequential, error) {
 	var sm savedModel
-	if err := json.Unmarshal(data, &sm); err != nil {
-		return nil, err
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sm); err != nil {
+		return nil, fmt.Errorf("nn: decoding model: %w", err)
 	}
 	m, err := Build(sm.Specs, 1)
 	if err != nil {

@@ -1,8 +1,11 @@
 package ptm
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sync"
@@ -240,8 +243,14 @@ func (p *PTM) FitSEC(preds, truths []float64) {
 	p.SECBins = dbscan.Bins(preds, resid, span*0.02, minPts)
 }
 
+// SchemaVersion is the current on-disk model schema. Files written
+// before versioning carry no "schema" field and decode as version 0;
+// both 0 and SchemaVersion are accepted, anything newer is rejected.
+const SchemaVersion = 1
+
 // savedPTM is the JSON form of a PTM.
 type savedPTM struct {
+	Version   int             `json:"schema,omitempty"`
 	Net       json.RawMessage `json:"net"`
 	Feat      *MinMax         `json:"feat"`
 	TargetMin float64         `json:"target_min"`
@@ -259,30 +268,107 @@ func (p *PTM) Marshal() ([]byte, error) {
 		return nil, err
 	}
 	return json.Marshal(savedPTM{
-		Net: netData, Feat: p.Feat,
+		Version: SchemaVersion,
+		Net:     netData, Feat: p.Feat,
 		TargetMin: p.TargetMin, TargetMax: p.TargetMax,
 		TimeSteps: p.TimeSteps, Margin: p.Margin,
 		NumPorts: p.NumPorts, SECBins: p.SECBins,
 	})
 }
 
-// Unmarshal reconstructs a PTM from Marshal output.
+// Unmarshal reconstructs a PTM from Marshal output. Unknown fields and
+// unsupported schema versions are rejected; the decoded model is
+// structurally validated before being returned.
 func Unmarshal(data []byte) (*PTM, error) {
 	var sp savedPTM
-	if err := json.Unmarshal(data, &sp); err != nil {
-		return nil, err
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		return nil, fmt.Errorf("ptm: decoding model: %w", err)
+	}
+	if sp.Version > SchemaVersion {
+		return nil, fmt.Errorf("ptm: model schema version %d is newer than supported version %d",
+			sp.Version, SchemaVersion)
 	}
 	if sp.TimeSteps <= 0 {
-		return nil, errors.New("ptm: invalid saved model")
+		return nil, errors.New("ptm: invalid saved model: non-positive window size")
 	}
 	net, err := nn.Unmarshal(sp.Net)
 	if err != nil {
 		return nil, err
 	}
-	return &PTM{Net: net, Feat: sp.Feat, TargetMin: sp.TargetMin,
+	p := &PTM{Net: net, Feat: sp.Feat, TargetMin: sp.TargetMin,
 		TargetMax: sp.TargetMax, TimeSteps: sp.TimeSteps, Margin: sp.Margin,
-		NumPorts: sp.NumPorts, SECBins: sp.SECBins}, nil
+		NumPorts: sp.NumPorts, SECBins: sp.SECBins}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
+
+// Validate checks the structural soundness of a model: a usable window
+// configuration, a feature scaler matching the engineered feature width,
+// finite weights, scaler statistics, target range, and SEC bins. A model
+// that fails Validate would produce NaN or out-of-range sojourns at
+// inference time; the engine degrades such devices instead of running
+// them.
+func (p *PTM) Validate() error {
+	if p == nil {
+		return errors.New("ptm: nil model")
+	}
+	if p.Net == nil {
+		return errors.New("ptm: model has no network")
+	}
+	if p.TimeSteps <= 0 {
+		return fmt.Errorf("ptm: non-positive window size %d", p.TimeSteps)
+	}
+	if p.Margin < 0 || 2*p.Margin >= p.TimeSteps {
+		return fmt.Errorf("ptm: margin %d incompatible with window size %d (need 0 <= 2*margin < window)",
+			p.Margin, p.TimeSteps)
+	}
+	if p.NumPorts < 1 {
+		return fmt.Errorf("ptm: invalid training port count %d", p.NumPorts)
+	}
+	if !isFinite(p.TargetMin) || !isFinite(p.TargetMax) {
+		return fmt.Errorf("ptm: non-finite target range [%v, %v]", p.TargetMin, p.TargetMax)
+	}
+	if p.TargetMax < p.TargetMin {
+		return fmt.Errorf("ptm: inverted target range [%v, %v]", p.TargetMin, p.TargetMax)
+	}
+	if p.Feat != nil {
+		if len(p.Feat.Min) != NumFeatures || len(p.Feat.Max) != NumFeatures {
+			return fmt.Errorf("ptm: feature scaler width %d/%d, want %d",
+				len(p.Feat.Min), len(p.Feat.Max), NumFeatures)
+		}
+		for j := range p.Feat.Min {
+			if !isFinite(p.Feat.Min[j]) || !isFinite(p.Feat.Max[j]) {
+				return fmt.Errorf("ptm: non-finite scaler stats for feature %d", j)
+			}
+			if p.Feat.Max[j] < p.Feat.Min[j] {
+				return fmt.Errorf("ptm: inverted scaler range for feature %d", j)
+			}
+		}
+	}
+	if specs := p.Net.Specs(); len(specs) > 0 && specs[0].Kind == "dense" && specs[0].In != NumFeatures {
+		return fmt.Errorf("ptm: network input width %d, want %d features", specs[0].In, NumFeatures)
+	}
+	for pi, par := range p.Net.Params() {
+		for _, w := range par.W.Data {
+			if !isFinite(w) {
+				return fmt.Errorf("ptm: non-finite weight in parameter tensor %d", pi)
+			}
+		}
+	}
+	for i, b := range p.SECBins {
+		if !isFinite(b.Lo) || !isFinite(b.Hi) || !isFinite(b.MeanValue) {
+			return fmt.Errorf("ptm: non-finite SEC bin %d", i)
+		}
+	}
+	return nil
+}
+
+// isFinite reports whether v is neither NaN nor ±Inf.
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // Save writes the PTM to a file.
 func (p *PTM) Save(path string) error {
@@ -293,13 +379,18 @@ func (p *PTM) Save(path string) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-// Load reads a PTM from a file.
+// Load reads a PTM from a file. Read, decode, and validation failures
+// are wrapped with the offending path.
 func Load(path string) (*PTM, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("ptm: load %s: %w", path, err)
 	}
-	return Unmarshal(data)
+	p, err := Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("ptm: load %s: %w", path, err)
+	}
+	return p, nil
 }
 
 // Clone returns an independent copy sharing no mutable state (for

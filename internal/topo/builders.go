@@ -274,3 +274,62 @@ func LeafSpine(leaves, spines, hostsPerLeaf int, lp LinkParams) *Graph {
 	}
 	return g
 }
+
+// Try runs a topology constructor, converting constructor panics into
+// errors and validating the resulting graph (so invalid LinkParams —
+// e.g. a zero rate — surface as a descriptive error at build time). It
+// is the error-returning path library consumers should prefer over the
+// panicking builders above.
+func Try(build func() *Graph) (g *Graph, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			g = nil
+			err = fmt.Errorf("topo: builder failed: %v", r)
+		}
+	}()
+	g = build()
+	if verr := g.Validate(); verr != nil {
+		return nil, verr
+	}
+	return g, nil
+}
+
+// BuildLine is the error-returning form of Line.
+func BuildLine(n int, lp LinkParams) (*Graph, error) {
+	return Try(func() *Graph { return Line(n, lp) })
+}
+
+// BuildTorus2D is the error-returning form of Torus2D.
+func BuildTorus2D(rows, cols int, lp LinkParams) (*Graph, error) {
+	return Try(func() *Graph { return Torus2D(rows, cols, lp) })
+}
+
+// BuildFatTree is the error-returning form of FatTree.
+func BuildFatTree(p FatTreeParams, lp LinkParams) (*Graph, error) {
+	return Try(func() *Graph { return FatTree(p, lp) })
+}
+
+// BuildLeafSpine is the error-returning form of LeafSpine.
+func BuildLeafSpine(leaves, spines, hostsPerLeaf int, lp LinkParams) (*Graph, error) {
+	return Try(func() *Graph { return LeafSpine(leaves, spines, hostsPerLeaf, lp) })
+}
+
+// BuildStar is the error-returning form of Star.
+func BuildStar(n int, lp LinkParams) (*Graph, error) {
+	return Try(func() *Graph { return Star(n, lp) })
+}
+
+// BuildDumbbell is the error-returning form of Dumbbell.
+func BuildDumbbell(n int, lp LinkParams, bottleneckRate float64) (*Graph, error) {
+	return Try(func() *Graph { return Dumbbell(n, lp, bottleneckRate) })
+}
+
+// BuildAbilene is the error-returning form of Abilene.
+func BuildAbilene(rate float64) (*Graph, error) {
+	return Try(func() *Graph { return Abilene(rate) })
+}
+
+// BuildGeant is the error-returning form of Geant.
+func BuildGeant(rate float64) (*Graph, error) {
+	return Try(func() *Graph { return Geant(rate) })
+}

@@ -292,7 +292,8 @@ func (g *Graph) Validate() error {
 				return fmt.Errorf("topo: asymmetric edge %d:%d <-> %d:%d", n, pi, p.Peer, p.PeerPort)
 			}
 			if p.RateBps <= 0 {
-				return fmt.Errorf("topo: node %d port %d: non-positive rate", n, pi)
+				return fmt.Errorf("topo: node %d (%s) port %d: link rate must be positive, got %g bps (a zero-rate link would make transmission times infinite)",
+					n, g.Names[n], pi, p.RateBps)
 			}
 			if p.Delay < 0 {
 				return fmt.Errorf("topo: node %d port %d: negative delay", n, pi)

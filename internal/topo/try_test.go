@@ -1,0 +1,73 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTryConvertsPanicToError(t *testing.T) {
+	g, err := BuildLine(1, DefaultLAN) // Line needs >= 2 switches
+	if err == nil {
+		t.Fatal("BuildLine(1) must fail")
+	}
+	if g != nil {
+		t.Fatal("failed build must return a nil graph")
+	}
+	if !strings.Contains(err.Error(), "at least 2") {
+		t.Fatalf("error lost the builder's diagnostic: %v", err)
+	}
+}
+
+func TestTryValidGraph(t *testing.T) {
+	g, err := BuildLine(3, DefaultLAN)
+	if err != nil {
+		t.Fatalf("BuildLine(3): %v", err)
+	}
+	if g == nil || len(g.Switches()) != 3 {
+		t.Fatalf("unexpected graph: %+v", g)
+	}
+}
+
+func TestTryRejectsZeroRateLinks(t *testing.T) {
+	g, err := BuildStar(4, LinkParams{RateBps: 0, Delay: 1e-6})
+	if err == nil {
+		t.Fatal("zero-rate LinkParams must be rejected at build time")
+	}
+	if g != nil {
+		t.Fatal("invalid build must return a nil graph")
+	}
+	if !strings.Contains(err.Error(), "rate must be positive") {
+		t.Fatalf("error should explain the rate problem: %v", err)
+	}
+}
+
+func TestBuildVariantsMatchPanickingBuilders(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*Graph, error)
+		want  func() *Graph
+	}{
+		{"torus", func() (*Graph, error) { return BuildTorus2D(3, 3, DefaultLAN) },
+			func() *Graph { return Torus2D(3, 3, DefaultLAN) }},
+		{"fattree", func() (*Graph, error) { return BuildFatTree(FatTree16, DefaultLAN) },
+			func() *Graph { return FatTree(FatTree16, DefaultLAN) }},
+		{"leafspine", func() (*Graph, error) { return BuildLeafSpine(2, 2, 2, DefaultLAN) },
+			func() *Graph { return LeafSpine(2, 2, 2, DefaultLAN) }},
+		{"dumbbell", func() (*Graph, error) { return BuildDumbbell(2, DefaultLAN, 1e9) },
+			func() *Graph { return Dumbbell(2, DefaultLAN, 1e9) }},
+		{"abilene", func() (*Graph, error) { return BuildAbilene(10e9) },
+			func() *Graph { return Abilene(10e9) }},
+		{"geant", func() (*Graph, error) { return BuildGeant(10e9) },
+			func() *Graph { return Geant(10e9) }},
+	}
+	for _, c := range cases {
+		g, err := c.build()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		ref := c.want()
+		if g.NumNodes() != ref.NumNodes() {
+			t.Fatalf("%s: node count %d != %d", c.name, g.NumNodes(), ref.NumNodes())
+		}
+	}
+}
