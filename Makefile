@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build test race vet check bench
+# Per-target budget for `make fuzz`; raise for longer local campaigns.
+FUZZTIME ?= 15s
+
+.PHONY: build test race vet lint lint-fix-report check bench fuzz
 
 build:
 	$(GO) build ./...
@@ -15,10 +18,31 @@ race:
 vet:
 	$(GO) vet ./...
 
-# check is the CI gate: static analysis plus the full suite under the
-# race detector (the shard fan-out and DLib are the concurrency-bearing
-# paths it watches).
-check: vet race
+# lint runs the repo-specific analyzers (float equality, determinism,
+# goroutine hygiene, error discards, cancellation polling). Exits
+# non-zero on any diagnostic not suppressed by a //dqnlint:allow
+# directive.
+lint:
+	$(GO) run ./cmd/dqnlint .
+
+# lint-fix-report emits the machine-readable diagnostic list to
+# lint_report.json without failing the build — for triage tooling.
+lint-fix-report:
+	-$(GO) run ./cmd/dqnlint -json . > lint_report.json
+	@echo "wrote lint_report.json"
+
+# check is the CI gate: go vet, the repo's own analyzers, then the full
+# suite under the race detector (the shard fan-out and DLib are the
+# concurrency-bearing paths it watches).
+check: vet lint race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# fuzz runs each native fuzz target for FUZZTIME. Go allows one -fuzz
+# pattern per invocation, so the targets run back to back; seed corpora
+# live under internal/*/testdata/fuzz and also replay in plain `make
+# test`.
+fuzz:
+	$(GO) test ./internal/ptm -fuzz FuzzPTMLoad -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/topo -fuzz FuzzBuildTopo -fuzztime $(FUZZTIME) -run '^$$'

@@ -56,7 +56,9 @@ func cmdTrain(args []string) error {
 	seed := fs.Uint64("seed", 42, "seed")
 	out := fs.String("out", "device.ptm.json", "output model path")
 	paperScale := fs.Bool("paper-arch", false, "use the Table 1 hyper-parameters (slow on CPU)")
-	_ = fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	spec := ptm.TrainSpec{Ports: *ports, Streams: *streams, Duration: *dur, Seed: *seed}
 	spec.Train.Epochs = *epochs
@@ -105,7 +107,9 @@ func cmdSim(args []string) error {
 	fs := flag.NewFlagSet("sim", flag.ExitOnError)
 	mk, modelPath, shards := scenarioFlags(fs)
 	tracePath := fs.String("trace", "", "write per-device packet traces (CSV)")
-	_ = fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *modelPath == "" {
 		return fmt.Errorf("sim requires -model")
 	}
@@ -153,7 +157,9 @@ func cmdEval(args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
 	mk, modelPath, shards := scenarioFlags(fs)
 	perDevice := fs.Bool("perdevice", false, "print per-switch sojourn comparison")
-	_ = fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *modelPath == "" {
 		return fmt.Errorf("eval requires -model")
 	}

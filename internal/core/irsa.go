@@ -163,6 +163,7 @@ func (s *Sim) RunContext(ctx context.Context, duration float64) (*Result, error)
 			// to measure the model-parallel critical path regardless of
 			// host core count.
 			for si, shard := range shardSets {
+				//dqnlint:allow detguard wall-clock shard-timing instrumentation; measures compute cost, never feeds simulation state
 				t0 := time.Now()
 				shardErrs[si] = s.runShard(ctx, iter, si, shard, byDevice, pkts, devModels, shardClones[si])
 				shardWork[si] += time.Since(t0).Seconds()

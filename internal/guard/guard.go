@@ -133,3 +133,44 @@ func (w *Watchdog) Observe(iter int, delta float64) error {
 func (w *Watchdog) Trace() []float64 {
 	return append([]float64(nil), w.trace...)
 }
+
+// WorkerError is a panic recovered on a data-parallel worker goroutine
+// (training replicas, batched PTM inference fan-out). recover only
+// intercepts panics on the goroutine that panicked, so a worker panic
+// would bypass the IRSA shard guard and kill the process; fan-out
+// helpers instead recover each worker into a WorkerError and re-panic
+// it on the calling goroutine (RethrowWorkers), where the caller's own
+// isolation — e.g. the shard recovery that yields a ShardError — can
+// handle it.
+type WorkerError struct {
+	Worker int    // index of the crashed worker
+	Panic  any    // recovered panic value
+	Stack  []byte // worker stack captured at recovery
+}
+
+// Error implements error.
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("guard: worker %d panicked: %v", e.Worker, e.Panic)
+}
+
+// RecoveredWorker builds a WorkerError from a recover() value,
+// capturing the worker's stack. It returns nil when r is nil so it can
+// be called unconditionally from a deferred recovery handler.
+func RecoveredWorker(worker int, r any) *WorkerError {
+	if r == nil {
+		return nil
+	}
+	return &WorkerError{Worker: worker, Panic: r, Stack: debug.Stack()}
+}
+
+// RethrowWorkers re-panics the first recorded worker panic on the
+// calling goroutine (no-op when no worker crashed). Call it after the
+// fan-out's WaitGroup drains, so the panic unwinds a goroutine whose
+// callers can recover it.
+func RethrowWorkers(workerErrs []*WorkerError) {
+	for _, we := range workerErrs {
+		if we != nil {
+			panic(we)
+		}
+	}
+}

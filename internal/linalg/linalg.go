@@ -52,6 +52,7 @@ func Mul(a, b [][]float64) [][]float64 {
 	for i := 0; i < n; i++ {
 		for p := 0; p < k; p++ {
 			av := a[i][p]
+			//dqnlint:allow floateq exact-zero sparsity skip: a zero term contributes exactly nothing for finite operands
 			if av == 0 {
 				continue
 			}
@@ -94,6 +95,7 @@ func VecMat(v []float64, a [][]float64) []float64 {
 	}
 	out := make([]float64, len(a[0]))
 	for i, vi := range v {
+		//dqnlint:allow floateq exact-zero sparsity skip: a zero term contributes exactly nothing for finite operands
 		if vi == 0 {
 			continue
 		}
@@ -157,6 +159,7 @@ func Solve(a [][]float64, b []float64) ([]float64, error) {
 		inv := 1 / m[col][col]
 		for r := col + 1; r < n; r++ {
 			f := m[r][col] * inv
+			//dqnlint:allow floateq exact-zero multiplier skip: eliminating with f=0 is the identity row operation
 			if f == 0 {
 				continue
 			}
@@ -208,6 +211,7 @@ func Inverse(a [][]float64) ([][]float64, error) {
 				continue
 			}
 			f := m[r][col]
+			//dqnlint:allow floateq exact-zero multiplier skip: eliminating with f=0 is the identity row operation
 			if f == 0 {
 				continue
 			}

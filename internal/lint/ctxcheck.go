@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxCheck keeps cancellation latency bounded in the IRSA engine:
+// RunContext promises that a cancel or deadline stops the run within
+// one device inference, which only holds if every work loop in a
+// context-aware function polls the context. It flags for/range loops —
+// in functions of internal/core that take a context.Context — that
+// perform real work (at least one non-builtin call) without mentioning
+// the context anywhere in the loop.
+var CtxCheck = &Analyzer{
+	Name:     "ctxcheck",
+	Doc:      "flags work loops in context-aware core functions that never poll the context",
+	Packages: []string{"internal/core"},
+	Run:      runCtxCheck,
+}
+
+func runCtxCheck(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxObj := contextParam(info, fd)
+			if ctxObj == nil {
+				continue
+			}
+			checkLoops(pass, fd.Body, ctxObj)
+		}
+	}
+}
+
+// contextParam returns the context.Context parameter object of fd, or
+// nil if it has none.
+func contextParam(info *types.Info, fd *ast.FuncDecl) types.Object {
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			tn := named.Obj()
+			if tn.Pkg() != nil && tn.Pkg().Path() == "context" && tn.Name() == "Context" {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// checkLoops walks node flagging unpolled work loops. Once a loop is
+// flagged, its nested loops are skipped — one report per problem site.
+func checkLoops(pass *Pass, node ast.Node, ctxObj types.Object) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		var pos ast.Node
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			body, pos = n.Body, n
+		case *ast.RangeStmt:
+			body, pos = n.Body, n
+		default:
+			return true
+		}
+		if mentionsObject(pass.Pkg.Info, n, ctxObj) {
+			return true // polls (or forwards) the context; check inner loops
+		}
+		if !doesRealWork(pass.Pkg.Info, body) {
+			return true
+		}
+		pass.Reportf(pos.Pos(),
+			"unpolled work loop: loop calls into work without checking %s.Err()/Done() — cancellation stalls until the loop exits",
+			ctxObj.Name())
+		return false
+	})
+}
+
+// mentionsObject reports whether the context parameter is referenced
+// anywhere inside n (a poll, a forward into a callee, or a capture by a
+// spawned goroutine all count).
+func mentionsObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// doesRealWork reports whether body contains at least one call that is
+// neither a builtin nor a type conversion: pure index/arithmetic loops
+// finish fast and need no poll.
+func doesRealWork(info *types.Info, body *ast.BlockStmt) bool {
+	work := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if work {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if ok && !isBuiltinCall(info, call) {
+			work = true
+			return false
+		}
+		return true
+	})
+	return work
+}

@@ -1,0 +1,188 @@
+// Package lint is dqnlint's engine: a stdlib-only static-analysis
+// driver (go/parser + go/ast + go/types, no external modules) that
+// enforces the repository invariants the compiler cannot see. IRSA
+// convergence (Theorem 3.1) requires bit-deterministic re-sequencing
+// across sweeps, the PTM/SEC numeric kernels must not branch on exact
+// float equality, and the PR 1 robustness contract requires every
+// spawned goroutine to recover panics into a guard error. Each invariant
+// is checked by one Analyzer; intentional exceptions are annotated in
+// source with a //dqnlint:allow directive carrying a justification.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named invariant check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, enable/disable flags,
+	// and //dqnlint:allow directives.
+	Name string
+	// Doc is a one-line description shown by dqnlint -list.
+	Doc string
+	// Packages restricts the analyzer to these module-relative import
+	// paths (e.g. "internal/core"). Empty means every package.
+	Packages []string
+	// Run reports findings in pass.Pkg through pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Watches reports whether the analyzer applies to the package at the
+// given module-relative path ("" is the module root package).
+func (a *Analyzer) Watches(relPath string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if p == relPath {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer run over one package.
+type Pass struct {
+	Pkg *Package
+	// All is every loaded module package, for cross-package resolution
+	// (goguard follows call chains into other packages).
+	All []*Package
+
+	analyzer *Analyzer
+	diags    []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Lint runs the given analyzers over every package, honoring each
+// analyzer's package filter and the //dqnlint:allow directives in the
+// source. Diagnostics come back sorted by file, line, column, analyzer.
+func Lint(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range mod.Pkgs {
+		rel := mod.Rel(pkg.Path)
+		for _, an := range analyzers {
+			if !an.Watches(rel) {
+				continue
+			}
+			out = append(out, LintPackage(pkg, mod.Pkgs, an)...)
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// LintPackage runs one analyzer over one package, honoring allow
+// directives but not the analyzer's package filter. It is the entry
+// point used by the golden-file self-tests and by targeted runs.
+func LintPackage(pkg *Package, all []*Package, an *Analyzer) []Diagnostic {
+	pass := &Pass{Pkg: pkg, All: all, analyzer: an}
+	an.Run(pass)
+	out := pass.diags[:0]
+	for _, d := range pass.diags {
+		if !pkg.allowed(an.Name, d.File, d.Line) {
+			out = append(out, d)
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// AllowPrefix introduces a suppression directive. The full form is
+//
+//	//dqnlint:allow <analyzer>[,<analyzer>|all] <one-line justification>
+//
+// placed either at the end of the offending line or on the line directly
+// above it. The justification is required by convention (reviewed, not
+// machine-enforced).
+const AllowPrefix = "dqnlint:allow"
+
+// allows maps file → line → analyzer names suppressed at that line.
+type allows map[string]map[int][]string
+
+// collectAllows scans a file's comments for //dqnlint:allow directives.
+func collectAllows(fset *token.FileSet, file *ast.File, into allows) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, AllowPrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, AllowPrefix))
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			names := strings.Split(fields[0], ",")
+			pos := fset.Position(c.Pos())
+			m := into[pos.Filename]
+			if m == nil {
+				m = make(map[int][]string)
+				into[pos.Filename] = m
+			}
+			m[pos.Line] = append(m[pos.Line], names...)
+		}
+	}
+}
+
+// allowed reports whether a diagnostic from analyzer at file:line is
+// suppressed by a directive on the same line or the line above.
+func (p *Package) allowed(analyzer, file string, line int) bool {
+	m := p.allows[file]
+	if m == nil {
+		return false
+	}
+	for _, l := range []int{line, line - 1} {
+		for _, name := range m[l] {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,73 @@
+// Package ctxcheck is a dqnlint self-test fixture: work loops inside
+// context-aware functions must poll (or forward) the context so
+// cancellation stops the run promptly.
+package ctxcheck
+
+import "context"
+
+func unpolled(ctx context.Context, devices []int) {
+	for _, d := range devices { // want "unpolled work loop"
+		infer(d)
+	}
+}
+
+func unpolledFor(ctx context.Context, n int) {
+	for i := 0; i < n; i++ { // want "unpolled work loop"
+		infer(i)
+	}
+}
+
+func polled(ctx context.Context, devices []int) {
+	for _, d := range devices {
+		if ctx.Err() != nil {
+			return
+		}
+		infer(d)
+	}
+}
+
+func forwarded(ctx context.Context, devices []int) {
+	for _, d := range devices {
+		inferCtx(ctx, d) // forwarding the context counts as polling
+	}
+}
+
+func pureLoop(ctx context.Context, xs []float64) float64 {
+	// No calls: an arithmetic loop finishes fast and needs no poll.
+	s := 0.0
+	for _, x := range xs {
+		s += x * 2
+	}
+	// Builtins and conversions are not "real work" either.
+	out := make([]int, 0, len(xs))
+	for i := range xs {
+		out = append(out, int(xs[i]))
+	}
+	_ = out
+	return s
+}
+
+func noContext(devices []int) {
+	// Not a context-aware function: nothing to poll.
+	for _, d := range devices {
+		infer(d)
+	}
+}
+
+func allowedUnpolled(ctx context.Context, devices []int) {
+	//dqnlint:allow ctxcheck fixture: bounded tiny loop
+	for _, d := range devices {
+		infer(d)
+	}
+}
+
+func nestedOnceFlagged(ctx context.Context, grid [][]int) {
+	for _, row := range grid { // want "unpolled work loop"
+		for _, d := range row {
+			infer(d) // inner loop not re-flagged: one report per site
+		}
+	}
+}
+
+func infer(int)                          {}
+func inferCtx(_ context.Context, _ int) {}

@@ -1,0 +1,74 @@
+// Package detguard is a dqnlint self-test fixture covering the three
+// determinism leaks: wall-clock reads, the global math/rand source, and
+// map iteration order escaping into a slice.
+package detguard
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "time.Now"
+}
+
+func allowedWallClock() time.Time {
+	//dqnlint:allow detguard fixture: instrumentation escape hatch
+	return time.Now()
+}
+
+func globalRand() float64 {
+	rand.Seed(1)         // want "global math/rand"
+	_ = rand.Intn(10)    // want "global math/rand"
+	return rand.Float64() // want "global math/rand"
+}
+
+func seededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // constructors are deterministic given the seed
+	return r.Float64()
+}
+
+func leakyOrder(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want "map iteration order leaks"
+		out = append(out, v)
+	}
+	return out
+}
+
+func sortedOrder(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortSliceOrder(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func commutativeUse(m map[int]float64) float64 {
+	// Reductions are order-insensitive in intent; no append, no report.
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func allowedLeak(m map[int]string) []string {
+	var out []string
+	//dqnlint:allow detguard fixture: order consumed by an order-insensitive set
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

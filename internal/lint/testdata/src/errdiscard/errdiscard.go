@@ -1,0 +1,62 @@
+// Package errdiscard is a dqnlint self-test fixture: errors must be
+// handled, and wraps must use %w so errors.Is/As keep working.
+package errdiscard
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func fails() error { return errSentinel }
+
+func both() (int, error) { return 0, errSentinel }
+
+func discards() {
+	_ = fails()        // want "discarded error"
+	_, _ = both()      // want "discarded error"
+	err := fails()
+	_ = err // want "discarded error"
+}
+
+func allowedDiscard() {
+	//dqnlint:allow errdiscard fixture: documented cannot-fail case
+	_ = fails()
+}
+
+func handled() error {
+	if err := fails(); err != nil {
+		return err
+	}
+	n, _ := both() // a named result kept: not an all-blank discard
+	_ = n          // int, not an error: no diagnostic
+	return nil
+}
+
+func wraps(err error) error {
+	return fmt.Errorf("context: %w", err)
+}
+
+func badWrap(err error) error {
+	return fmt.Errorf("context: %v", err) // want "without %w"
+}
+
+func badWrapS(err error) error {
+	return fmt.Errorf("context: %s", err) // want "without %w"
+}
+
+func allowedWrap(err error) error {
+	//dqnlint:allow errdiscard fixture: chain break is deliberate here
+	return fmt.Errorf("context: %v", err)
+}
+
+func notAnError(name string) error {
+	// Formatting non-error values needs no %w.
+	return fmt.Errorf("bad name %q (%s)", name, "detail")
+}
+
+func stringified(err error) error {
+	// err.Error() is a string: the chain is already severed explicitly.
+	return fmt.Errorf("context: %s", err.Error())
+}

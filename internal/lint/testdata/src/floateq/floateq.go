@@ -1,0 +1,41 @@
+// Package floateq is a dqnlint self-test fixture. Every line carrying a
+// want comment must produce a matching diagnostic; lines with a
+// //dqnlint:allow directive must not.
+package floateq
+
+func compare(a, b float64, eps float64) bool {
+	if a == b { // want "float equality"
+		return true
+	}
+	if a != b { // want "float equality"
+		return false
+	}
+	var f32 float32
+	if f32 == 1.5 { // want "float equality"
+		return true
+	}
+	if a == 0 { // want "float equality"
+		return true
+	}
+	//dqnlint:allow floateq fixture: justified exact compare
+	if a == b {
+		return true
+	}
+	if b == 0 { //dqnlint:allow floateq fixture: trailing directive form
+		return false
+	}
+	// Tolerance comparisons and non-float comparisons are fine.
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if d <= eps {
+		return true
+	}
+	n, m := 1, 2
+	if n == m {
+		return true
+	}
+	const x, y = 1.0, 2.0
+	return x == y // constants compare exactly at compile time: no diagnostic
+}

@@ -1,0 +1,87 @@
+// Package goguard is a dqnlint self-test fixture for the shard
+// panic-isolation convention: every spawned goroutine must reach a
+// deferred recover, directly or through the functions it calls.
+package goguard
+
+import "sync"
+
+func unguarded() {
+	go func() { // want "unguarded goroutine"
+		work()
+	}()
+}
+
+func unguardedNamed() {
+	go work() // want "unguarded goroutine"
+}
+
+func unguardedDynamic(fn func()) {
+	go fn() // want "unguarded goroutine"
+}
+
+func directRecover() {
+	go func() {
+		defer func() {
+			_ = recover()
+		}()
+		work()
+	}()
+}
+
+func deferredNamedRecover() {
+	go func() {
+		defer swallow()
+		work()
+	}()
+}
+
+// guardedHelper is the engine's pattern: the goroutine body routes all
+// work through a helper that defers the recovery.
+func guardedHelper() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		runGuarded()
+	}()
+	wg.Wait()
+}
+
+// twoHops checks transitive resolution: body -> runTwoHops -> runGuarded.
+func twoHops() {
+	go runTwoHops() // resolved two frames deep: no diagnostic
+}
+
+func nestedLitNotGuarding() {
+	go func() { // want "unguarded goroutine"
+		// The recover lives in a function literal that is only defined,
+		// never deferred on this frame chain.
+		helper := func() {
+			defer func() { _ = recover() }()
+		}
+		_ = helper
+		work()
+	}()
+}
+
+func allowedFireAndForget() {
+	//dqnlint:allow goguard fixture: justified fire-and-forget
+	go work()
+}
+
+func work() {}
+
+func swallow() {
+	_ = recover()
+}
+
+func runTwoHops() {
+	runGuarded()
+}
+
+func runGuarded() {
+	defer func() {
+		_ = recover()
+	}()
+	work()
+}

@@ -44,7 +44,9 @@ func W1(a, b []float64) float64 {
 	dist := 0.0
 	prev := 0.0
 	for _, q := range qs {
-		if q == prev {
+		// qs is sorted, so <= covers exactly the duplicate-quantile case
+		// without branching on float equality.
+		if q <= prev {
 			continue
 		}
 		mid := (q + prev) / 2
@@ -75,7 +77,9 @@ func NormW1(pred, label []float64) float64 {
 	}
 	zeros := make([]float64, len(label))
 	denom := W1(zeros, label)
-	if denom == 0 {
+	// W1 is non-negative by construction; <= 0 also absorbs any rounding
+	// noise below zero instead of dividing by it.
+	if denom <= 0 {
 		return math.NaN()
 	}
 	return W1(pred, label) / denom
@@ -102,7 +106,10 @@ func Pearson(x, y []float64) float64 {
 		sxx += dx * dx
 		syy += dy * dy
 	}
-	if sxx == 0 || syy == 0 {
+	// Sums of squares are non-negative; <= 0 keeps a degenerate (or
+	// cancellation-poisoned) variance out of the denominator without an
+	// exact float compare.
+	if sxx <= 0 || syy <= 0 {
 		return math.NaN()
 	}
 	return sxy / math.Sqrt(sxx*syy)

@@ -54,6 +54,7 @@ func (l *LSTM) Forward(x *tensor.Matrix) *tensor.Matrix {
 		// z_t += h_{t-1}·Wh + b
 		for k := 0; k < H; k++ {
 			hv := hPrev[k]
+			//dqnlint:allow floateq exact-zero sparsity skip: zero activations (t=0 state) contribute exactly nothing
 			if hv == 0 {
 				continue
 			}
@@ -118,6 +119,7 @@ func (l *LSTM) Backward(dy *tensor.Matrix) *tensor.Matrix {
 		// Parameter gradients.
 		xr := l.x.Row(t)
 		for i, xv := range xr {
+			//dqnlint:allow floateq exact-zero sparsity skip: zero inputs (padded chunk tails) contribute exactly nothing
 			if xv == 0 {
 				continue
 			}
@@ -129,6 +131,7 @@ func (l *LSTM) Backward(dy *tensor.Matrix) *tensor.Matrix {
 		if t > 0 {
 			hPrev := l.hs.Row(t - 1)
 			for i, hv := range hPrev {
+				//dqnlint:allow floateq exact-zero sparsity skip: zero activations (t=0 state) contribute exactly nothing
 				if hv == 0 {
 					continue
 				}

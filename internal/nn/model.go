@@ -151,14 +151,63 @@ func (s *Sequential) Marshal() ([]byte, error) {
 	return json.Marshal(sm)
 }
 
+// maxLoadParams caps the scalar parameter count a loaded model may
+// request: 1<<26 floats (512 MiB) is an order of magnitude beyond the
+// paper-scale architecture, while keeping a corrupted or hostile model
+// file from driving Build into an unbounded allocation.
+const maxLoadParams = 1 << 26
+
+// checkSpecBudget rejects specs whose dimensions are negative or whose
+// total parameter count exceeds maxLoadParams — before Build allocates
+// anything (found by FuzzPTMLoad: a mutated spec could request
+// petabyte-scale weight matrices and hang the loader).
+func checkSpecBudget(specs []LayerSpec) error {
+	var total int64
+	for i, sp := range specs {
+		dims := []int{sp.In, sp.Out, sp.Hidden, sp.Heads, sp.DK, sp.DV, sp.Index}
+		for _, d := range dims {
+			if d < 0 {
+				return fmt.Errorf("nn: layer %d (%s): negative dimension in saved spec", i, sp.Kind)
+			}
+			if d > maxLoadParams {
+				return fmt.Errorf("nn: layer %d (%s): dimension %d exceeds the load budget", i, sp.Kind, d)
+			}
+		}
+		in, out, h := int64(sp.In), int64(sp.Out), int64(sp.Hidden)
+		heads, dk, dv := int64(sp.Heads), int64(sp.DK), int64(sp.DV)
+		var cost int64
+		switch sp.Kind {
+		case "dense":
+			cost = in*out + out
+		case "lstm":
+			cost = 4 * h * (in + h + 1)
+		case "blstm":
+			cost = 8 * h * (in + h + 1)
+		case "mha":
+			cost = heads*in*(2*dk+dv) + heads*dv*out + out
+		case "layernorm":
+			cost = 2 * in
+		}
+		total += cost
+		if cost > maxLoadParams || total > maxLoadParams {
+			return fmt.Errorf("nn: saved model requests over %d parameters (limit %d); refusing to allocate", total, maxLoadParams)
+		}
+	}
+	return nil
+}
+
 // Unmarshal reconstructs a model from Marshal output. Unknown fields
-// are rejected so a corrupted or foreign file fails loudly at load time.
+// are rejected so a corrupted or foreign file fails loudly at load
+// time, and spec dimensions are budget-checked before any allocation.
 func Unmarshal(data []byte) (*Sequential, error) {
 	var sm savedModel
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&sm); err != nil {
 		return nil, fmt.Errorf("nn: decoding model: %w", err)
+	}
+	if err := checkSpecBudget(sm.Specs); err != nil {
+		return nil, err
 	}
 	m, err := Build(sm.Specs, 1)
 	if err != nil {

@@ -4,7 +4,9 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"deepqueuenet/internal/rng"
 	"deepqueuenet/internal/tensor"
@@ -133,6 +135,34 @@ func TestUnmarshalRejectsGarbage(t *testing.T) {
 	}
 	if _, err := Unmarshal([]byte(`{"specs":[{"kind":"wat"}],"weights":[]}`)); err == nil {
 		t.Fatal("expected error for unknown layer kind")
+	}
+}
+
+// TestUnmarshalRejectsOversizedSpecs pins the FuzzPTMLoad finding: a
+// hostile model file must not drive Build into allocating weight
+// matrices before validation.
+func TestUnmarshalRejectsOversizedSpecs(t *testing.T) {
+	cases := []string{
+		`{"specs":[{"kind":"dense","in":1000000000,"out":1000000000}],"weights":[]}`,
+		`{"specs":[{"kind":"blstm","in":8,"hidden":-4}],"weights":[]}`,
+		`{"specs":[{"kind":"mha","in":100000,"out":100000,"heads":100000,"dk":100000,"dv":100000}],"weights":[]}`,
+		`{"specs":[` + strings.Repeat(`{"kind":"dense","in":4096,"out":4096},`, 8) +
+			`{"kind":"dense","in":4096,"out":4096}],"weights":[]}`,
+	}
+	for _, c := range cases {
+		done := make(chan error, 1)
+		go func() {
+			_, err := Unmarshal([]byte(c))
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Errorf("Unmarshal accepted oversized spec %.60s...", c)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("Unmarshal hung on oversized spec %.60s...", c)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"deepqueuenet/internal/guard"
 	"deepqueuenet/internal/rng"
 	"deepqueuenet/internal/tensor"
 )
@@ -136,11 +137,17 @@ func Train(model *Sequential, ds *Dataset, cfg TrainConfig) TrainResult {
 			batch := perm[start:end]
 			losses := make([]float64, cfg.Workers)
 			counts := make([]int, cfg.Workers)
+			panics := make([]*guard.WorkerError, cfg.Workers)
 			var wg sync.WaitGroup
 			for w := 0; w < cfg.Workers; w++ {
 				wg.Add(1)
 				go func(w int) {
 					defer wg.Done()
+					defer func() {
+						if we := guard.RecoveredWorker(w, recover()); we != nil {
+							panics[w] = we
+						}
+					}()
 					rep := replicas[w]
 					rep.ZeroGrads()
 					for bi := w; bi < len(batch); bi += cfg.Workers {
@@ -151,6 +158,7 @@ func Train(model *Sequential, ds *Dataset, cfg TrainConfig) TrainResult {
 				}(w)
 			}
 			wg.Wait()
+			guard.RethrowWorkers(panics)
 
 			// Average worker gradients into the master gradients.
 			master := model.Params()
@@ -235,10 +243,16 @@ func PredictBatch(model *Sequential, xs []*tensor.Matrix, workers int) []*tensor
 		return out
 	}
 	var wg sync.WaitGroup
+	panics := make([]*guard.WorkerError, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if we := guard.RecoveredWorker(w, recover()); we != nil {
+					panics[w] = we
+				}
+			}()
 			rep := model.Clone()
 			for i := w; i < len(xs); i += workers {
 				out[i] = rep.Forward(xs[i])
@@ -246,6 +260,7 @@ func PredictBatch(model *Sequential, xs []*tensor.Matrix, workers int) []*tensor
 		}(w)
 	}
 	wg.Wait()
+	guard.RethrowWorkers(panics)
 	return out
 }
 

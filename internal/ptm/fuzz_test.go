@@ -1,0 +1,60 @@
+package ptm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPTMLoad fuzzes the on-disk model decoder: arbitrary bytes must
+// either be rejected with an error or produce a structurally valid
+// model that survives a marshal/unmarshal round trip. A panic or an
+// invalid accepted model is a finding — Unmarshal is the trust boundary
+// for every model file loaded off disk.
+func FuzzPTMLoad(f *testing.F) {
+	// Seed corpus: a real marshaled model, then structured variations
+	// that steer the fuzzer toward the JSON schema's interesting edges.
+	p, err := New(Arch{TimeSteps: 4, Embed: 6, BLSTM1: 4, BLSTM2: 4, Heads: 1, DK: 2, DV: 2, HeadOut: 4}, 2, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	p.TargetMax = 1
+	if valid, err := p.Marshal(); err == nil {
+		f.Add(valid)
+	} else {
+		f.Fatal(err)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"schema":99,"net":{},"time_steps":4}`))
+	f.Add([]byte(`{"schema":1,"net":null,"time_steps":-1}`))
+	f.Add([]byte(`{"net":{"specs":[],"weights":[]},"time_steps":4,"num_ports":2,"target_min":0,"target_max":1}`))
+	f.Add([]byte(`{"net":{"specs":[{"kind":"dense","in":1,"out":1}],"weights":[[1e999]]},"time_steps":4}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Accepted models must pass their own validator...
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("Unmarshal accepted a model that fails Validate: %v", verr)
+		}
+		// ...and round-trip losslessly through the writer.
+		out, err := m.Marshal()
+		if err != nil {
+			t.Fatalf("accepted model does not re-marshal: %v", err)
+		}
+		m2, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-marshaled model does not decode: %v", err)
+		}
+		out2, err := m2.Marshal()
+		if err != nil {
+			t.Fatalf("round-tripped model does not re-marshal: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("marshal is not a fixed point:\n%s\nvs\n%s", out, out2)
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 
 	"deepqueuenet/internal/dbscan"
 	"deepqueuenet/internal/des"
+	"deepqueuenet/internal/guard"
 	"deepqueuenet/internal/nn"
 	"deepqueuenet/internal/tensor"
 )
@@ -416,10 +417,16 @@ func (p *PTM) PredictStreams(streams [][]PacketIn, kind des.SchedKind, rateBps f
 		return out
 	}
 	var wg sync.WaitGroup
+	panics := make([]*guard.WorkerError, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if we := guard.RecoveredWorker(w, recover()); we != nil {
+					panics[w] = we
+				}
+			}()
 			rep := p.Clone()
 			for i := w; i < len(streams); i += workers {
 				out[i] = rep.PredictStream(streams[i], kind, rateBps, 1)
@@ -427,5 +434,8 @@ func (p *PTM) PredictStreams(streams [][]PacketIn, kind des.SchedKind, rateBps f
 		}(w)
 	}
 	wg.Wait()
+	// A worker panic re-surfaces on this (the caller's) goroutine, where
+	// the IRSA shard guard can recover it into a ShardError.
+	guard.RethrowWorkers(panics)
 	return out
 }

@@ -93,7 +93,9 @@ func (m *Model) g(n []int) []float64 {
 				den += m.Weights[i]
 			}
 		}
-		if den == 0 {
+		// den is a sum of positive weights; <= 0 avoids branching on an
+		// exact float zero.
+		if den <= 0 {
 			return out
 		}
 		for i := 0; i < k; i++ {
@@ -213,7 +215,9 @@ func (m *Model) Solve(L int) (*Solution, error) {
 		for ci, n := range levels[l].comps {
 			rates := m.g(n)
 			for i := 0; i < K; i++ {
-				if n[i] == 0 || rates[i] == 0 {
+				// Service rates are non-negative; <= 0 skips unserved
+				// classes without an exact float compare.
+				if n[i] == 0 || rates[i] <= 0 {
 					continue
 				}
 				n2 := append([]int(nil), n...)

@@ -1,0 +1,69 @@
+package topo
+
+import "testing"
+
+// FuzzBuildTopo fuzzes the topology constructors through their
+// error-returning Build* forms: arbitrary size and link parameters must
+// either yield a descriptive error or a graph that passes Validate and
+// routes — never a panic escaping Try and never a structurally broken
+// graph. Sizes are folded into a small range so the fuzzer explores
+// shape edge cases (degenerate rings, 2-wide torus dimensions, single
+// hosts) instead of allocating huge graphs.
+func FuzzBuildTopo(f *testing.F) {
+	f.Add(uint8(0), 4, 4, 2, 10e9, 1e-6)
+	f.Add(uint8(1), 2, 2, 1, 10e9, 1e-6)   // smallest legal torus
+	f.Add(uint8(2), 1, 0, 0, 10e9, 1e-6)   // star below its minimum
+	f.Add(uint8(3), 3, 0, 0, 10e9, 1e-6)   // dumbbell
+	f.Add(uint8(4), 2, 2, 3, 10e9, 1e-6)   // leaf-spine
+	f.Add(uint8(5), 2, 2, 2, 10e9, 1e-6)   // fat tree
+	f.Add(uint8(0), 4, 4, 2, 0.0, 1e-6)    // zero rate must be rejected
+	f.Add(uint8(1), 6, 6, 1, 10e9, -1.0)   // negative delay must be rejected
+	f.Add(uint8(5), -3, 100, -7, 1e3, 0.0) // hostile sizes
+
+	f.Fuzz(func(t *testing.T, which uint8, a, b, c int, rate, delay float64) {
+		bound := func(n, lim int) int {
+			if n < 0 {
+				n = -n
+			}
+			return n % lim
+		}
+		a, b, c = bound(a, 9), bound(b, 9), bound(c, 9)
+		lp := LinkParams{RateBps: rate, Delay: delay}
+		var g *Graph
+		var err error
+		switch which % 6 {
+		case 0:
+			g, err = BuildLine(a, lp)
+		case 1:
+			g, err = BuildTorus2D(a, b, lp)
+		case 2:
+			g, err = BuildStar(a, lp)
+		case 3:
+			g, err = BuildDumbbell(a, lp, rate)
+		case 4:
+			g, err = BuildLeafSpine(a, b, c, lp)
+		case 5:
+			g, err = BuildFatTree(FatTreeParams{NumToRsAndUplinks: a, NumServersPerRack: b, NumClusters: c}, lp)
+		}
+		if err != nil {
+			if g != nil {
+				t.Fatalf("builder returned both a graph and an error: %v", err)
+			}
+			return
+		}
+		if g == nil {
+			t.Fatal("builder returned neither a graph nor an error")
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("built graph fails Validate: %v", verr)
+		}
+		if g.NumNodes() == 0 {
+			t.Fatal("built graph has no nodes")
+		}
+		// Every accepted topology must be connected end to end — a
+		// builder that silently drops links would strand hosts.
+		if !g.Connected() {
+			t.Fatal("built graph is not connected")
+		}
+	})
+}
