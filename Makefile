@@ -3,7 +3,7 @@ GO ?= go
 # Per-target budget for `make fuzz`; raise for longer local campaigns.
 FUZZTIME ?= 15s
 
-.PHONY: build test race vet lint lint-fix-report check bench fuzz
+.PHONY: build test race vet lint lint-fix-report check golden bench bench-check fuzz
 
 build:
 	$(GO) build ./...
@@ -31,12 +31,31 @@ lint-fix-report:
 	-$(GO) run ./cmd/dqnlint -json . > lint_report.json
 	@echo "wrote lint_report.json"
 
-# check is the CI gate: go vet, the repo's own analyzers, then the full
+# check is the CI gate: go vet, the repo's own analyzers, the full
 # suite under the race detector (the shard fan-out and DLib are the
-# concurrency-bearing paths it watches).
-check: vet lint race
+# concurrency-bearing paths it watches), the golden-trace determinism
+# digests, and the benchmark regression gate.
+check: vet lint race golden bench-check
 
+# golden re-runs the fixed-seed example scenarios and fails if any
+# per-packet departure-time digest moved a single bit. Regenerate after
+# an intentional semantic change with:
+#   go test -run TestGoldenTraces -update-golden .
+golden:
+	$(GO) test -run TestGoldenTraces -count=1 .
+
+# bench runs the reproducible perf harness (cmd/dqnbench) and refreshes
+# BENCH_pr3.json in place, preserving its recorded "before" baseline.
 bench:
+	$(GO) run ./cmd/dqnbench -out BENCH_pr3.json
+
+# bench-check reruns the harness and fails on a >15% ns/op or any
+# allocs/op regression against the committed BENCH_pr3.json.
+bench-check:
+	$(GO) run ./cmd/dqnbench -check BENCH_pr3.json
+
+# microbench runs the plain go test benchmarks (no regression gate).
+microbench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 # fuzz runs each native fuzz target for FUZZTIME. Go allows one -fuzz

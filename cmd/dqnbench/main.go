@@ -1,0 +1,368 @@
+// Command dqnbench is the reproducible performance harness behind
+// `make bench` and `make bench-check`. It measures the inference hot
+// path at three scales — one PTM forward window, one full
+// PredictStream, and end-to-end IRSA runs on the FatTree16 and Abilene
+// example topologies — and records ns/op, allocs/op, B/op, and
+// end-to-end packets/sec as JSON (BENCH_pr3.json schema, documented in
+// the README "Benchmarking" section).
+//
+//	dqnbench -out BENCH_pr3.json                 # run, write results
+//	dqnbench -out BENCH_pr3.json -record-before  # also store run as the "before" baseline
+//	dqnbench -check BENCH_pr3.json               # run, fail on regression vs committed file
+//
+// When -out points at an existing file its "before" section is
+// preserved, so the pre-optimization baseline survives refreshes.
+// -check fails when any benchmark regresses by more than 15% ns/op or
+// by any amount in allocs/op against the committed "benches" section.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+
+	"deepqueuenet/internal/des"
+	"deepqueuenet/internal/experiments"
+	"deepqueuenet/internal/ptm"
+	"deepqueuenet/internal/rng"
+	"deepqueuenet/internal/topo"
+	"deepqueuenet/internal/traffic"
+)
+
+// Bench is one benchmark record.
+type Bench struct {
+	Name            string  `json:"name"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	BytesPerOp      float64 `json:"bytes_per_op"`
+	WindowsPerOp    int     `json:"windows_per_op,omitempty"`
+	AllocsPerWindow float64 `json:"allocs_per_window,omitempty"`
+	PacketsPerSec   float64 `json:"packets_per_sec,omitempty"`
+}
+
+// File is the on-disk benchmark report.
+type File struct {
+	Schema  int     `json:"schema"`
+	Go      string  `json:"go"`
+	MaxProc int     `json:"gomaxprocs"`
+	Note    string  `json:"note,omitempty"`
+	Before  []Bench `json:"before,omitempty"`
+	Benches []Bench `json:"benches"`
+}
+
+// nsRegression is the relative ns/op slack -check allows before failing.
+const nsRegression = 0.15
+
+// reps is how many times each benchmark is repeated; the fastest run is
+// kept. The minimum is the least-noise estimate of intrinsic cost on a
+// shared machine — scheduler interference and cache pollution only ever
+// add time. Settable with -reps.
+var reps = 3
+
+// measure runs fn under testing.Benchmark reps times and keeps the
+// fastest result. allocs/op is identical across repetitions (the
+// inference paths are deterministic), so only ns/op selection matters.
+func measure(fn func(b *testing.B)) testing.BenchmarkResult {
+	best := testing.Benchmark(fn)
+	for i := 1; i < reps; i++ {
+		r := testing.Benchmark(fn)
+		if r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
+	}
+	return best
+}
+
+// benchArch matches the experiment harness's CPU-scale PTM.
+var benchArch = ptm.Arch{TimeSteps: 32, Margin: 8, Embed: 12, BLSTM1: 16, BLSTM2: 10, Heads: 2, DK: 8, DV: 8, HeadOut: 16}
+
+func main() {
+	out := flag.String("out", "", "write results to this JSON file")
+	check := flag.String("check", "", "compare a fresh run against this committed baseline")
+	recordBefore := flag.Bool("record-before", false, "store this run as the 'before' baseline too")
+	note := flag.String("note", "", "free-form note recorded in the output file")
+	flag.IntVar(&reps, "reps", reps, "repetitions per benchmark; the fastest run is kept")
+	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
+		fatal(err)
+	}
+	if *out == "" && *check == "" {
+		*out = "BENCH_pr3.json"
+	}
+
+	benches, err := runAll()
+	if err != nil {
+		fatal(err)
+	}
+	for _, b := range benches {
+		line := fmt.Sprintf("%-22s %14.0f ns/op %10.0f allocs/op %12.0f B/op", b.Name, b.NsPerOp, b.AllocsPerOp, b.BytesPerOp)
+		if b.WindowsPerOp > 0 {
+			line += fmt.Sprintf("   %8.1f allocs/window", b.AllocsPerWindow)
+		}
+		if b.PacketsPerSec > 0 {
+			line += fmt.Sprintf("   %10.0f pkts/sec", b.PacketsPerSec)
+		}
+		fmt.Println(line)
+	}
+
+	if *check != "" {
+		if err := runCheck(*check, benches); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bench-check OK: no ns/op regression beyond %d%%, no allocs/op regression vs %s\n",
+			int(nsRegression*100), *check)
+		return
+	}
+
+	f := File{Schema: 1, Go: runtime.Version(), MaxProc: runtime.GOMAXPROCS(0), Note: *note, Benches: benches}
+	if prev, err := load(*out); err == nil {
+		f.Before = prev.Before
+		if f.Note == "" {
+			f.Note = prev.Note
+		}
+	}
+	if *recordBefore {
+		f.Before = benches
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dqnbench: %v\n", err)
+	os.Exit(1)
+}
+
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// checkRetries is how many times -check re-measures a failing benchmark
+// before declaring a regression. Wall-clock noise on a shared machine
+// routinely exceeds the 15% ns/op gate for a single sample, and the
+// end-to-end runs jitter by a couple of allocs with goroutine
+// scheduling; a genuine slowdown or reuse bug (hundreds of allocs per
+// window) survives every retry, transient interference does not.
+const checkRetries = 2
+
+type failure struct {
+	name string
+	msg  string
+}
+
+// compare returns the gate failures of fresh results vs the committed
+// baseline: >15% ns/op, or any allocs/op increase.
+func compare(base *File, fresh []Bench) []failure {
+	committed := map[string]Bench{}
+	for _, b := range base.Benches {
+		committed[b.Name] = b
+	}
+	var fails []failure
+	for _, f := range fresh {
+		c, ok := committed[f.Name]
+		if !ok {
+			continue // new benchmark, nothing to regress against
+		}
+		if c.NsPerOp > 0 && f.NsPerOp > c.NsPerOp*(1+nsRegression) {
+			fails = append(fails, failure{f.Name, fmt.Sprintf(
+				"%s: ns/op regressed %.0f -> %.0f (>%d%%)", f.Name, c.NsPerOp, f.NsPerOp, int(nsRegression*100))})
+		}
+		if f.AllocsPerOp > c.AllocsPerOp {
+			fails = append(fails, failure{f.Name, fmt.Sprintf(
+				"%s: allocs/op regressed %.0f -> %.0f (any increase fails)", f.Name, c.AllocsPerOp, f.AllocsPerOp)})
+		}
+	}
+	return fails
+}
+
+// runCheck compares fresh results to the committed baseline,
+// re-measuring failing benchmarks up to checkRetries times — keeping
+// the element-wise minimum of each metric across samples — before
+// reporting them as real regressions.
+func runCheck(path string, fresh []Bench) error {
+	base, err := load(path)
+	if err != nil {
+		return err
+	}
+	runners := map[string]func() (Bench, error){}
+	for _, d := range benchDefs() {
+		runners[d.name] = d.run
+	}
+	idx := map[string]int{}
+	for i, b := range fresh {
+		idx[b.Name] = i
+	}
+	for attempt := 0; ; attempt++ {
+		fails := compare(base, fresh)
+		if len(fails) == 0 {
+			return nil
+		}
+		if attempt == checkRetries {
+			for _, f := range fails {
+				fmt.Fprintln(os.Stderr, "REGRESSION: "+f.msg)
+			}
+			return fmt.Errorf("%d benchmark regression(s) vs %s", len(fails), path)
+		}
+		seen := map[string]bool{}
+		for _, f := range fails {
+			if seen[f.name] {
+				continue // one benchmark can fail both gates
+			}
+			seen[f.name] = true
+			fmt.Printf("re-measuring %s: over gate, retry %d of %d\n", f.name, attempt+1, checkRetries)
+			b, err := runners[f.name]()
+			if err != nil {
+				return err
+			}
+			i := idx[f.name]
+			fresh[i].NsPerOp = math.Min(fresh[i].NsPerOp, b.NsPerOp)
+			fresh[i].AllocsPerOp = math.Min(fresh[i].AllocsPerOp, b.AllocsPerOp)
+			fresh[i].BytesPerOp = math.Min(fresh[i].BytesPerOp, b.BytesPerOp)
+		}
+	}
+}
+
+// benchDef names one benchmark and how to run it.
+type benchDef struct {
+	name string
+	run  func() (Bench, error)
+}
+
+// benchDefs lists every benchmark in stable order.
+func benchDefs() []benchDef {
+	return []benchDef{
+		{"ptm_window", benchWindow},
+		{"ptm_predict_stream", benchPredictStream},
+		{"e2e_fattree16", func() (Bench, error) {
+			return benchE2E("e2e_fattree16", topo.FatTree(topo.FatTree16, topo.DefaultLAN), traffic.ModelMAP, 0.5, 0.0002, 11)
+		}},
+		{"e2e_wan_abilene", func() (Bench, error) {
+			return benchE2E("e2e_wan_abilene", topo.Abilene(10e9), traffic.ModelBCLike, 0.12, 0.002, 17)
+		}},
+	}
+}
+
+// runAll executes every benchmark in stable order.
+func runAll() ([]Bench, error) {
+	var out []Bench
+	for _, d := range benchDefs() {
+		b, err := d.run()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+func record(name string, r testing.BenchmarkResult) Bench {
+	return Bench{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+	}
+}
+
+// benchWindow measures one PTM-shaped forward pass over a single
+// TimeSteps window — the inference unit of the simulator.
+func benchWindow() (Bench, error) {
+	p, err := ptm.Synthetic(benchArch, 8, 1)
+	if err != nil {
+		return Bench{}, err
+	}
+	stream := synthStream(benchArch.TimeSteps, 2)
+	r := measure(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.PredictStream(stream, des.FIFO, 10e9, 1)
+		}
+	})
+	out := record("ptm_window", r)
+	out.WindowsPerOp = 1
+	out.AllocsPerWindow = out.AllocsPerOp
+	return out, nil
+}
+
+// benchPredictStream measures a 2000-packet stream: the per-egress-port
+// batch path the IRSA loop drives on every device, every iteration.
+func benchPredictStream() (Bench, error) {
+	p, err := ptm.Synthetic(benchArch, 8, 1)
+	if err != nil {
+		return Bench{}, err
+	}
+	const n = 2000
+	stream := synthStream(n, 2)
+	windows := len(ptm.Chunks(n, p.TimeSteps, p.Margin))
+	r := measure(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.PredictStream(stream, des.FIFO, 10e9, 1)
+		}
+	})
+	out := record("ptm_predict_stream", r)
+	out.WindowsPerOp = windows
+	out.AllocsPerWindow = out.AllocsPerOp / float64(windows)
+	return out, nil
+}
+
+// synthStream builds a deterministic packet stream.
+func synthStream(n int, seed uint64) []ptm.PacketIn {
+	r := rng.New(seed)
+	stream := make([]ptm.PacketIn, n)
+	tm := 0.0
+	for i := range stream {
+		tm += r.Exp(1e6)
+		stream[i] = ptm.PacketIn{Arrive: tm, Size: 64 + r.Intn(1400), InPort: r.Intn(8)}
+	}
+	return stream
+}
+
+// benchE2E measures a full IRSA run (Shards=4) on one example topology
+// and derives end-to-end packets/sec from the delivery count.
+func benchE2E(name string, g *topo.Graph, tm traffic.Model, load, dur float64, seed uint64) (Bench, error) {
+	model, err := ptm.Synthetic(benchArch, 8, 1)
+	if err != nil {
+		return Bench{}, err
+	}
+	mk := func() (*experiments.Scenario, error) {
+		return experiments.NewScenario(name, g, des.SchedConfig{Kind: des.FIFO}, tm, load, dur, seed)
+	}
+	sc, err := mk()
+	if err != nil {
+		return Bench{}, err
+	}
+	_, res, err := sc.RunDQN(model, 4, false)
+	if err != nil {
+		return Bench{}, err
+	}
+	delivered := len(res.Deliveries)
+	r := measure(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sc.RunDQN(model, 4, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	out := record(name, r)
+	out.PacketsPerSec = float64(delivered) / (out.NsPerOp * 1e-9)
+	return out, nil
+}

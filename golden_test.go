@@ -1,0 +1,146 @@
+package deepqueuenet
+
+// Golden-trace determinism tests: each case runs a fixed-seed scenario
+// shaped after one of the examples (quickstart line, fattree capacity
+// sweep, wan hotspot) with a deterministic synthetic device model, then
+// digests every per-packet departure time bit-for-bit. The digests are
+// committed under testdata/golden; any change to the inference hot path
+// that perturbs even one ULP of one departure time fails these tests.
+// Each scenario also runs with Shards=1 and Shards=8 so the model-
+// parallel decomposition is proven not to leak into results.
+//
+// Regenerate after an *intentional* semantic change with:
+//
+//	go test -run TestGoldenTraces -update-golden .
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"deepqueuenet/internal/core"
+	"deepqueuenet/internal/des"
+	"deepqueuenet/internal/experiments"
+	"deepqueuenet/internal/ptm"
+	"deepqueuenet/internal/topo"
+	"deepqueuenet/internal/traffic"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden digests")
+
+// goldenArch is small enough that an untrained forward pass is cheap,
+// while exercising every layer kind of the PTM stack.
+var goldenArch = ptm.Arch{TimeSteps: 32, Margin: 8, Embed: 12, BLSTM1: 16, BLSTM2: 10, Heads: 2, DK: 8, DV: 8, HeadOut: 16}
+
+type goldenCase struct {
+	name    string
+	graph   func() *topo.Graph
+	traffic traffic.Model
+	load    float64
+	dur     float64
+	seed    uint64
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		// The quickstart example's 4-switch line.
+		{name: "quickstart", graph: func() *topo.Graph { return topo.Line(4, topo.DefaultLAN) },
+			traffic: traffic.ModelPoisson, load: 0.4, dur: 0.0005, seed: 7},
+		// The fattree example's FatTree16 fabric under MAP traffic.
+		{name: "fattree", graph: func() *topo.Graph { return topo.FatTree(topo.FatTree16, topo.DefaultLAN) },
+			traffic: traffic.ModelMAP, load: 0.5, dur: 0.0002, seed: 11},
+		// The wan example's Abilene backbone under BC-like traffic.
+		{name: "wan", graph: func() *topo.Graph { return topo.Abilene(10e9) },
+			traffic: traffic.ModelBCLike, load: 0.12, dur: 0.002, seed: 17},
+	}
+}
+
+// deliveryDigest hashes the full delivery trace bit-exactly: packet
+// identity plus the raw IEEE-754 bits of each departure time.
+func deliveryDigest(res *core.Result) string {
+	h := sha256.New()
+	var buf [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, d := range res.Deliveries {
+		w(d.PktID)
+		w(uint64(d.FlowID))
+		if d.IsRTT {
+			w(1)
+		} else {
+			w(0)
+		}
+		w(math.Float64bits(d.SendTime))
+		w(math.Float64bits(d.RecvTime))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func runGoldenCase(t *testing.T, gc goldenCase, shards int) *core.Result {
+	t.Helper()
+	model, err := ptm.Synthetic(goldenArch, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := experiments.NewScenario(gc.name, gc.graph(), des.SchedConfig{Kind: des.FIFO},
+		gc.traffic, gc.load, gc.dur, gc.seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := sc.RunDQN(model, shards, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Deliveries) == 0 {
+		t.Fatalf("%s: no deliveries — scenario produced no packets", gc.name)
+	}
+	return res
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".digest")
+}
+
+func TestGoldenTraces(t *testing.T) {
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			res1 := runGoldenCase(t, gc, 1)
+			d1 := deliveryDigest(res1)
+
+			res8 := runGoldenCase(t, gc, 8)
+			d8 := deliveryDigest(res8)
+			if d1 != d8 {
+				t.Fatalf("%s: digest differs between Shards=1 (%s) and Shards=8 (%s): sharding leaked into results",
+					gc.name, d1, d8)
+			}
+
+			path := goldenPath(gc.name)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(d1+"\n"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s = %s (%d deliveries)", path, d1, len(res1.Deliveries))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden digest %s (run with -update-golden to create): %v", path, err)
+			}
+			if got := d1 + "\n"; got != string(want) {
+				t.Errorf("%s: departure-time digest changed\n got %s want %s\n(%d deliveries; the inference hot path is no longer bit-identical — if intentional, regenerate with -update-golden)",
+					gc.name, d1, string(want), len(res1.Deliveries))
+			}
+		})
+	}
+}

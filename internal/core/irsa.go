@@ -19,6 +19,110 @@ type entry struct {
 	hop int32
 }
 
+// portPlan is the precomputed inference work of one egress port: its
+// traversal entries (re-sorted in place by the current arrival
+// estimates each iteration), the fixed line rate, and a reusable
+// ingress-stream buffer.
+type portPlan struct {
+	port   int
+	es     []entry
+	rate   float64
+	stream []ptm.PacketIn
+}
+
+// devicePlan is one device's precomputed inference work. Packet routes
+// are fixed for a run, so the egress-port grouping never changes across
+// IRSA iterations; building it once removes the per-iteration map
+// rebuild, and the plan-owned buffers give the shard loop its
+// steady-state zero-allocation property. A device belongs to exactly
+// one shard, so its plan is only ever touched by that shard's worker.
+type devicePlan struct {
+	isHost bool
+	ports  []portPlan
+	batch  []ptm.PortStream // parallel to ports; reused by DevicePredictor models
+}
+
+// buildPlans indexes every device's traversals by egress port, in
+// sorted port order.
+func buildPlans(devices []int, byDevice map[int][]entry, pkts []*packet) map[int]*devicePlan {
+	plans := make(map[int]*devicePlan, len(devices))
+	for _, d := range devices {
+		es := byDevice[d]
+		if len(es) == 0 {
+			continue
+		}
+		pl := &devicePlan{}
+		if pkts[es[0].pkt].hops[es[0].hop].isHost {
+			// Hosts serialize one egress stream exactly; keep a private
+			// copy so the in-place sort never disturbs byDevice's order.
+			pl.isHost = true
+			pl.ports = []portPlan{{es: append([]entry(nil), es...)}}
+			plans[d] = pl
+			continue
+		}
+		// Group traversals by egress port (the PFM already mixed ingress
+		// streams; Delay() applies per egress stream, Eq. 7).
+		byPort := make(map[int][]entry)
+		for _, e := range es {
+			out := pkts[e.pkt].hops[e.hop].outPort
+			byPort[out] = append(byPort[out], e)
+		}
+		ports := make([]int, 0, len(byPort))
+		for p := range byPort {
+			ports = append(ports, p)
+		}
+		sort.Ints(ports)
+		pl.ports = make([]portPlan, 0, len(ports))
+		for _, port := range ports {
+			pes := byPort[port]
+			pl.ports = append(pl.ports, portPlan{
+				port: port,
+				es:   pes,
+				rate: pkts[pes[0].pkt].hops[pes[0].hop].rateBps,
+			})
+		}
+		pl.batch = make([]ptm.PortStream, len(pl.ports))
+		plans[d] = pl
+	}
+	return plans
+}
+
+// sortEntriesByArrival orders traversals by the current arrival
+// estimate, breaking ties by packet ID. The (arrive, id) key is a
+// strict total order (IDs are unique), so the result is deterministic
+// regardless of input order.
+func sortEntriesByArrival(es []entry, pkts []*packet) {
+	sort.Slice(es, func(a, b int) bool {
+		pa, pb := pkts[es[a].pkt], pkts[es[b].pkt]
+		ta, tb := pa.arrive[es[a].hop], pb.arrive[es[b].hop]
+		if ta != tb {
+			return ta < tb
+		}
+		return pa.id < pb.id
+	})
+}
+
+// fillStream writes the PTM ingress view of the (sorted) traversals
+// into stream, which must be len(es) long.
+func fillStream(stream []ptm.PacketIn, es []entry, pkts []*packet) {
+	for i, e := range es {
+		p := pkts[e.pkt]
+		stream[i] = ptm.PacketIn{
+			Arrive: p.arrive[e.hop], Size: p.size, Proto: p.proto,
+			InPort: p.hops[e.hop].inPort, Class: p.class, Weight: p.weight,
+		}
+	}
+}
+
+// growStream returns buf resized to n, reusing its backing array when
+// large enough.
+func growStream(buf []ptm.PacketIn, n int) []ptm.PacketIn {
+	if cap(buf) < n {
+		return make([]ptm.PacketIn, n)
+	}
+	return buf[:n]
+}
+
 // Run executes the simulation: TGen, initial inference, and the
 // Iterative Re-Sequencing Algorithm (Algorithm 1). Per Theorem 3.1 at
 // most diameter(G) iterations are needed; Run stops earlier once no
@@ -90,6 +194,10 @@ func (s *Sim) RunContext(ctx context.Context, duration float64) (*Result, error)
 	// Resolve and validate every switch's model once; devices with a
 	// missing or invalid model degrade to the exact FIFO fallback.
 	devModels, degraded := s.resolveDeviceModels(devices, byDevice, pkts)
+
+	// Routes are fixed for the run, so the per-device egress grouping is
+	// computed once; iterations only re-sort entries in place.
+	plans := buildPlans(devices, byDevice, pkts)
 
 	shardSets := PartitionDevices(devices, func(d int) int { return len(byDevice[d]) }, shards)
 
@@ -165,7 +273,7 @@ func (s *Sim) RunContext(ctx context.Context, duration float64) (*Result, error)
 			for si, shard := range shardSets {
 				//dqnlint:allow detguard wall-clock shard-timing instrumentation; measures compute cost, never feeds simulation state
 				t0 := time.Now()
-				shardErrs[si] = s.runShard(ctx, iter, si, shard, byDevice, pkts, devModels, shardClones[si])
+				shardErrs[si] = s.runShard(ctx, iter, si, shard, plans, pkts, devModels, shardClones[si])
 				shardWork[si] += time.Since(t0).Seconds()
 			}
 		} else {
@@ -174,7 +282,7 @@ func (s *Sim) RunContext(ctx context.Context, duration float64) (*Result, error)
 				wg.Add(1)
 				go func(si int, shard []int) {
 					defer wg.Done()
-					shardErrs[si] = s.runShard(ctx, iter, si, shard, byDevice, pkts, devModels, shardClones[si])
+					shardErrs[si] = s.runShard(ctx, iter, si, shard, plans, pkts, devModels, shardClones[si])
 				}(si, shard)
 			}
 			wg.Wait()
@@ -212,14 +320,14 @@ func (s *Sim) RunContext(ctx context.Context, duration float64) (*Result, error)
 // cancellation and recovering any panic into a *guard.ShardError so a
 // crashing device model cannot take down the process.
 func (s *Sim) runShard(ctx context.Context, iter, si int, shard []int,
-	byDevice map[int][]entry, pkts []*packet,
+	plans map[int]*devicePlan, pkts []*packet,
 	devModels map[int]DeviceModel, clones map[DeviceModel]DeviceModel) error {
 
 	for _, d := range shard {
 		if ctx.Err() != nil {
 			return nil // the caller maps ctx.Err() to the cancel error
 		}
-		if err := s.inferDeviceGuarded(iter, si, d, byDevice[d], pkts, devModels[d], clones); err != nil {
+		if err := s.inferDeviceGuarded(iter, si, d, plans[d], pkts, devModels[d], clones); err != nil {
 			return err
 		}
 	}
@@ -227,7 +335,7 @@ func (s *Sim) runShard(ctx context.Context, iter, si int, shard []int,
 }
 
 // inferDeviceGuarded runs inferDevice with panic isolation.
-func (s *Sim) inferDeviceGuarded(iter, si, dev int, entries []entry, pkts []*packet,
+func (s *Sim) inferDeviceGuarded(iter, si, dev int, plan *devicePlan, pkts []*packet,
 	model DeviceModel, clones map[DeviceModel]DeviceModel) (err error) {
 
 	defer func() {
@@ -235,7 +343,7 @@ func (s *Sim) inferDeviceGuarded(iter, si, dev int, entries []entry, pkts []*pac
 			err = se
 		}
 	}()
-	s.inferDevice(dev, entries, pkts, model, clones)
+	s.inferDevice(dev, plan, pkts, model, clones)
 	return nil
 }
 
@@ -267,34 +375,21 @@ func propagate(pkts []*packet) float64 {
 // for host egresses, PTM inference per egress port for switches. A
 // switch without a usable model (nil here = degraded) runs the exact
 // serialization fallback on every egress port.
-func (s *Sim) inferDevice(dev int, entries []entry, pkts []*packet,
+func (s *Sim) inferDevice(dev int, plan *devicePlan, pkts []*packet,
 	model DeviceModel, clones map[DeviceModel]DeviceModel) {
 
-	if len(entries) == 0 {
+	if plan == nil {
 		return
 	}
-	first := pkts[entries[0].pkt].hops[entries[0].hop]
-	if first.isHost {
-		serializeFIFO(entries, pkts)
+	if plan.isHost {
+		serializeFIFOInPlace(plan.ports[0].es, pkts)
 		return
 	}
-	// Group traversals by egress port (the PFM already mixed ingress
-	// streams; Delay() applies per egress stream, Eq. 7).
-	byPort := make(map[int][]entry)
-	for _, e := range entries {
-		out := pkts[e.pkt].hops[e.hop].outPort
-		byPort[out] = append(byPort[out], e)
-	}
-	ports := make([]int, 0, len(byPort))
-	for p := range byPort {
-		ports = append(ports, p)
-	}
-	sort.Ints(ports)
 	if model == nil {
 		// Degraded device: exact transmission + FIFO queueing per egress
 		// port — the availability-preserving fallback.
-		for _, port := range ports {
-			serializeFIFO(byPort[port], pkts)
+		for i := range plan.ports {
+			serializeFIFOInPlace(plan.ports[i].es, pkts)
 		}
 		return
 	}
@@ -304,28 +399,38 @@ func (s *Sim) inferDevice(dev int, entries []entry, pkts []*packet,
 		clones[model] = rep
 	}
 	sched := s.schedOf(dev)
-	for _, port := range ports {
-		es := byPort[port]
-		sort.Slice(es, func(a, b int) bool {
-			pa, pb := pkts[es[a].pkt], pkts[es[b].pkt]
-			ta, tb := pa.arrive[es[a].hop], pb.arrive[es[b].hop]
-			if ta != tb {
-				return ta < tb
-			}
-			return pa.id < pb.id
-		})
-		stream := make([]ptm.PacketIn, len(es))
-		rate := pkts[es[0].pkt].hops[es[0].hop].rateBps
-		for i, e := range es {
-			p := pkts[e.pkt]
-			stream[i] = ptm.PacketIn{
-				Arrive: p.arrive[e.hop], Size: p.size, Proto: p.proto,
-				InPort: p.hops[e.hop].inPort, Class: p.class, Weight: p.weight,
+	for i := range plan.ports {
+		sortEntriesByArrival(plan.ports[i].es, pkts)
+	}
+	if dp, ok := rep.(DevicePredictor); ok {
+		// Batched fast path: every egress port of the device in one call
+		// against the clone's shared inference scratch; streams and
+		// outputs live in plan-owned reusable buffers.
+		for i := range plan.ports {
+			pp := &plan.ports[i]
+			pp.stream = growStream(pp.stream, len(pp.es))
+			fillStream(pp.stream, pp.es, pkts)
+			plan.batch[i].Stream = pp.stream
+			plan.batch[i].RateBps = pp.rate
+		}
+		dp.PredictDevice(plan.batch, sched.Kind)
+		for i := range plan.ports {
+			out := plan.batch[i].Out
+			for j, e := range plan.ports[i].es {
+				pkts[e.pkt].sojourn[e.hop] = out[j]
 			}
 		}
-		sojourns := rep.PredictStream(stream, sched.Kind, rate, 1)
-		for i, e := range es {
-			pkts[e.pkt].sojourn[e.hop] = sojourns[i]
+		return
+	}
+	// Generic DeviceModel: per-port PredictStream with a fresh stream per
+	// call (the model may retain the slice).
+	for i := range plan.ports {
+		pp := &plan.ports[i]
+		stream := make([]ptm.PacketIn, len(pp.es))
+		fillStream(stream, pp.es, pkts)
+		sojourns := rep.PredictStream(stream, sched.Kind, pp.rate, 1)
+		for j, e := range pp.es {
+			pkts[e.pkt].sojourn[e.hop] = sojourns[j]
 		}
 	}
 }
@@ -336,15 +441,13 @@ func (s *Sim) inferDevice(dev int, entries []entry, pkts []*packet,
 // egresses and, per port, the graceful-degradation fallback for switches
 // whose PTM is missing or invalid.
 func serializeFIFO(entries []entry, pkts []*packet) {
-	es := append([]entry(nil), entries...)
-	sort.Slice(es, func(a, b int) bool {
-		pa, pb := pkts[es[a].pkt], pkts[es[b].pkt]
-		ta, tb := pa.arrive[es[a].hop], pb.arrive[es[b].hop]
-		if ta != tb {
-			return ta < tb
-		}
-		return pa.id < pb.id
-	})
+	serializeFIFOInPlace(append([]entry(nil), entries...), pkts)
+}
+
+// serializeFIFOInPlace is serializeFIFO over caller-owned entries,
+// re-sorted in place (plan-owned slices make that safe).
+func serializeFIFOInPlace(es []entry, pkts []*packet) {
+	sortEntriesByArrival(es, pkts)
 	lastDepart := math.Inf(-1)
 	for _, e := range es {
 		p := pkts[e.pkt]

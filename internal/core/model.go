@@ -34,7 +34,21 @@ type DeviceModel interface {
 	Validate() error
 }
 
-// PTMModel adapts a *ptm.PTM to the DeviceModel interface.
+// DevicePredictor is the optional device-batched fast path of a
+// DeviceModel: all egress-port streams of one device are predicted in a
+// single call that reuses the model's internal inference scratch and
+// writes sojourns into caller-owned PortStream.Out slices. The engine
+// type-asserts its per-shard model clone for this interface and falls
+// back to per-port PredictStream calls when absent, so custom
+// DeviceModel implementations need not provide it. Results must be
+// identical to per-port PredictStream(stream, kind, rate, 1) calls.
+type DevicePredictor interface {
+	PredictDevice(ports []ptm.PortStream, kind des.SchedKind)
+}
+
+// PTMModel adapts a *ptm.PTM to the DeviceModel interface. It also
+// satisfies DevicePredictor (promoted from *ptm.PTM), giving PTM-driven
+// devices the zero-allocation batched inference path.
 type PTMModel struct{ *ptm.PTM }
 
 // CloneModel implements DeviceModel.
@@ -59,9 +73,7 @@ func (s *Sim) resolveModel(sw int) DeviceModel {
 	}
 	if s.Cfg.NoSEC && len(m.SECBins) > 0 {
 		// SEC ablation: strip the correction bins from a working copy.
-		c := *m
-		c.SECBins = nil
-		m = &c
+		m = m.WithoutSEC()
 	}
 	return PTMModel{m}
 }

@@ -1,0 +1,166 @@
+package linalg
+
+import "fmt"
+
+// In-place kernel variants and flat-layout bridges. The *Into functions
+// write caller-owned destinations with the exact accumulation order of
+// their allocating counterparts (Mul, MatVec, VecMat, Add), so results
+// are bit-identical — callers can pool destination buffers across
+// solver iterations without perturbing numerics.
+//
+// Aliasing: MulInto rejects a destination sharing storage with an input
+// (panic "linalg: MulInto destination aliases an input") because it
+// zeroes dst while still reading a and b. AddInto, MatVecInto, and
+// VecMatInto read each source element before writing its destination
+// only where noted; see each function.
+
+// rect validates that m is a non-ragged rows×cols matrix and returns
+// its shape. Every row must have exactly len(m[0]) columns.
+func rect(op string, m [][]float64) (rows, cols int) {
+	rows = len(m)
+	if rows == 0 {
+		return 0, 0
+	}
+	cols = len(m[0])
+	for i, r := range m {
+		if len(r) != cols {
+			panic(fmt.Sprintf("linalg: %s: ragged matrix: row %d has %d columns, want %d", op, i, len(r), cols))
+		}
+	}
+	return rows, cols
+}
+
+// sameBacking reports whether two matrices share their first element.
+func sameBacking(a, b [][]float64) bool {
+	return len(a) > 0 && len(b) > 0 && len(a[0]) > 0 && len(b[0]) > 0 && &a[0][0] == &b[0][0]
+}
+
+// MulInto computes dst = a×b into a caller-owned n×m destination. dst
+// must not alias a or b. The accumulation order matches Mul exactly.
+func MulInto(dst, a, b [][]float64) {
+	n, k := rect("MulInto", a)
+	bk, m := rect("MulInto", b)
+	if k != bk {
+		panic(fmt.Sprintf("linalg: MulInto shape mismatch: %dx%d × %dx%d", n, k, bk, m))
+	}
+	dn, dm := rect("MulInto", dst)
+	if dn != n || dm != m {
+		panic(fmt.Sprintf("linalg: MulInto destination is %dx%d, want %dx%d", dn, dm, n, m))
+	}
+	if sameBacking(dst, a) || sameBacking(dst, b) {
+		panic("linalg: MulInto destination aliases an input")
+	}
+	for i := 0; i < n; i++ {
+		orow := dst[i]
+		for j := range orow {
+			orow[j] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := a[i][p]
+			//dqnlint:allow floateq exact-zero sparsity skip: a zero term contributes exactly nothing for finite operands
+			if av == 0 {
+				continue
+			}
+			brow := b[p]
+			for j := 0; j < m; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// AddInto computes dst = a+b element-wise. dst aliasing a or b is safe:
+// each element is read before it is written.
+func AddInto(dst, a, b [][]float64) {
+	n, m := rect("AddInto", a)
+	bn, bm := rect("AddInto", b)
+	if bn != n || bm != m {
+		panic(fmt.Sprintf("linalg: AddInto shape mismatch: %dx%d + %dx%d", n, m, bn, bm))
+	}
+	dn, dm := rect("AddInto", dst)
+	if dn != n || dm != m {
+		panic(fmt.Sprintf("linalg: AddInto destination is %dx%d, want %dx%d", dn, dm, n, m))
+	}
+	for i := range a {
+		for j := range a[i] {
+			dst[i][j] = a[i][j] + b[i][j]
+		}
+	}
+}
+
+// MatVecInto computes dst = a×v. dst must not alias v (each dst element
+// is written after one full row pass over v); dst == v would corrupt
+// later rows, so it is rejected.
+func MatVecInto(dst []float64, a [][]float64, v []float64) {
+	n, m := rect("MatVecInto", a)
+	if len(v) != m {
+		panic(fmt.Sprintf("linalg: MatVecInto shape mismatch: %dx%d × %d-vector", n, m, len(v)))
+	}
+	if len(dst) != n {
+		panic(fmt.Sprintf("linalg: MatVecInto destination length %d, want %d", len(dst), n))
+	}
+	if len(dst) > 0 && len(v) > 0 && &dst[0] == &v[0] {
+		panic("linalg: MatVecInto destination aliases the input vector")
+	}
+	for i := range a {
+		s := 0.0
+		for j, av := range a[i] {
+			s += av * v[j]
+		}
+		dst[i] = s
+	}
+}
+
+// VecMatInto computes the row vector dst = v×a. dst must not alias v:
+// it is zeroed before accumulation, so dst == v would destroy the
+// input. The accumulation order matches VecMat exactly.
+func VecMatInto(dst, v []float64, a [][]float64) {
+	n, m := rect("VecMatInto", a)
+	if len(v) != n {
+		panic(fmt.Sprintf("linalg: VecMatInto shape mismatch: %d-vector × %dx%d", len(v), n, m))
+	}
+	if len(dst) != m {
+		panic(fmt.Sprintf("linalg: VecMatInto destination length %d, want %d", len(dst), m))
+	}
+	if len(dst) > 0 && len(v) > 0 && &dst[0] == &v[0] {
+		panic("linalg: VecMatInto destination aliases the input vector")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i, vi := range v {
+		//dqnlint:allow floateq exact-zero sparsity skip: a zero term contributes exactly nothing for finite operands
+		if vi == 0 {
+			continue
+		}
+		for j, av := range a[i] {
+			dst[j] += vi * av
+		}
+	}
+}
+
+// Flatten converts a non-ragged nested matrix to the row-major flat
+// layout shared with internal/tensor.
+func Flatten(a [][]float64) (rows, cols int, flat []float64) {
+	rows, cols = rect("Flatten", a)
+	flat = make([]float64, rows*cols)
+	for i, r := range a {
+		copy(flat[i*cols:(i+1)*cols], r)
+	}
+	return rows, cols, flat
+}
+
+// Unflatten converts a row-major flat buffer back to nested row slices
+// (each row a sub-slice of one shared backing array, like Zeros).
+func Unflatten(rows, cols int, flat []float64) [][]float64 {
+	if len(flat) != rows*cols {
+		panic(fmt.Sprintf("linalg: Unflatten buffer length %d, want %d×%d=%d", len(flat), rows, cols, rows*cols))
+	}
+	out := make([][]float64, rows)
+	buf := make([]float64, rows*cols)
+	copy(buf, flat)
+	for i := range out {
+		out[i] = buf[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package linalg
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"deepqueuenet/internal/rng"
+)
+
+func randMatrix(r *rng.Rand, n, m int) [][]float64 {
+	a := Zeros(n, m)
+	for i := range a {
+		for j := range a[i] {
+			a[i][j] = r.Normal(0, 1)
+			if r.Intn(5) == 0 {
+				a[i][j] = 0 // exercise the sparsity-skip branches
+			}
+		}
+	}
+	return a
+}
+
+func randVector(r *rng.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.Normal(0, 1)
+	}
+	return v
+}
+
+func matBitsEqual(t *testing.T, op string, got, want [][]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", op, len(got), len(want))
+	}
+	for i := range want {
+		vecBitsEqual(t, op, got[i], want[i])
+	}
+}
+
+func vecBitsEqual(t *testing.T, op string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", op, len(got), len(want))
+	}
+	for j := range want {
+		if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+			t.Fatalf("%s: element %d differs bitwise: got %v want %v", op, j, got[j], want[j])
+		}
+	}
+}
+
+// TestLinalgIntoMatchesAllocating sweeps shapes and seeds checking the
+// in-place kernels against the allocating originals bit-for-bit.
+func TestLinalgIntoMatchesAllocating(t *testing.T) {
+	shapes := []struct{ n, k, m int }{{1, 1, 1}, {1, 4, 3}, {5, 1, 2}, {4, 6, 5}, {9, 8, 7}}
+	for seed := uint64(1); seed <= 6; seed++ {
+		r := rng.New(seed)
+		for _, s := range shapes {
+			a := randMatrix(r, s.n, s.k)
+			b := randMatrix(r, s.k, s.m)
+			dst := Zeros(s.n, s.m)
+			MulInto(dst, a, b)
+			matBitsEqual(t, "MulInto", dst, Mul(a, b))
+
+			c := randMatrix(r, s.n, s.k)
+			sum := Zeros(s.n, s.k)
+			AddInto(sum, a, c)
+			matBitsEqual(t, "AddInto", sum, Add(a, c))
+
+			v := randVector(r, s.k)
+			mv := make([]float64, s.n)
+			MatVecInto(mv, a, v)
+			vecBitsEqual(t, "MatVecInto", mv, MatVec(a, v))
+
+			u := randVector(r, s.n)
+			vm := make([]float64, s.k)
+			VecMatInto(vm, u, a)
+			vecBitsEqual(t, "VecMatInto", vm, VecMat(u, a))
+		}
+	}
+}
+
+// TestFlattenRoundTrip: nested → flat → nested must be lossless, and
+// the flat layout must be row-major.
+func TestFlattenRoundTrip(t *testing.T) {
+	r := rng.New(7)
+	for _, s := range []struct{ n, m int }{{1, 1}, {3, 5}, {8, 2}} {
+		a := randMatrix(r, s.n, s.m)
+		rows, cols, flat := Flatten(a)
+		if rows != s.n || cols != s.m {
+			t.Fatalf("Flatten shape (%d,%d), want (%d,%d)", rows, cols, s.n, s.m)
+		}
+		for i := 0; i < rows; i++ {
+			vecBitsEqual(t, "Flatten row-major", flat[i*cols:(i+1)*cols], a[i])
+		}
+		matBitsEqual(t, "Unflatten", Unflatten(rows, cols, flat), a)
+	}
+}
+
+// TestAddIntoAliasing: AddInto documents dst == a as safe.
+func TestAddIntoAliasing(t *testing.T) {
+	r := rng.New(13)
+	a := randMatrix(r, 4, 3)
+	b := randMatrix(r, 4, 3)
+	want := Add(a, b)
+	dst := Clone(a)
+	AddInto(dst, dst, b)
+	matBitsEqual(t, "AddInto(dst==a)", dst, want)
+}
+
+func wantPanic(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("want panic containing %q, got %v", substr, r)
+		}
+	}()
+	f()
+}
+
+// TestRaggedRejected: the allocating kernels must reject ragged
+// operands with a descriptive panic instead of silently mis-multiplying
+// (the historical bug: Mul only checked the first row of a).
+func TestRaggedRejected(t *testing.T) {
+	ragged := [][]float64{{1, 2, 3}, {4, 5}, {6, 7, 8}}
+	square := Eye(3)
+	vec := []float64{1, 2, 3}
+
+	wantPanic(t, "ragged", func() { Mul(ragged, square) })
+	wantPanic(t, "ragged", func() { Mul(square, ragged) })
+	wantPanic(t, "ragged", func() { Add(square, ragged) })
+	wantPanic(t, "ragged", func() { VecMat(vec, ragged) })
+	wantPanic(t, "row 1 has 2 columns", func() { MatVec(ragged, vec) })
+	wantPanic(t, "ragged", func() { MulInto(Zeros(3, 3), ragged, square) })
+	wantPanic(t, "ragged", func() { Flatten(ragged) })
+}
+
+// TestShapeMismatchMessages: dimension mismatches must name the shapes.
+func TestShapeMismatchMessages(t *testing.T) {
+	wantPanic(t, "2x3 × 2x2", func() { Mul(Zeros(2, 3), Zeros(2, 2)) })
+	wantPanic(t, "2x2 + 3x2", func() { Add(Zeros(2, 2), Zeros(3, 2)) })
+	wantPanic(t, "2-vector × 3x3", func() { VecMat([]float64{1, 2}, Eye(3)) })
+	wantPanic(t, "destination is 2x2, want 2x3", func() { MulInto(Zeros(2, 2), Zeros(2, 4), Zeros(4, 3)) })
+	wantPanic(t, "destination length 2, want 3", func() { MatVecInto(make([]float64, 2), Eye(3), []float64{1, 2, 3}) })
+}
+
+// TestLinalgIntoAliasingRejected: kernels that zero dst before reading
+// inputs must reject aliasing.
+func TestLinalgIntoAliasingRejected(t *testing.T) {
+	sq := Eye(3)
+	v := []float64{1, 2, 3}
+	wantPanic(t, "aliases", func() { MulInto(sq, sq, Eye(3)) })
+	wantPanic(t, "aliases", func() { MulInto(sq, Eye(3), sq) })
+	wantPanic(t, "aliases", func() { VecMatInto(v, v, sq) })
+	wantPanic(t, "aliases", func() { MatVecInto(v, sq, v) })
+}

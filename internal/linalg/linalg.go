@@ -10,6 +10,7 @@ package linalg
 
 import (
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -41,13 +42,15 @@ func Clone(a [][]float64) [][]float64 {
 	return out
 }
 
-// Mul returns a×b.
+// Mul returns a×b. Both operands must be rectangular (no ragged rows)
+// with matching inner dimensions; violations panic with the offending
+// shape.
 func Mul(a, b [][]float64) [][]float64 {
-	n, k := len(a), len(b)
-	if k == 0 || len(a[0]) != k {
-		panic("linalg: Mul shape mismatch")
+	n, ak := rect("Mul", a)
+	k, m := rect("Mul", b)
+	if k == 0 || ak != k {
+		panic(fmt.Sprintf("linalg: Mul shape mismatch: %dx%d × %dx%d", n, ak, k, m))
 	}
-	m := len(b[0])
 	out := Zeros(n, m)
 	for i := 0; i < n; i++ {
 		for p := 0; p < k; p++ {
@@ -66,8 +69,13 @@ func Mul(a, b [][]float64) [][]float64 {
 	return out
 }
 
-// Add returns a+b.
+// Add returns a+b. Shapes must match exactly (no ragged rows).
 func Add(a, b [][]float64) [][]float64 {
+	n, m := rect("Add", a)
+	bn, bm := rect("Add", b)
+	if bn != n || bm != m {
+		panic(fmt.Sprintf("linalg: Add shape mismatch: %dx%d + %dx%d", n, m, bn, bm))
+	}
 	out := Clone(a)
 	for i := range b {
 		for j := range b[i] {
@@ -88,12 +96,14 @@ func Scale(a [][]float64, s float64) [][]float64 {
 	return out
 }
 
-// VecMat returns the row vector v×a.
+// VecMat returns the row vector v×a. a must be rectangular with
+// len(v) rows.
 func VecMat(v []float64, a [][]float64) []float64 {
-	if len(v) != len(a) {
-		panic("linalg: VecMat shape mismatch")
+	n, m := rect("VecMat", a)
+	if len(v) != n {
+		panic(fmt.Sprintf("linalg: VecMat shape mismatch: %d-vector × %dx%d", len(v), n, m))
 	}
-	out := make([]float64, len(a[0]))
+	out := make([]float64, m)
 	for i, vi := range v {
 		//dqnlint:allow floateq exact-zero sparsity skip: a zero term contributes exactly nothing for finite operands
 		if vi == 0 {
@@ -106,12 +116,13 @@ func VecMat(v []float64, a [][]float64) []float64 {
 	return out
 }
 
-// MatVec returns a×v as a column vector.
+// MatVec returns a×v as a column vector. Every row of a must have
+// exactly len(v) columns.
 func MatVec(a [][]float64, v []float64) []float64 {
 	out := make([]float64, len(a))
 	for i := range a {
 		if len(a[i]) != len(v) {
-			panic("linalg: MatVec shape mismatch")
+			panic(fmt.Sprintf("linalg: MatVec shape mismatch: row %d has %d columns, want %d", i, len(a[i]), len(v)))
 		}
 		s := 0.0
 		for j, av := range a[i] {

@@ -1,0 +1,253 @@
+package nn
+
+import (
+	"math"
+
+	"deepqueuenet/internal/tensor"
+)
+
+// Inference fast path: every built-in layer implements inferLayer, a
+// forward pass that (a) writes no layer caches, so a model can be
+// shared read-only across goroutines, and (b) takes every intermediate
+// from a tensor.Arena, so a warmed arena runs a whole window with zero
+// heap allocations. The arithmetic — operation kinds, accumulation
+// order, sparsity skips — is copied from each layer's Forward, so
+// Infer results are bit-identical to Forward results; the golden-trace
+// and infer-equivalence tests enforce that.
+
+// inferLayer is the allocation-free, cache-free forward pass.
+type inferLayer interface {
+	infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix
+}
+
+// Infer runs a forward pass for inference only. The returned matrix is
+// backed by a and valid until a.Reset; copy it out to keep it.
+//
+// Unlike Forward, Infer does not touch layer caches: when every layer
+// is one of the built-in kinds, a single *Sequential may be shared by
+// any number of goroutines each holding its own Arena. A custom Layer
+// type falls back to its Forward (correct, but cache-writing — such a
+// model must not be shared).
+func (s *Sequential) Infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
+	for i := 0; i < len(s.Layers); i++ {
+		if d, ok := s.Layers[i].(*Dense); ok {
+			// Fused dense+activation: one pass over the output rows.
+			act := tensor.ActNone
+			if i+1 < len(s.Layers) {
+				if av, ok := s.Layers[i+1].(*Activation); ok {
+					act = av.actKind()
+					i++
+				}
+			}
+			y := a.NewMatrix(x.Rows, d.Out)
+			tensor.MatMulBiasActInto(y, x, d.w.W, d.b.W, act)
+			x = y
+			continue
+		}
+		if il, ok := s.Layers[i].(inferLayer); ok {
+			x = il.infer(x, a)
+			continue
+		}
+		x = s.Layers[i].Forward(x)
+	}
+	return x
+}
+
+// actKind maps the activation name to the fused-kernel enum.
+func (a *Activation) actKind() tensor.ActKind {
+	switch a.Kind {
+	case "tanh":
+		return tensor.ActTanh
+	case "relu":
+		return tensor.ActRelu
+	case "sigmoid":
+		return tensor.ActSigmoid
+	}
+	return tensor.ActNone
+}
+
+func (d *Dense) infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
+	y := a.NewMatrix(x.Rows, d.Out)
+	tensor.MatMulBiasActInto(y, x, d.w.W, d.b.W, tensor.ActNone)
+	return y
+}
+
+func (a *Activation) infer(x *tensor.Matrix, ar *tensor.Arena) *tensor.Matrix {
+	y := ar.NewMatrix(x.Rows, x.Cols)
+	switch a.Kind {
+	case "tanh":
+		tensor.ApplyInto(y, x, math.Tanh)
+	case "relu":
+		tensor.ApplyInto(y, x, func(v float64) float64 {
+			if v < 0 {
+				return 0
+			}
+			return v
+		})
+	case "sigmoid":
+		tensor.ApplyInto(y, x, sigmoid)
+	}
+	return y
+}
+
+func (l *LSTM) infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
+	T, H := x.Rows, l.Hidden
+	z := a.NewMatrix(T, 4*H)
+	tensor.MatMulInto(z, x, l.wx.W)
+	hs := a.NewMatrix(T, H)
+	hPrev := a.AllocZero(H)
+	cPrev := a.AllocZero(H)
+	whr := l.wh.W
+	for t := 0; t < T; t++ {
+		zr := z.Row(t)
+		for k := 0; k < H; k++ {
+			hv := hPrev[k]
+			//dqnlint:allow floateq exact-zero sparsity skip: zero activations (t=0 state) contribute exactly nothing
+			if hv == 0 {
+				continue
+			}
+			wrow := whr.Row(k)
+			for j := 0; j < 4*H; j++ {
+				zr[j] += hv * wrow[j]
+			}
+		}
+		for j := 0; j < 4*H; j++ {
+			zr[j] += l.b.W.Data[j]
+		}
+		hr := hs.Row(t)
+		for k := 0; k < H; k++ {
+			gi := sigmoid(zr[k])
+			gf := sigmoid(zr[H+k])
+			go_ := sigmoid(zr[2*H+k])
+			gg := math.Tanh(zr[3*H+k])
+			cv := gf*cPrev[k] + gi*gg
+			cPrev[k] = cv
+			hr[k] = go_ * math.Tanh(cv)
+		}
+		hPrev = hr
+	}
+	return hs
+}
+
+func (b *BLSTM) infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
+	rx := a.NewMatrix(x.Rows, x.Cols)
+	tensor.ReverseRowsInto(rx, x)
+	yf := b.fwd.infer(x, a)
+	yb := b.bwd.infer(rx, a)
+	ryb := a.NewMatrix(yb.Rows, yb.Cols)
+	tensor.ReverseRowsInto(ryb, yb)
+	out := a.NewMatrix(yf.Rows, yf.Cols+ryb.Cols)
+	tensor.ConcatColsInto(out, yf, ryb)
+	return out
+}
+
+func (m *MultiHeadSelfAttention) infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
+	T := x.Rows
+	q := a.NewMatrix(T, m.Heads*m.DK)
+	k := a.NewMatrix(T, m.Heads*m.DK)
+	v := a.NewMatrix(T, m.Heads*m.DV)
+	tensor.MatMulInto(q, x, m.wq.W)
+	tensor.MatMulInto(k, x, m.wk.W)
+	tensor.MatMulInto(v, x, m.wv.W)
+	concat := a.NewMatrixZero(T, m.Heads*m.DV)
+	scale := 1 / math.Sqrt(float64(m.DK))
+	qh := a.NewMatrix(T, m.DK)
+	kh := a.NewMatrix(T, m.DK)
+	vh := a.NewMatrix(T, m.DV)
+	s := a.NewMatrix(T, T)
+	oh := a.NewMatrix(T, m.DV)
+	for h := 0; h < m.Heads; h++ {
+		tensor.ColSliceInto(qh, q, h*m.DK, (h+1)*m.DK)
+		tensor.ColSliceInto(kh, k, h*m.DK, (h+1)*m.DK)
+		tensor.ColSliceInto(vh, v, h*m.DV, (h+1)*m.DV)
+		tensor.MatMulTInto(s, qh, kh)
+		s.Scale(scale)
+		tensor.SoftmaxRows(s)
+		tensor.MatMulInto(oh, s, vh)
+		headScatter(concat, oh, h, m.DV)
+	}
+	y := a.NewMatrix(T, m.Out)
+	tensor.MatMulBiasActInto(y, concat, m.wo.W, m.bo.W, tensor.ActNone)
+	return y
+}
+
+func (t *TakeLast) infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
+	out := a.NewMatrix(1, x.Cols)
+	copy(out.Row(0), x.Row(x.Rows-1))
+	return out
+}
+
+func (t *TakeAt) infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
+	i := t.Index
+	if i < 0 {
+		i = 0
+	}
+	if i >= x.Rows {
+		i = x.Rows - 1
+	}
+	out := a.NewMatrix(1, x.Cols)
+	copy(out.Row(0), x.Row(i))
+	return out
+}
+
+func (p *MeanPool) infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
+	out := a.NewMatrixZero(1, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	out.Scale(1 / float64(x.Rows))
+	return out
+}
+
+func (l *LayerNorm) infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
+	y := a.NewMatrix(x.Rows, x.Cols)
+	for t := 0; t < x.Rows; t++ {
+		row := x.Row(t)
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(len(row))
+		variance := 0.0
+		for _, v := range row {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float64(len(row))
+		inv := 1 / math.Sqrt(variance+lnEps)
+		yr := y.Row(t)
+		for j, v := range row {
+			nrv := (v - mean) * inv
+			yr[j] = nrv*l.gamma.W.Data[j] + l.beta.W.Data[j]
+		}
+	}
+	return y
+}
+
+// PredictBatchInto runs sequential inference over xs, copying each
+// window's output into the pre-shaped matrices of out (out[i] must
+// match the forward output shape of xs[i]). With a warmed arena this
+// performs zero heap allocations — the steady state the IRSA loop runs
+// in, pinned by TestPredictBatchIntoZeroAllocs.
+func PredictBatchInto(model *Sequential, xs, out []*tensor.Matrix, a *tensor.Arena) {
+	if len(out) != len(xs) {
+		panic("nn: PredictBatchInto output length mismatch")
+	}
+	for i, x := range xs {
+		a.Reset()
+		y := model.Infer(x, a)
+		out[i].CopyFrom(y)
+	}
+}
+
+// predictRange infers xs[i] for i ≡ w (mod stride), cloning results out
+// of the worker's arena.
+func predictRange(model *Sequential, xs, out []*tensor.Matrix, w, stride int, a *tensor.Arena) {
+	for i := w; i < len(xs); i += stride {
+		a.Reset()
+		out[i] = model.Infer(xs[i], a).Clone()
+	}
+}

@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"deepqueuenet/internal/rng"
+	"deepqueuenet/internal/tensor"
+)
+
+// inferTestModel exercises every built-in layer kind, including the
+// dense+activation fusion peephole and the attention/BLSTM paths.
+func inferTestModel(t *testing.T) *Sequential {
+	t.Helper()
+	r := rng.New(42)
+	return NewSequential(
+		NewDense(6, 12, r),
+		NewActivation("tanh"),
+		NewBLSTM(12, 8, r),
+		NewLayerNorm(16),
+		NewMultiHeadSelfAttention(16, 10, 2, 4, 4, r),
+		NewActivation("relu"),
+		NewDense(10, 5, r),
+		NewActivation("sigmoid"),
+		NewDense(5, 1, r),
+	)
+}
+
+// sparseInput draws a normal input and zeroes every 7th element so the
+// sparsity-skip branches of the kernels are exercised.
+func sparseInput(rows, cols int, seed uint64) *tensor.Matrix {
+	x := randInput(seed, rows, cols)
+	for i := 0; i < len(x.Data); i += 7 {
+		x.Data[i] = 0
+	}
+	return x
+}
+
+// TestInferMatchesForwardBitwise is the load-bearing equivalence test:
+// the cache-free arena path must reproduce Forward to the bit, or the
+// golden traces (generated pre-rewrite) would drift.
+func TestInferMatchesForwardBitwise(t *testing.T) {
+	m := inferTestModel(t)
+	a := tensor.NewArena()
+	for trial := uint64(0); trial < 5; trial++ {
+		x := sparseInput(16, 6, 100+trial)
+		want := m.Forward(x)
+		a.Reset()
+		got := m.Infer(x, a)
+		if got.Rows != want.Rows || got.Cols != want.Cols {
+			t.Fatalf("trial %d: shape (%d,%d) != (%d,%d)", trial, got.Rows, got.Cols, want.Rows, want.Cols)
+		}
+		for i := range want.Data {
+			if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+				t.Fatalf("trial %d: element %d differs bitwise: infer %v forward %v",
+					trial, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestInferLayerCoverage fails when a built-in layer kind is missing the
+// arena fast path, which would silently fall back to cache-writing
+// Forward and break model sharing across shards.
+func TestInferLayerCoverage(t *testing.T) {
+	for _, l := range inferTestModel(t).Layers {
+		if _, ok := l.(inferLayer); !ok {
+			t.Errorf("layer %T does not implement the cache-free infer path", l)
+		}
+	}
+	r := rng.New(1)
+	for _, l := range []Layer{NewTakeLast(), NewTakeAt(3), NewMeanPool(), NewLSTM(4, 4, r)} {
+		if _, ok := l.(inferLayer); !ok {
+			t.Errorf("layer %T does not implement the cache-free infer path", l)
+		}
+	}
+}
+
+// TestPredictBatchMatchesSequential checks the shared-model parallel
+// path against single-threaded Forward.
+func TestPredictBatchMatchesSequential(t *testing.T) {
+	m := inferTestModel(t)
+	xs := make([]*tensor.Matrix, 9)
+	for i := range xs {
+		xs[i] = sparseInput(16, 6, 300+uint64(i))
+	}
+	want := make([]*tensor.Matrix, len(xs))
+	for i, x := range xs {
+		want[i] = m.Forward(x).Clone()
+	}
+	got := PredictBatch(m, xs, 4)
+	for i := range xs {
+		for j := range want[i].Data {
+			if math.Float64bits(got[i].Data[j]) != math.Float64bits(want[i].Data[j]) {
+				t.Fatalf("sample %d element %d differs bitwise", i, j)
+			}
+		}
+	}
+}
+
+// TestPredictBatchIntoZeroAllocs pins the steady-state allocation count
+// of the hot inference loop at exactly zero. AllocsPerRun performs a
+// warm-up call first, which is what fills the arena to peak demand.
+func TestPredictBatchIntoZeroAllocs(t *testing.T) {
+	m := inferTestModel(t)
+	xs := []*tensor.Matrix{sparseInput(16, 6, 1), sparseInput(16, 6, 2)}
+	out := []*tensor.Matrix{tensor.New(16, 1), tensor.New(16, 1)}
+	a := tensor.NewArena()
+	allocs := testing.AllocsPerRun(20, func() {
+		PredictBatchInto(m, xs, out, a)
+	})
+	if allocs != 0 {
+		t.Fatalf("PredictBatchInto allocated %.0f times per run; want 0", allocs)
+	}
+}

@@ -237,11 +237,11 @@ func PredictBatch(model *Sequential, xs []*tensor.Matrix, workers int) []*tensor
 		return out
 	}
 	if workers <= 1 {
-		for i, x := range xs {
-			out[i] = model.Forward(x)
-		}
+		predictRange(model, xs, out, 0, 1, tensor.NewArena())
 		return out
 	}
+	// Infer is cache-free, so all workers share the model read-only;
+	// each worker owns an arena for its intermediates.
 	var wg sync.WaitGroup
 	panics := make([]*guard.WorkerError, workers)
 	for w := 0; w < workers; w++ {
@@ -253,10 +253,7 @@ func PredictBatch(model *Sequential, xs []*tensor.Matrix, workers int) []*tensor
 					panics[w] = we
 				}
 			}()
-			rep := model.Clone()
-			for i := w; i < len(xs); i += workers {
-				out[i] = rep.Forward(xs[i])
-			}
+			predictRange(model, xs, out, w, workers, tensor.NewArena())
 		}(w)
 	}
 	wg.Wait()

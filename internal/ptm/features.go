@@ -71,8 +71,22 @@ func schedOneHot(kind des.SchedKind) [5]float64 {
 // normalizes the in-port index so one model serves devices of any port
 // count up to its training degree.
 func Featurize(stream []PacketIn, kind des.SchedKind, numPorts int, rateBps float64) ([][]float64, Aux) {
-	rows := make([][]float64, len(stream))
+	flat := make([]float64, len(stream)*NumFeatures)
 	aux := Aux{Tx: make([]float64, len(stream)), Backlog: make([]float64, len(stream))}
+	featurizeFlat(flat, aux.Tx, aux.Backlog, stream, kind, numPorts, rateBps)
+	rows := make([][]float64, len(stream))
+	for i := range rows {
+		rows[i] = flat[i*NumFeatures : (i+1)*NumFeatures : (i+1)*NumFeatures]
+	}
+	return rows, aux
+}
+
+// featurizeFlat is the allocation-free featurization core: it fills a
+// caller-owned row-major len(stream)×NumFeatures buffer plus the tx and
+// backlog aux slices (each len(stream) long). Featurize and the
+// inference session both delegate here, so scaled-path and flat-path
+// features are the same float64s.
+func featurizeFlat(flat, txs, backlogs []float64, stream []PacketIn, kind des.SchedKind, numPorts int, rateBps float64) {
 	oh := schedOneHot(kind)
 	ema := 0.0
 	prevT := 0.0
@@ -92,8 +106,8 @@ func Featurize(stream []PacketIn, kind des.SchedKind, numPorts int, rateBps floa
 			}
 		}
 		prevTx = tx
-		aux.Tx[i] = tx
-		aux.Backlog[i] = work
+		txs[i] = tx
+		backlogs[i] = work
 
 		if i == 0 {
 			ema = float64(p.Size)
@@ -104,21 +118,23 @@ func Featurize(stream []PacketIn, kind des.SchedKind, numPorts int, rateBps floa
 		if numPorts > 1 {
 			inPort = float64(p.InPort) / float64(numPorts-1)
 		}
-		rows[i] = []float64{
-			iat,                    // raw inter-arrival (seconds)
-			math.Log1p(iat * 1e6),  // log-scale IAT (µs reference)
-			float64(p.Size),        // packet length (bytes)
-			tx,                     // transmission time (seconds)
-			ema,                    // workload EMA (bytes, α = 0.95)
-			work,                   // backlog at arrival (seconds)
-			math.Log1p(work * 1e6), // log-scale backlog
-			float64(p.Class),       // priority / weight class
-			p.Weight,               // class weight
-			oh[0], oh[1], oh[2], oh[3], oh[4],
-			inPort,
-		}
+		row := flat[i*NumFeatures : (i+1)*NumFeatures]
+		row[0] = iat                    // raw inter-arrival (seconds)
+		row[1] = math.Log1p(iat * 1e6)  // log-scale IAT (µs reference)
+		row[2] = float64(p.Size)        // packet length (bytes)
+		row[3] = tx                     // transmission time (seconds)
+		row[4] = ema                    // workload EMA (bytes, α = 0.95)
+		row[5] = work                   // backlog at arrival (seconds)
+		row[6] = math.Log1p(work * 1e6) // log-scale backlog
+		row[7] = float64(p.Class)       // priority / weight class
+		row[8] = p.Weight               // class weight
+		row[9] = oh[0]
+		row[10] = oh[1]
+		row[11] = oh[2]
+		row[12] = oh[3]
+		row[13] = oh[4]
+		row[14] = inPort
 	}
-	return rows, aux
 }
 
 // Chunk identifies one sequence chunk: the model consumes rows
@@ -135,16 +151,21 @@ type Chunk struct {
 // Chunks tiles a stream of n packets with chunks of length c and
 // bidirectional margin m, covering every position exactly once.
 func Chunks(n, c, m int) []Chunk {
+	return chunksAppend(nil, n, c, m)
+}
+
+// chunksAppend appends the tiling to out (reusing its backing array),
+// so steady-state inference re-windows a stream without allocating.
+func chunksAppend(out []Chunk, n, c, m int) []Chunk {
 	if n <= 0 {
-		return nil
+		return out
 	}
 	if c <= 2*m {
 		panic("ptm: chunk length must exceed twice the margin")
 	}
 	if n <= c {
-		return []Chunk{{Start: 0, Lo: 0, Hi: n}}
+		return append(out, Chunk{Start: 0, Lo: 0, Hi: n})
 	}
-	var out []Chunk
 	step := c - 2*m
 	// First chunk has no left neighbour: it owns its left edge.
 	out = append(out, Chunk{Start: 0, Lo: 0, Hi: c - m})
@@ -154,8 +175,7 @@ func Chunks(n, c, m int) []Chunk {
 			// Final chunk owns its right edge; anchor it at the end.
 			st := n - c
 			prevHi := out[len(out)-1].Start + out[len(out)-1].Hi
-			out = append(out, Chunk{Start: st, Lo: prevHi - st, Hi: c})
-			return out
+			return append(out, Chunk{Start: st, Lo: prevHi - st, Hi: c})
 		}
 		out = append(out, Chunk{Start: start, Lo: m, Hi: c - m})
 		start += step
@@ -178,4 +198,21 @@ func (ck Chunk) Materialize(rows [][]float64, c int, sc *MinMax) *tensor.Matrix 
 		}
 	}
 	return w
+}
+
+// materializeInto is Materialize against a flat n×NumFeatures feature
+// buffer, writing into a reusable window matrix (x.Rows is the chunk
+// length).
+func (ck Chunk) materializeInto(x *tensor.Matrix, flat []float64, n int, sc *MinMax) {
+	for t := 0; t < x.Rows; t++ {
+		src := ck.Start + t
+		if src >= n {
+			src = n - 1
+		}
+		row := x.Row(t)
+		copy(row, flat[src*NumFeatures:(src+1)*NumFeatures])
+		if sc != nil {
+			sc.Transform(row)
+		}
+	}
 }

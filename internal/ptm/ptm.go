@@ -98,6 +98,12 @@ type PTM struct {
 	Margin    int
 	NumPorts  int // training device degree K
 	SECBins   []dbscan.Bin
+
+	// sess is the lazily-created single-threaded inference scratch
+	// (flat buffers + tensor arena). It makes the sequential prediction
+	// paths allocation-free in steady state and — like the layer caches
+	// it replaces — non-goroutine-safe; parallel callers use Clone.
+	sess *session
 }
 
 // New builds an untrained PTM with the given architecture and device
@@ -170,6 +176,14 @@ func (p *PTM) PredictStream(stream []PacketIn, kind des.SchedKind, rateBps float
 	if len(stream) == 0 {
 		return nil
 	}
+	if workers <= 1 {
+		// Sequential path: the session reuses flat feature buffers and
+		// the arena behind the cache-free Infer, so steady-state windows
+		// allocate nothing. Bit-identical to the batch path below.
+		out := make([]float64, len(stream))
+		p.predictInto(p.getSession(), out, stream, kind, rateBps)
+		return out
+	}
 	rows, aux := Featurize(stream, kind, p.NumPorts, rateBps)
 	chunks := Chunks(len(stream), p.TimeSteps, p.Margin)
 	xs := make([]*tensor.Matrix, len(chunks))
@@ -179,25 +193,7 @@ func (p *PTM) PredictStream(stream []PacketIn, kind des.SchedKind, rateBps float
 	preds := nn.PredictBatch(p.Net, xs, workers)
 	out := make([]float64, len(stream))
 	for ci, ck := range chunks {
-		y := preds[ci]
-		for t := ck.Lo; t < ck.Hi; t++ {
-			pos := ck.Start + t
-			if pos >= len(stream) {
-				break
-			}
-			v := y.At(t, 0)
-			// Bound extrapolation modestly beyond the trained target
-			// range (unseen-load generalization, Fig. 9) without
-			// runaway tails.
-			if v < -0.1 {
-				v = -0.1
-			}
-			if v > 1.1 {
-				v = 1.1
-			}
-			resid := p.applySEC(p.unscaleTarget(v)) // residual space
-			out[pos] = TargetInverse(resid, aux.Backlog[pos], aux.Tx[pos])
-		}
+		p.consumeChunk(out, preds[ci], ck, len(stream), aux.Tx, aux.Backlog)
 	}
 	return out
 }
@@ -399,6 +395,17 @@ func Load(path string) (*PTM, error) {
 func (p *PTM) Clone() *PTM {
 	c := *p
 	c.Net = p.Net.Clone()
+	c.sess = nil // sessions are per-owner scratch, never shared
+	return &c
+}
+
+// WithoutSEC returns a copy of p with the SEC residual bins stripped
+// (the §4.3 ablation). The copy shares the network weights but no
+// mutable inference scratch.
+func (p *PTM) WithoutSEC() *PTM {
+	c := *p
+	c.SECBins = nil
+	c.sess = nil
 	return &c
 }
 

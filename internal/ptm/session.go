@@ -1,0 +1,131 @@
+package ptm
+
+import (
+	"deepqueuenet/internal/des"
+	"deepqueuenet/internal/tensor"
+)
+
+// session is the reusable scratch state of single-threaded PTM
+// inference: flat feature/aux buffers, the chunk list, one window
+// matrix, and the tensor arena behind the network's cache-free Infer
+// path. All of it is grow-only, so once a session has seen its largest
+// stream, every further prediction runs with zero heap allocations
+// (pinned by TestPredictStreamIntoZeroAllocs).
+//
+// A session is not goroutine-safe; it is owned by one *PTM and used by
+// its single-threaded prediction paths. Shard-parallel callers give
+// each shard its own model clone (CloneModel), hence its own session.
+type session struct {
+	arena   *tensor.Arena
+	feats   []float64 // n × NumFeatures, row-major
+	tx      []float64
+	backlog []float64
+	chunks  []Chunk
+	x       *tensor.Matrix // TimeSteps × NumFeatures window
+}
+
+func newSession(timeSteps int) *session {
+	return &session{arena: tensor.NewArena(), x: tensor.New(timeSteps, NumFeatures)}
+}
+
+// growFloats returns buf resized to n, reusing its backing array when
+// large enough.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// predictInto is the allocation-free core of PredictStream: featurize
+// into the session's flat buffers, window the stream, run each window
+// through the arena-backed Infer path, and consume predictions into
+// dst. dst must be len(stream) long.
+func (p *PTM) predictInto(s *session, dst []float64, stream []PacketIn, kind des.SchedKind, rateBps float64) {
+	n := len(stream)
+	s.feats = growFloats(s.feats, n*NumFeatures)
+	s.tx = growFloats(s.tx, n)
+	s.backlog = growFloats(s.backlog, n)
+	featurizeFlat(s.feats, s.tx, s.backlog, stream, kind, p.NumPorts, rateBps)
+	s.chunks = chunksAppend(s.chunks[:0], n, p.TimeSteps, p.Margin)
+	for _, ck := range s.chunks {
+		ck.materializeInto(s.x, s.feats, n, p.Feat)
+		s.arena.Reset()
+		y := p.Net.Infer(s.x, s.arena)
+		p.consumeChunk(dst, y, ck, n, s.tx, s.backlog)
+	}
+}
+
+// consumeChunk maps one window's raw network outputs to sojourn times:
+// clamp to the modest extrapolation range, SEC-correct in residual
+// space, unscale, and invert the target transform against the packet's
+// deterministic backlog and transmission time.
+func (p *PTM) consumeChunk(dst []float64, y *tensor.Matrix, ck Chunk, n int, tx, backlog []float64) {
+	for t := ck.Lo; t < ck.Hi; t++ {
+		pos := ck.Start + t
+		if pos >= n {
+			break
+		}
+		v := y.At(t, 0)
+		// Bound extrapolation modestly beyond the trained target
+		// range (unseen-load generalization, Fig. 9) without
+		// runaway tails.
+		if v < -0.1 {
+			v = -0.1
+		}
+		if v > 1.1 {
+			v = 1.1
+		}
+		resid := p.applySEC(p.unscaleTarget(v)) // residual space
+		dst[pos] = TargetInverse(resid, backlog[pos], tx[pos])
+	}
+}
+
+// getSession returns the model's lazily-created inference session.
+func (p *PTM) getSession() *session {
+	if p.sess == nil {
+		p.sess = newSession(p.TimeSteps)
+	}
+	return p.sess
+}
+
+// PredictStreamInto is PredictStream with caller-owned output storage:
+// predictions for stream are written into dst (grown if needed) and the
+// n-length prediction slice is returned. Repeated calls on streams no
+// longer than the largest seen reuse every internal buffer and perform
+// zero heap allocations. Like PredictStream, it is not goroutine-safe.
+func (p *PTM) PredictStreamInto(dst []float64, stream []PacketIn, kind des.SchedKind, rateBps float64) []float64 {
+	if len(stream) == 0 {
+		return dst[:0]
+	}
+	dst = growFloats(dst, len(stream))
+	p.predictInto(p.getSession(), dst, stream, kind, rateBps)
+	return dst
+}
+
+// PortStream is one egress port's inference batch inside PredictDevice:
+// the sorted ingress stream, the port line rate, and the output slice
+// the sojourn predictions are written to (reused when large enough).
+type PortStream struct {
+	Stream  []PacketIn
+	RateBps float64
+	Out     []float64
+}
+
+// PredictDevice predicts sojourn times for every egress port of one
+// device in a single batched call: all ports' windows run through one
+// session (one arena, one window matrix, shared flat buffers) instead
+// of a PredictStream round-trip per port. Each port's predictions land
+// in ports[i].Out. Not goroutine-safe.
+func (p *PTM) PredictDevice(ports []PortStream, kind des.SchedKind) {
+	s := p.getSession()
+	for i := range ports {
+		ps := &ports[i]
+		if len(ps.Stream) == 0 {
+			ps.Out = ps.Out[:0]
+			continue
+		}
+		ps.Out = growFloats(ps.Out, len(ps.Stream))
+		p.predictInto(s, ps.Out, ps.Stream, kind, ps.RateBps)
+	}
+}

@@ -1,0 +1,143 @@
+package ptm
+
+import (
+	"math"
+	"testing"
+
+	"deepqueuenet/internal/des"
+	"deepqueuenet/internal/rng"
+)
+
+func sessionModel(t *testing.T) *PTM {
+	t.Helper()
+	p, err := Synthetic(Arch{}, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func testStream(n int, seed uint64) []PacketIn {
+	r := rng.New(seed)
+	stream := make([]PacketIn, n)
+	tm := 0.0
+	for i := range stream {
+		tm += r.Exp(1e6)
+		stream[i] = PacketIn{Arrive: tm, Size: 64 + r.Intn(1400), InPort: r.Intn(8), Class: r.Intn(3), Weight: 1}
+	}
+	return stream
+}
+
+func sojournsBitsEqual(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d predictions, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: packet %d differs bitwise: got %v want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestPredictStreamIntoMatchesBatchPath: the session fast path and the
+// chunk-parallel PredictBatch path must produce bit-identical sojourns.
+// Streams shrink between calls so stale-buffer reuse would be caught.
+func TestPredictStreamIntoMatchesBatchPath(t *testing.T) {
+	p := sessionModel(t)
+	var dst []float64
+	for i, n := range []int{200, 37, 128, 5, 1} {
+		stream := testStream(n, 50+uint64(i))
+		want := p.PredictStream(stream, des.FIFO, 10e9, 4) // batch path
+		dst = p.PredictStreamInto(dst, stream, des.FIFO, 10e9)
+		sojournsBitsEqual(t, "PredictStreamInto", dst, want)
+		seq := p.PredictStream(stream, des.FIFO, 10e9, 1) // session path
+		sojournsBitsEqual(t, "PredictStream(workers=1)", seq, want)
+	}
+}
+
+// TestPredictDeviceMatchesPerPort: the device-batched call must equal
+// per-port PredictStream results, port by port.
+func TestPredictDeviceMatchesPerPort(t *testing.T) {
+	p := sessionModel(t)
+	ports := []PortStream{
+		{Stream: testStream(90, 1), RateBps: 10e9},
+		{Stream: nil, RateBps: 10e9}, // empty port must stay empty
+		{Stream: testStream(40, 2), RateBps: 1e9},
+		{Stream: testStream(7, 3), RateBps: 40e9},
+	}
+	p.PredictDevice(ports, des.SP)
+	ref := sessionModel(t)
+	for i, ps := range ports {
+		want := ref.PredictStream(ps.Stream, des.SP, ps.RateBps, 1)
+		if len(ps.Stream) == 0 {
+			if len(ports[i].Out) != 0 {
+				t.Fatalf("port %d: empty stream produced %d predictions", i, len(ports[i].Out))
+			}
+			continue
+		}
+		sojournsBitsEqual(t, "PredictDevice", ports[i].Out, want)
+	}
+}
+
+// TestPredictStreamIntoZeroAllocs pins the steady-state allocation
+// count of the per-window inference path at exactly zero: one warmed
+// session must serve repeated streams entirely from reused buffers.
+// (testing.AllocsPerRun runs one warm-up call before measuring, which
+// is what grows the arena and flat buffers to peak demand.)
+func TestPredictStreamIntoZeroAllocs(t *testing.T) {
+	p := sessionModel(t)
+	stream := testStream(150, 9)
+	dst := make([]float64, len(stream))
+	allocs := testing.AllocsPerRun(10, func() {
+		dst = p.PredictStreamInto(dst, stream, des.FIFO, 10e9)
+	})
+	if allocs != 0 {
+		t.Fatalf("PredictStreamInto allocated %.0f times per stream; want 0", allocs)
+	}
+}
+
+// TestPredictDeviceZeroAllocs: the device-batched path must also run
+// allocation-free once warm, including its per-port Out slices.
+func TestPredictDeviceZeroAllocs(t *testing.T) {
+	p := sessionModel(t)
+	ports := []PortStream{
+		{Stream: testStream(80, 4), RateBps: 10e9},
+		{Stream: testStream(33, 5), RateBps: 1e9},
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		p.PredictDevice(ports, des.FIFO)
+	})
+	if allocs != 0 {
+		t.Fatalf("PredictDevice allocated %.0f times per device; want 0", allocs)
+	}
+}
+
+// TestCloneDoesNotShareSession: sessions are single-owner scratch; a
+// clone must start without one or two goroutines would share an arena.
+func TestCloneDoesNotShareSession(t *testing.T) {
+	p := sessionModel(t)
+	p.PredictStreamInto(nil, testStream(10, 6), des.FIFO, 10e9)
+	if p.sess == nil {
+		t.Fatal("expected a session after PredictStreamInto")
+	}
+	c := p.Clone()
+	if c.sess != nil {
+		t.Fatal("Clone shared the inference session")
+	}
+	if p.WithoutSEC().sess != nil {
+		t.Fatal("WithoutSEC shared the inference session")
+	}
+}
+
+// TestPredictStreamsMatchesSequential: the stream-parallel API must
+// match per-stream sequential prediction bitwise.
+func TestPredictStreamsMatchesSequential(t *testing.T) {
+	p := sessionModel(t)
+	streams := [][]PacketIn{testStream(60, 1), testStream(45, 2), testStream(90, 3), testStream(12, 4)}
+	got := p.PredictStreams(streams, des.FIFO, 10e9)
+	ref := sessionModel(t)
+	for i, s := range streams {
+		sojournsBitsEqual(t, "PredictStreams", got[i], ref.PredictStream(s, des.FIFO, 10e9, 1))
+	}
+}

@@ -1,0 +1,22 @@
+package ptm
+
+// Synthetic returns an untrained but structurally valid PTM: seeded
+// weights, a unit feature scaler, and a tiny positive target span. It
+// predicts deterministic (if meaningless) sojourns, which makes it the
+// reference model for golden-trace determinism tests and benchmark
+// harnesses — no training cost, full inference path.
+func Synthetic(arch Arch, numPorts int, seed uint64) (*PTM, error) {
+	p, err := New(arch, numPorts, seed)
+	if err != nil {
+		return nil, err
+	}
+	p.Feat = &MinMax{Min: make([]float64, NumFeatures), Max: make([]float64, NumFeatures)}
+	for j := range p.Feat.Max {
+		p.Feat.Max[j] = 1
+	}
+	p.TargetMax = 1e-6
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,233 @@
+package tensor
+
+import "math"
+
+// In-place kernel variants. Each *Into writes its full destination (no
+// stale bytes survive), so destinations may come straight from
+// Arena.NewMatrix without zeroing. The accumulation order is identical
+// to the allocating variant, making results bit-identical — the
+// golden-trace tests depend on that.
+//
+// Aliasing: destinations that share a backing array with an input are
+// rejected with a panic ("tensor: ... aliases ..."). The check compares
+// the first backing element, which catches dst == src exactly; partial
+// overlap of hand-built sub-slices is the caller's responsibility
+// (Arena allocations never overlap).
+
+// aliases reports whether two matrices share their first backing element.
+func aliases(a, b *Matrix) bool {
+	return len(a.Data) > 0 && len(b.Data) > 0 && &a.Data[0] == &b.Data[0]
+}
+
+func checkNoAlias(op string, dst, a, b *Matrix) {
+	if aliases(dst, a) || (b != nil && aliases(dst, b)) {
+		panic("tensor: " + op + " destination aliases an input")
+	}
+}
+
+// ActKind selects the fused activation of MatMulBiasActInto.
+type ActKind uint8
+
+// Fused activation kinds.
+const (
+	ActNone ActKind = iota
+	ActTanh
+	ActRelu
+	ActSigmoid
+)
+
+// Sigmoid is the logistic function 1/(1+e^-v), shared with internal/nn
+// so fused and unfused paths round identically.
+func Sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+
+func applyAct(row []float64, act ActKind) {
+	switch act {
+	case ActTanh:
+		for j, v := range row {
+			row[j] = math.Tanh(v)
+		}
+	case ActRelu:
+		for j, v := range row {
+			if v < 0 {
+				row[j] = 0
+			}
+		}
+	case ActSigmoid:
+		for j, v := range row {
+			row[j] = Sigmoid(v)
+		}
+	}
+}
+
+// MatMulInto computes dst = a × b. dst must be a.Rows×b.Cols and must
+// not alias a or b.
+func MatMulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(shapeErr("MatMulInto", a, b))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(shapeErr("MatMulInto dst", dst, b))
+	}
+	checkNoAlias("MatMulInto", dst, a, b)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := dst.Row(i)
+		for j := range orow {
+			orow[j] = 0
+		}
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTInto computes dst = a × bᵀ. dst must be a.Rows×b.Rows and must
+// not alias a or b.
+func MatMulTInto(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(shapeErr("MatMulTInto", a, b))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(shapeErr("MatMulTInto dst", dst, b))
+	}
+	checkNoAlias("MatMulTInto", dst, a, b)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			sum := 0.0
+			for k := range arow {
+				sum += arow[k] * brow[k]
+			}
+			orow[j] = sum
+		}
+	}
+}
+
+// MatMulBiasActInto computes dst = act(a × w + bias), the fused
+// time-distributed dense forward: one pass sets each output row from
+// the matmul accumulation, adds the 1×Out bias, and applies the
+// activation — no intermediate matrices. bias may be nil (no bias).
+// dst must not alias a or w.
+func MatMulBiasActInto(dst, a, w, bias *Matrix, act ActKind) {
+	if a.Cols != w.Rows {
+		panic(shapeErr("MatMulBiasActInto", a, w))
+	}
+	if dst.Rows != a.Rows || dst.Cols != w.Cols {
+		panic(shapeErr("MatMulBiasActInto dst", dst, w))
+	}
+	if bias != nil && (bias.Rows != 1 || bias.Cols != w.Cols) {
+		panic(shapeErr("MatMulBiasActInto bias", bias, w))
+	}
+	checkNoAlias("MatMulBiasActInto", dst, a, w)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := dst.Row(i)
+		for j := range orow {
+			orow[j] = 0
+		}
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			wrow := w.Row(k)
+			for j, wv := range wrow {
+				orow[j] += av * wv
+			}
+		}
+		if bias != nil {
+			for j, bv := range bias.Data {
+				orow[j] += bv
+			}
+		}
+		applyAct(orow, act)
+	}
+}
+
+// AddInto computes dst = a + b element-wise. dst aliasing a (or b) is
+// safe: each element is read before it is written.
+func AddInto(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(shapeErr("AddInto", a, b))
+	}
+	if dst.Rows != a.Rows || dst.Cols != a.Cols {
+		panic(shapeErr("AddInto dst", dst, a))
+	}
+	for i, av := range a.Data {
+		dst.Data[i] = av + b.Data[i]
+	}
+}
+
+// HadamardInto computes dst = a ⊙ b element-wise. dst aliasing a or b
+// is safe.
+func HadamardInto(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(shapeErr("HadamardInto", a, b))
+	}
+	if dst.Rows != a.Rows || dst.Cols != a.Cols {
+		panic(shapeErr("HadamardInto dst", dst, a))
+	}
+	for i, av := range a.Data {
+		dst.Data[i] = av * b.Data[i]
+	}
+}
+
+// ApplyInto computes dst[i] = f(src[i]). dst aliasing src is safe.
+func ApplyInto(dst, src *Matrix, f func(float64) float64) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic(shapeErr("ApplyInto", dst, src))
+	}
+	for i, v := range src.Data {
+		dst.Data[i] = f(v)
+	}
+}
+
+// ReverseRowsInto writes src with reversed row order into dst. dst must
+// not alias src.
+func ReverseRowsInto(dst, src *Matrix) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic(shapeErr("ReverseRowsInto", dst, src))
+	}
+	checkNoAlias("ReverseRowsInto", dst, src, nil)
+	for i := 0; i < src.Rows; i++ {
+		copy(dst.Row(i), src.Row(src.Rows-1-i))
+	}
+}
+
+// ConcatColsInto writes [a | b] into dst. dst must not alias a or b.
+func ConcatColsInto(dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(shapeErr("ConcatColsInto", a, b))
+	}
+	if dst.Rows != a.Rows || dst.Cols != a.Cols+b.Cols {
+		panic(shapeErr("ConcatColsInto dst", dst, a))
+	}
+	checkNoAlias("ConcatColsInto", dst, a, b)
+	for i := 0; i < a.Rows; i++ {
+		drow := dst.Row(i)
+		copy(drow[:a.Cols], a.Row(i))
+		copy(drow[a.Cols:], b.Row(i))
+	}
+}
+
+// ColSliceInto copies columns [lo, hi) of src into dst (src.Rows ×
+// (hi-lo)). dst must not alias src.
+func ColSliceInto(dst, src *Matrix, lo, hi int) {
+	if lo < 0 || hi > src.Cols || lo > hi {
+		panic("tensor: ColSliceInto column range out of bounds")
+	}
+	if dst.Rows != src.Rows || dst.Cols != hi-lo {
+		panic(shapeErr("ColSliceInto dst", dst, src))
+	}
+	checkNoAlias("ColSliceInto", dst, src, nil)
+	for i := 0; i < src.Rows; i++ {
+		copy(dst.Row(i), src.Row(i)[lo:hi])
+	}
+}

@@ -1,0 +1,226 @@
+package tensor
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"deepqueuenet/internal/rng"
+)
+
+// sparseMat draws a seeded normal matrix with exact zeros sprinkled in
+// so the sparsity-skip branches run.
+func sparseMat(r *rng.Rand, rows, cols int) *Matrix {
+	m := randMat(r, rows, cols)
+	for i := range m.Data {
+		if r.Intn(5) == 0 {
+			m.Data[i] = 0
+		}
+	}
+	return m
+}
+
+func bitsEqual(t *testing.T, op string, got, want *Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape (%d,%d) != (%d,%d)", op, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("%s: element %d differs bitwise: got %v want %v", op, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// kernelShapes covers degenerate and general shapes for the property
+// sweeps.
+var kernelShapes = []struct{ n, k, m int }{
+	{1, 1, 1}, {1, 5, 3}, {4, 1, 6}, {7, 3, 1}, {5, 8, 6}, {16, 15, 12},
+}
+
+// TestIntoKernelsMatchAllocating sweeps random shapes and seeds,
+// checking every *Into kernel against its allocating counterpart
+// bit-for-bit (stronger than the 1-ULP requirement).
+func TestIntoKernelsMatchAllocating(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		r := rng.New(seed)
+		for _, s := range kernelShapes {
+			a := sparseMat(r, s.n, s.k)
+			b := sparseMat(r, s.k, s.m)
+			bt := sparseMat(r, s.m, s.k)
+
+			dst := New(s.n, s.m)
+			MatMulInto(dst, a, b)
+			bitsEqual(t, "MatMulInto", dst, MatMul(a, b))
+
+			dt := New(s.n, s.m)
+			MatMulTInto(dt, a, bt)
+			bitsEqual(t, "MatMulTInto", dt, MatMulT(a, bt))
+
+			c := sparseMat(r, s.n, s.k)
+			sum := New(s.n, s.k)
+			AddInto(sum, a, c)
+			bitsEqual(t, "AddInto", sum, Add(a, c))
+
+			had := New(s.n, s.k)
+			HadamardInto(had, a, c)
+			bitsEqual(t, "HadamardInto", had, Hadamard(a, c))
+
+			app := New(s.n, s.k)
+			ApplyInto(app, a, math.Tanh)
+			want := a.Clone()
+			want.Apply(math.Tanh)
+			bitsEqual(t, "ApplyInto", app, want)
+
+			rev := New(s.n, s.k)
+			ReverseRowsInto(rev, a)
+			bitsEqual(t, "ReverseRowsInto", rev, ReverseRows(a))
+
+			cat := New(s.n, s.k+s.k)
+			ConcatColsInto(cat, a, c)
+			bitsEqual(t, "ConcatColsInto", cat, ConcatCols(a, c))
+		}
+	}
+}
+
+// TestMatMulBiasActIntoMatchesUnfused checks the fused dense forward
+// against the unfused MatMul + bias-broadcast + activation pipeline for
+// every activation kind. Fusion is per-element, so bits must match.
+func TestMatMulBiasActIntoMatchesUnfused(t *testing.T) {
+	r := rng.New(3)
+	relu := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	acts := []struct {
+		kind ActKind
+		f    func(float64) float64
+	}{
+		{ActNone, func(v float64) float64 { return v }},
+		{ActTanh, math.Tanh},
+		{ActRelu, relu},
+		{ActSigmoid, Sigmoid},
+	}
+	for _, s := range kernelShapes {
+		x := sparseMat(r, s.n, s.k)
+		w := sparseMat(r, s.k, s.m)
+		bias := sparseMat(r, 1, s.m)
+		for _, ac := range acts {
+			want := MatMul(x, w)
+			for i := 0; i < want.Rows; i++ {
+				row := want.Row(i)
+				for j := range row {
+					row[j] += bias.Data[j]
+				}
+			}
+			want.Apply(ac.f)
+
+			got := New(s.n, s.m)
+			MatMulBiasActInto(got, x, w, bias, ac.kind)
+			bitsEqual(t, "MatMulBiasActInto", got, want)
+
+			// nil bias must mean "no bias", not a zero add.
+			noBias := MatMul(x, w)
+			noBias.Apply(ac.f)
+			got2 := New(s.n, s.m)
+			MatMulBiasActInto(got2, x, w, nil, ac.kind)
+			bitsEqual(t, "MatMulBiasActInto(nil bias)", got2, noBias)
+		}
+	}
+}
+
+// TestIntoAliasingSafe: the element-wise kernels document dst == src as
+// safe; prove it.
+func TestIntoAliasingSafe(t *testing.T) {
+	r := rng.New(9)
+	a := sparseMat(r, 6, 5)
+	b := sparseMat(r, 6, 5)
+
+	want := Add(a, b)
+	dst := a.Clone()
+	AddInto(dst, dst, b)
+	bitsEqual(t, "AddInto(dst==a)", dst, want)
+
+	want = Hadamard(a, b)
+	dst = a.Clone()
+	HadamardInto(dst, dst, b)
+	bitsEqual(t, "HadamardInto(dst==a)", dst, want)
+
+	want = a.Clone()
+	want.Apply(math.Tanh)
+	dst = a.Clone()
+	ApplyInto(dst, dst, math.Tanh)
+	bitsEqual(t, "ApplyInto(dst==src)", dst, want)
+}
+
+// TestIntoAliasingRejected: kernels that read their inputs after
+// writing dst must reject dst == src with the documented panic.
+func TestIntoAliasingRejected(t *testing.T) {
+	r := rng.New(11)
+	sq := sparseMat(r, 4, 4)
+	other := sparseMat(r, 4, 4)
+	cases := []struct {
+		name string
+		call func()
+	}{
+		{"MatMulInto dst==a", func() { MatMulInto(sq, sq, other) }},
+		{"MatMulInto dst==b", func() { MatMulInto(sq, other, sq) }},
+		{"MatMulTInto dst==a", func() { MatMulTInto(sq, sq, other) }},
+		{"MatMulBiasActInto dst==a", func() { MatMulBiasActInto(sq, sq, other, nil, ActNone) }},
+		{"ReverseRowsInto dst==src", func() { ReverseRowsInto(sq, sq) }},
+		{"ColSliceInto dst==src", func() { ColSliceInto(sq, sq, 0, 4) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				msg, ok := recover().(string)
+				if !ok || !strings.Contains(msg, "aliases") {
+					t.Fatalf("want alias panic, got %v", msg)
+				}
+			}()
+			tc.call()
+		})
+	}
+}
+
+// TestArenaReuse checks the grow-only contract: after one warm cycle
+// the arena serves identical demand without touching the heap, and
+// overflow allocations are consolidated at Reset.
+func TestArenaReuse(t *testing.T) {
+	a := NewArena()
+	cycle := func() {
+		a.Reset()
+		m := a.NewMatrixZero(8, 8)
+		v := a.AllocZero(32)
+		m.Data[0] = 1
+		v[0] = 1
+	}
+	cycle() // warm-up sizes the slab
+	if allocs := testing.AllocsPerRun(10, cycle); allocs != 0 {
+		t.Fatalf("warmed arena allocated %.0f times per cycle; want 0", allocs)
+	}
+	if a.Cap() < 8*8+32 {
+		t.Fatalf("arena capacity %d below observed demand %d", a.Cap(), 8*8+32)
+	}
+}
+
+// TestArenaMatrixDisjoint: allocations within one cycle must never
+// overlap, and NewMatrix data is writable across the whole matrix.
+func TestArenaMatrixDisjoint(t *testing.T) {
+	a := NewArena()
+	for cycle := 0; cycle < 2; cycle++ {
+		a.Reset()
+		m1 := a.NewMatrixZero(3, 4)
+		m2 := a.NewMatrixZero(2, 5)
+		for i := range m1.Data {
+			m1.Data[i] = 1
+		}
+		for _, v := range m2.Data {
+			if v != 0 {
+				t.Fatal("arena allocations overlap: writing m1 changed m2")
+			}
+		}
+	}
+}
