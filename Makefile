@@ -45,14 +45,14 @@ golden:
 	$(GO) test -run TestGoldenTraces -count=1 .
 
 # bench runs the reproducible perf harness (cmd/dqnbench) and refreshes
-# BENCH_pr3.json in place, preserving its recorded "before" baseline.
+# BENCH_pr4.json in place, preserving its recorded "before" baseline.
 bench:
-	$(GO) run ./cmd/dqnbench -out BENCH_pr3.json
+	$(GO) run ./cmd/dqnbench -out BENCH_pr4.json
 
 # bench-check reruns the harness and fails on a >15% ns/op or any
-# allocs/op regression against the committed BENCH_pr3.json.
+# allocs/op regression against the committed BENCH_pr4.json.
 bench-check:
-	$(GO) run ./cmd/dqnbench -check BENCH_pr3.json
+	$(GO) run ./cmd/dqnbench -check BENCH_pr4.json
 
 # microbench runs the plain go test benchmarks (no regression gate).
 microbench:

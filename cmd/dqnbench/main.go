@@ -2,13 +2,14 @@
 // `make bench` and `make bench-check`. It measures the inference hot
 // path at three scales — one PTM forward window, one full
 // PredictStream, and end-to-end IRSA runs on the FatTree16 and Abilene
-// example topologies — and records ns/op, allocs/op, B/op, and
-// end-to-end packets/sec as JSON (BENCH_pr3.json schema, documented in
-// the README "Benchmarking" section).
+// example topologies — plus the serving layer at saturation (requests/s
+// and shed rate through the bounded worker pool), and records ns/op,
+// allocs/op, B/op, and throughput as JSON (BENCH_pr4.json schema,
+// documented in the README "Benchmarking" section).
 //
-//	dqnbench -out BENCH_pr3.json                 # run, write results
-//	dqnbench -out BENCH_pr3.json -record-before  # also store run as the "before" baseline
-//	dqnbench -check BENCH_pr3.json               # run, fail on regression vs committed file
+//	dqnbench -out BENCH_pr4.json                 # run, write results
+//	dqnbench -out BENCH_pr4.json -record-before  # also store run as the "before" baseline
+//	dqnbench -check BENCH_pr4.json               # run, fail on regression vs committed file
 //
 // When -out points at an existing file its "before" section is
 // preserved, so the pre-optimization baseline survives refreshes.
@@ -17,18 +18,24 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"deepqueuenet/internal/des"
 	"deepqueuenet/internal/experiments"
+	"deepqueuenet/internal/guard"
 	"deepqueuenet/internal/ptm"
 	"deepqueuenet/internal/rng"
+	"deepqueuenet/internal/serve"
 	"deepqueuenet/internal/topo"
 	"deepqueuenet/internal/traffic"
 )
@@ -42,6 +49,8 @@ type Bench struct {
 	WindowsPerOp    int     `json:"windows_per_op,omitempty"`
 	AllocsPerWindow float64 `json:"allocs_per_window,omitempty"`
 	PacketsPerSec   float64 `json:"packets_per_sec,omitempty"`
+	RequestsPerSec  float64 `json:"requests_per_sec,omitempty"`
+	ShedRate        float64 `json:"shed_rate,omitempty"`
 }
 
 // File is the on-disk benchmark report.
@@ -90,7 +99,7 @@ func main() {
 		fatal(err)
 	}
 	if *out == "" && *check == "" {
-		*out = "BENCH_pr3.json"
+		*out = "BENCH_pr4.json"
 	}
 
 	benches, err := runAll()
@@ -104,6 +113,9 @@ func main() {
 		}
 		if b.PacketsPerSec > 0 {
 			line += fmt.Sprintf("   %10.0f pkts/sec", b.PacketsPerSec)
+		}
+		if b.RequestsPerSec > 0 {
+			line += fmt.Sprintf("   %8.1f req/sec  %5.1f%% shed", b.RequestsPerSec, b.ShedRate*100)
 		}
 		fmt.Println(line)
 	}
@@ -256,6 +268,7 @@ func benchDefs() []benchDef {
 		{"e2e_wan_abilene", func() (Bench, error) {
 			return benchE2E("e2e_wan_abilene", topo.Abilene(10e9), traffic.ModelBCLike, 0.12, 0.002, 17)
 		}},
+		{"serve_saturation", benchServe},
 	}
 }
 
@@ -364,5 +377,68 @@ func benchE2E(name string, g *topo.Graph, tm traffic.Model, load, dur float64, s
 	})
 	out := record(name, r)
 	out.PacketsPerSec = float64(delivered) / (out.NsPerOp * 1e-9)
+	return out, nil
+}
+
+// benchServe measures the serving layer at saturation: one op is an
+// episode of 8 concurrent clients firing 4 requests each through a
+// 2-worker / depth-2 server, so admission control is always under
+// pressure. It reports completed requests/s and the shed rate alongside
+// the usual ns/op and allocs/op gates.
+func benchServe() (Bench, error) {
+	// A small PTM keeps the episode dominated by serving mechanics
+	// (admission, queueing, breaker bookkeeping) rather than inference.
+	serveArch := ptm.Arch{TimeSteps: 8, Margin: 2, Embed: 4, BLSTM1: 4, BLSTM2: 4, Heads: 1, DK: 2, DV: 2, HeadOut: 4}
+	model, err := ptm.Synthetic(serveArch, 8, 1)
+	if err != nil {
+		return Bench{}, err
+	}
+	runner := &serve.ScenarioRunner{DefaultModel: model, MaxShards: 2}
+	srv := serve.New(serve.Config{
+		Workers: 2, QueueDepth: 2, RetryMax: -1,
+		DefaultTimeout: 30 * time.Second, Seed: 1,
+	}, runner)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "dqnbench: serve drain: %v\n", err)
+		}
+	}()
+
+	const clients, perClient = 8, 4
+	r := measure(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer func() {
+						if we := guard.RecoveredWorker(c, recover()); we != nil {
+							b.Error(we)
+						}
+						wg.Done()
+					}()
+					for k := 0; k < perClient; k++ {
+						req := &serve.Request{Topo: "line4", Duration: 0.0002, Shards: 2,
+							Seed: uint64(c*perClient + k + 1)}
+						if _, err := srv.Submit(context.Background(), req); err != nil && !errors.Is(err, serve.ErrShed) {
+							b.Error(err)
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+		}
+	})
+	out := record("serve_saturation", r)
+	st := srv.Snapshot()
+	if st.Received > 0 {
+		out.ShedRate = float64(st.Shed) / float64(st.Received)
+	}
+	// Completed throughput at saturation: the non-shed fraction of each
+	// episode's requests over the episode wall time.
+	out.RequestsPerSec = float64(clients*perClient) * (1 - out.ShedRate) / (out.NsPerOp * 1e-9)
 	return out, nil
 }

@@ -10,13 +10,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"deepqueuenet/internal/experiments"
+	"deepqueuenet/internal/guard"
 	"deepqueuenet/internal/metrics"
 	"deepqueuenet/internal/ptm"
 )
@@ -25,14 +30,19 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	// sim/eval runs are interruptible: ^C (or SIGTERM) cancels the
+	// engine's context, which stops IRSA within one device inference and
+	// still surfaces the partial results computed so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "train":
 		err = cmdTrain(os.Args[2:])
 	case "sim":
-		err = cmdSim(os.Args[2:])
+		err = cmdSim(ctx, os.Args[2:])
 	case "eval":
-		err = cmdEval(os.Args[2:])
+		err = cmdEval(ctx, os.Args[2:])
 	default:
 		usage()
 	}
@@ -75,6 +85,27 @@ func cmdTrain(args []string) error {
 	return model.Save(*out)
 }
 
+// withTimeout derives the run context from the -timeout flag (0 keeps
+// the signal-cancelable parent unchanged).
+func withTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// describeRunErr rewraps a context-terminated run error with CLI-level
+// context (partial results, when any, were already printed).
+func describeRunErr(err error) error {
+	switch {
+	case errors.Is(err, guard.ErrDeadline):
+		return fmt.Errorf("run stopped at -timeout: %w", err)
+	case errors.Is(err, guard.ErrCanceled):
+		return fmt.Errorf("run interrupted by signal: %w", err)
+	}
+	return err
+}
+
 // scenarioFlags builds a Scenario from common CLI flags.
 func scenarioFlags(fs *flag.FlagSet) (mk func() (*experiments.Scenario, error), modelPath *string, shards *int) {
 	topoName := fs.String("topo", "line4", "topology (lineN, torusRxC, fattree16/64/128, abilene, geant)")
@@ -103,10 +134,11 @@ func scenarioFlags(fs *flag.FlagSet) (mk func() (*experiments.Scenario, error), 
 	return mk, modelPath, shards
 }
 
-func cmdSim(args []string) error {
+func cmdSim(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sim", flag.ExitOnError)
 	mk, modelPath, shards := scenarioFlags(fs)
 	tracePath := fs.String("trace", "", "write per-device packet traces (CSV)")
+	timeout := fs.Duration("timeout", 0, "wall-clock run deadline (0 = none; ^C always cancels)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -121,10 +153,17 @@ func cmdSim(args []string) error {
 	if err != nil {
 		return err
 	}
+	rctx, cancel := withTimeout(ctx, *timeout)
+	defer cancel()
 	t0 := time.Now()
-	pred, res, err := sc.RunDQN(model, *shards, false)
+	pred, res, err := sc.RunDQNCtx(rctx, model, *shards, false)
 	if err != nil {
-		return err
+		if res != nil && len(res.Deliveries) > 0 {
+			fmt.Printf("partial results after %d/%d IRSA iterations (%d deliveries):\n",
+				res.Iterations, res.Bound, len(res.Deliveries))
+			printPathStats(pred)
+		}
+		return describeRunErr(err)
 	}
 	fmt.Printf("simulated %s in %v (IRSA %d/%d iterations)\n",
 		sc.Name, time.Since(t0).Round(time.Millisecond), res.Iterations, res.Bound)
@@ -153,10 +192,11 @@ func cmdSim(args []string) error {
 	return nil
 }
 
-func cmdEval(args []string) error {
+func cmdEval(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
 	mk, modelPath, shards := scenarioFlags(fs)
 	perDevice := fs.Bool("perdevice", false, "print per-switch sojourn comparison")
+	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the DQN run (0 = none; ^C always cancels)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -171,15 +211,24 @@ func cmdEval(args []string) error {
 	if err != nil {
 		return err
 	}
+	rctx, cancel := withTimeout(ctx, *timeout)
+	defer cancel()
 	t0 := time.Now()
 	net := sc.BuildDESNetwork()
 	net.Run(sc.Duration + 1)
 	truth := net.PathDelays(true)
 	desTime := time.Since(t0)
+	if err := rctx.Err(); err != nil {
+		return describeRunErr(guard.FromContext(err))
+	}
 	t0 = time.Now()
-	pred, res, err := sc.RunDQN(model, *shards, false)
+	pred, res, err := sc.RunDQNCtx(rctx, model, *shards, false)
 	if err != nil {
-		return err
+		if res != nil {
+			fmt.Printf("DQN run ended early after %d/%d IRSA iterations (%d deliveries)\n",
+				res.Iterations, res.Bound, len(res.Deliveries))
+		}
+		return describeRunErr(err)
 	}
 	dqnTime := time.Since(t0)
 	if *perDevice {

@@ -1,0 +1,143 @@
+// Command dqnserve exposes DeepQueueNet as a resilient HTTP service:
+// concurrent what-if simulation queries run through a bounded worker
+// pool with bounded admission, per-request deadlines, per-model-path
+// circuit breakers (degraded-FIFO fallback while open), retry with
+// backoff, and graceful SIGTERM drain.
+//
+//	dqnserve -addr :8080 -model models/switch8-std.ptm.json
+//	curl -XPOST localhost:8080/simulate -d '{"topo":"fattree16","traffic":"map","load":0.5,"duration":0.0002}'
+//	curl localhost:8080/stats
+//
+// Without -model a small synthetic (untrained) device model serves the
+// API for smoke testing. The -chaos-* flags enable the deterministic
+// fault injector (internal/chaos) for resilience drills — never in
+// production.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"deepqueuenet/internal/chaos"
+	"deepqueuenet/internal/core"
+	"deepqueuenet/internal/guard"
+	"deepqueuenet/internal/ptm"
+	"deepqueuenet/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "dqnserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// synthArch is the smoke-test model architecture (matches the
+// experiment harness's CPU-scale PTM).
+var synthArch = ptm.Arch{TimeSteps: 32, Margin: 8, Embed: 12, BLSTM1: 16, BLSTM2: 10, Heads: 2, DK: 8, DV: 8, HeadOut: 16}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dqnserve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	modelPath := fs.String("model", "", "default trained device model (empty: synthetic smoke-test model)")
+	workers := fs.Int("workers", 2, "concurrent simulation jobs")
+	queueDepth := fs.Int("queue", 8, "admission queue depth beyond in-flight jobs")
+	timeout := fs.Duration("timeout", 30*time.Second, "default per-job deadline")
+	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "ceiling on client-requested deadlines")
+	maxShards := fs.Int("max-shards", 8, "cap on per-request inference shards")
+	maxDur := fs.Float64("max-duration", 0.01, "cap on simulated seconds per request")
+	retries := fs.Int("retries", 2, "retry budget for transient job failures")
+	brThreshold := fs.Int("breaker-threshold", 5, "consecutive failures that open a model-path breaker")
+	brCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before half-open probes")
+	brProbes := fs.Int("breaker-probes", 2, "successful probes required to close a breaker")
+	drain := fs.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM/SIGINT")
+	seed := fs.Uint64("seed", 1, "retry-jitter seed")
+
+	chaosPanic := fs.Float64("chaos-panic", 0, "injected panic rate per device inference (testing only)")
+	chaosNaN := fs.Float64("chaos-nan", 0, "injected NaN rate per device inference (testing only)")
+	chaosLatency := fs.Float64("chaos-latency", 0, "injected latency rate (testing only)")
+	chaosCancel := fs.Float64("chaos-cancel", 0, "injected mid-run cancel rate per job (testing only)")
+	chaosSeed := fs.Uint64("chaos-seed", 1, "fault-injector seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var model *ptm.PTM
+	var err error
+	if *modelPath != "" {
+		model, err = ptm.Load(*modelPath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("serving model %s (%d ports)\n", *modelPath, model.NumPorts)
+	} else {
+		model, err = ptm.Synthetic(synthArch, 8, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Println("no -model given: serving a synthetic (untrained) 8-port model for smoke testing")
+	}
+
+	runner := &serve.ScenarioRunner{DefaultModel: model, MaxShards: *maxShards, MaxDuration: *maxDur}
+	var jobRunner serve.Runner = runner
+	if *chaosPanic > 0 || *chaosNaN > 0 || *chaosLatency > 0 || *chaosCancel > 0 {
+		inj := chaos.New(chaos.Config{
+			Seed: *chaosSeed, PanicRate: *chaosPanic, NaNRate: *chaosNaN,
+			LatencyRate: *chaosLatency, CancelRate: *chaosCancel,
+		})
+		runner.WrapDevice = func(sw int, m core.DeviceModel) core.DeviceModel { return inj.WrapDevice(sw, m) }
+		jobRunner = inj.WrapRunner(runner)
+		fmt.Printf("CHAOS ENABLED (seed %d): panic=%.3f nan=%.3f latency=%.3f cancel=%.3f\n",
+			*chaosSeed, *chaosPanic, *chaosNaN, *chaosLatency, *chaosCancel)
+	}
+
+	srv := serve.New(serve.Config{
+		Workers: *workers, QueueDepth: *queueDepth,
+		DefaultTimeout: *timeout, MaxTimeout: *maxTimeout,
+		RetryMax: *retries, Seed: *seed,
+		Breaker: serve.BreakerConfig{Threshold: *brThreshold, Cooldown: *brCooldown, ProbeSuccesses: *brProbes},
+	}, jobRunner)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		defer func() {
+			if we := guard.RecoveredWorker(0, recover()); we != nil {
+				errCh <- we
+			}
+		}()
+		errCh <- httpSrv.ListenAndServe()
+	}()
+	fmt.Printf("listening on %s (workers=%d queue=%d timeout=%v)\n", *addr, *workers, *queueDepth, *timeout)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behavior: a second ^C kills immediately
+	fmt.Printf("signal received: draining (budget %v)\n", *drain)
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "dqnserve: drain incomplete: %v\n", err)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		return err
+	}
+	st := srv.Snapshot()
+	fmt.Printf("drained: %d completed, %d failed, %d shed, %d degraded, %d retries\n",
+		st.Completed, st.Failed, st.Shed, st.Degraded, st.Retries)
+	return nil
+}

@@ -1,0 +1,116 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"deepqueuenet/internal/core"
+	"deepqueuenet/internal/des"
+	"deepqueuenet/internal/ptm"
+)
+
+// echoModel returns constant sojourns — a minimal inner DeviceModel.
+type echoModel struct{}
+
+func (echoModel) PredictStream(stream []ptm.PacketIn, _ des.SchedKind, _ float64, _ int) []float64 {
+	out := make([]float64, len(stream))
+	for i := range out {
+		out[i] = 1e-6
+	}
+	return out
+}
+func (m echoModel) CloneModel() core.DeviceModel { return m }
+func (echoModel) Ports() int                     { return 4 }
+func (echoModel) Validate() error                { return nil }
+
+func TestZeroRatesAreIdentity(t *testing.T) {
+	in := New(Config{Seed: 1})
+	m := echoModel{}
+	if got := in.WrapDevice(0, m); got != core.DeviceModel(m) {
+		t.Fatalf("zero-rate WrapDevice must return the model unchanged, got %T", got)
+	}
+	if in.Total() != 0 {
+		t.Fatalf("zero-rate injector injected %d faults", in.Total())
+	}
+}
+
+func TestDecisionsDeterministicPerSeed(t *testing.T) {
+	seq := func(seed uint64) []bool {
+		in := New(Config{Seed: seed, NaNRate: 0.5})
+		m := in.WrapDevice(0, echoModel{})
+		var out []bool
+		stream := []ptm.PacketIn{{}}
+		for i := 0; i < 64; i++ {
+			res := m.PredictStream(stream, des.FIFO, 1e9, 1)
+			out = append(out, math.IsNaN(res[0]))
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs for identical seeds", i)
+		}
+	}
+	c := seq(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical decision sequences")
+	}
+}
+
+func TestPanicInjectionIsRecoverable(t *testing.T) {
+	in := New(Config{Seed: 1, PanicRate: 1.0})
+	m := in.WrapDevice(0, echoModel{})
+	panicked := false
+	func() {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		m.PredictStream([]ptm.PacketIn{{}}, des.FIFO, 1e9, 1)
+	}()
+	if !panicked {
+		t.Fatal("PanicRate 1.0 did not panic")
+	}
+	if in.Count(FaultPanic) != 1 {
+		t.Fatalf("panic count %d, want 1", in.Count(FaultPanic))
+	}
+}
+
+func TestCloneSharesInjectorCounts(t *testing.T) {
+	in := New(Config{Seed: 1, NaNRate: 1.0})
+	m := in.WrapDevice(0, echoModel{})
+	clone := m.CloneModel()
+	clone.PredictStream([]ptm.PacketIn{{}}, des.FIFO, 1e9, 1)
+	m.PredictStream([]ptm.PacketIn{{}}, des.FIFO, 1e9, 1)
+	if in.Count(FaultNaN) != 2 {
+		t.Fatalf("clone must share the injector: count %d, want 2", in.Count(FaultNaN))
+	}
+	if m.Ports() != 4 || clone.Validate() != nil {
+		t.Fatal("wrapper must delegate Ports/Validate")
+	}
+}
+
+func TestCountsByName(t *testing.T) {
+	in := New(Config{Seed: 1, LatencyRate: 1.0, Latency: time.Nanosecond})
+	m := in.WrapDevice(0, echoModel{})
+	m.PredictStream([]ptm.PacketIn{{}}, des.FIFO, 1e9, 1)
+	counts := in.Counts()
+	if counts["latency"] != 1 {
+		t.Fatalf("counts %v, want latency=1", counts)
+	}
+	for _, name := range []string{"panic", "nan", "latency", "cancel"} {
+		if _, ok := counts[name]; !ok {
+			t.Fatalf("counts missing %q: %v", name, counts)
+		}
+	}
+}

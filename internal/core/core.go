@@ -49,6 +49,13 @@ type Config struct {
 	// This is the seam for alternative inference backends and for fault
 	// injection in tests.
 	DeviceFor func(switchID int) DeviceModel
+	// WrapDevice, when set, wraps every switch's resolved and validated
+	// device model just before the run — the job-level seam for fault
+	// injection (internal/chaos) and instrumentation. Returning the
+	// model unchanged is the identity; returning nil degrades the
+	// device to the exact FIFO-serialization fallback as if its model
+	// had failed validation.
+	WrapDevice func(switchID int, m DeviceModel) DeviceModel
 	// Shards is the number of parallel inference shards ("GPUs").
 	// 0 means 1.
 	Shards int

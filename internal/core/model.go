@@ -112,6 +112,16 @@ func (s *Sim) resolveDeviceModels(devices []int, byDevice map[int][]entry, pkts 
 				k, s.G.Degree(d))
 			continue
 		}
+		if s.Cfg.WrapDevice != nil {
+			// The wrapper sees only validated models; wrapping happens
+			// after the Validate/Ports gates so injected faults cannot
+			// be mistaken for structural model defects.
+			m = s.Cfg.WrapDevice(d, m)
+			if m == nil {
+				degraded[d] = "device wrapper returned nil model"
+				continue
+			}
+		}
 		models[d] = m
 	}
 	return models, degraded

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -277,6 +278,25 @@ func (s *Scenario) RunDQN(model *ptm.PTM, shards int, noSEC bool) (metrics.PathS
 // RunDQNCfg runs DeepQueueNet with full engine configuration (scheduler,
 // echo, and model are filled from the scenario).
 func (s *Scenario) RunDQNCfg(model *ptm.PTM, cfg core.Config) (metrics.PathSamples, *core.Result, error) {
+	samples, res, err := s.RunDQNCfgCtx(context.Background(), model, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return samples, res, nil
+}
+
+// RunDQNCtx is RunDQN with cooperative cancellation. Unlike RunDQN, a
+// canceled or failed run still returns the partial samples and Result
+// assembled from the estimates at the point of failure, alongside the
+// error (matching guard.ErrCanceled / guard.ErrDeadline for
+// context-terminated runs).
+func (s *Scenario) RunDQNCtx(ctx context.Context, model *ptm.PTM, shards int, noSEC bool) (metrics.PathSamples, *core.Result, error) {
+	return s.RunDQNCfgCtx(ctx, model, core.Config{Shards: shards, NoSEC: noSEC})
+}
+
+// RunDQNCfgCtx is RunDQNCfg with cooperative cancellation and partial
+// results on error (see RunDQNCtx).
+func (s *Scenario) RunDQNCfgCtx(ctx context.Context, model *ptm.PTM, cfg core.Config) (metrics.PathSamples, *core.Result, error) {
 	cfg.Sched = s.Sched
 	cfg.Echo = true
 	cfg.Model = model
@@ -290,11 +310,12 @@ func (s *Scenario) RunDQNCfg(model *ptm.PTM, cfg core.Config) (metrics.PathSampl
 		sim.AddFlow(core.FlowSpec{FlowID: f.FlowID, Src: f.Src, Dst: f.Dst,
 			Class: class, Weight: weight, Proto: 17, Gen: gens[i], Stop: s.Duration})
 	}
-	res, err := sim.Run(s.Duration)
-	if err != nil {
-		return nil, nil, err
+	res, err := sim.RunContext(ctx, s.Duration)
+	var samples metrics.PathSamples
+	if res != nil {
+		samples = res.PathDelays(true)
 	}
-	return res.PathDelays(true), res, nil
+	return samples, res, err
 }
 
 // RNScenario converts the scenario into RouteNet's input embedding.

@@ -37,6 +37,42 @@ func FromContext(err error) error {
 	return errors.Join(ErrCanceled, err)
 }
 
+// ErrBreakerOpen marks work refused (or rerouted to a degraded path)
+// because a circuit breaker guarding the failing resource is open.
+// Serving layers wrap it in a *BreakerError carrying the breaker's
+// identity and the failure that tripped it.
+var ErrBreakerOpen = errors.New("guard: circuit breaker open")
+
+// BreakerError reports an open circuit breaker: which guarded path is
+// broken, how many consecutive failures tripped it, and the last
+// failure observed. It matches both errors.Is(err, ErrBreakerOpen) and,
+// through LastErr, whatever chain the tripping failure carried (e.g. a
+// *ShardError), so callers can tell a breaker-shed request from the
+// fault that opened the breaker in the first place.
+type BreakerError struct {
+	Path     string // identity of the guarded resource (e.g. model path)
+	Failures int    // consecutive failures that opened the breaker
+	LastErr  error  // the failure that tripped the breaker (may be nil)
+}
+
+// Error implements error.
+func (e *BreakerError) Error() string {
+	if e.LastErr == nil {
+		return fmt.Sprintf("guard: breaker open for %q after %d consecutive failures", e.Path, e.Failures)
+	}
+	return fmt.Sprintf("guard: breaker open for %q after %d consecutive failures (last: %v)",
+		e.Path, e.Failures, e.LastErr)
+}
+
+// Unwrap exposes both the ErrBreakerOpen sentinel and the tripping
+// failure's chain to errors.Is/As.
+func (e *BreakerError) Unwrap() []error {
+	if e.LastErr == nil {
+		return []error{ErrBreakerOpen}
+	}
+	return []error{ErrBreakerOpen, e.LastErr}
+}
+
 // ShardError is a panic recovered inside one inference shard: the shard
 // and device that crashed, the IRSA iteration, the panic value, and the
 // goroutine stack at the point of the panic. One crashing device model
@@ -53,6 +89,16 @@ type ShardError struct {
 func (e *ShardError) Error() string {
 	return fmt.Sprintf("guard: shard %d: panic inferring device %d at iteration %d: %v",
 		e.Shard, e.Device, e.Iter, e.Panic)
+}
+
+// Unwrap exposes a recovered panic value that is itself an error (e.g.
+// a *WorkerError re-panicked by RethrowWorkers) to errors.Is/As, so the
+// full fan-out → worker → shard failure chain stays inspectable.
+func (e *ShardError) Unwrap() error {
+	if err, ok := e.Panic.(error); ok {
+		return err
+	}
+	return nil
 }
 
 // Recovered builds a ShardError from a recover() value, capturing the
@@ -151,6 +197,15 @@ type WorkerError struct {
 // Error implements error.
 func (e *WorkerError) Error() string {
 	return fmt.Sprintf("guard: worker %d panicked: %v", e.Worker, e.Panic)
+}
+
+// Unwrap exposes a recovered panic value that is itself an error to
+// errors.Is/As (mirroring ShardError.Unwrap).
+func (e *WorkerError) Unwrap() error {
+	if err, ok := e.Panic.(error); ok {
+		return err
+	}
+	return nil
 }
 
 // RecoveredWorker builds a WorkerError from a recover() value,

@@ -1,0 +1,125 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// These tests pin the error-identity contracts the serving layer leans
+// on: every failure that crosses a package boundary must stay
+// inspectable with errors.Is/errors.As through arbitrary wrapping —
+// fan-out worker panics re-thrown into shard guards, context sentinels
+// joined with transient errors, and breaker-open states carrying the
+// fault that tripped them.
+
+func TestShardErrorUnwrapsWorkerPanic(t *testing.T) {
+	// A fan-out worker panic re-panicked by RethrowWorkers and recovered
+	// by a shard guard: the chain shard -> worker must stay visible.
+	we := RecoveredWorker(3, "inner boom")
+	se := Recovered(1, 7, 2, we)
+
+	var gotWE *WorkerError
+	if !errors.As(se, &gotWE) {
+		t.Fatalf("errors.As must reach the WorkerError through the ShardError: %v", se)
+	}
+	if gotWE.Worker != 3 {
+		t.Fatalf("worker %d, want 3", gotWE.Worker)
+	}
+	var gotSE *ShardError
+	if !errors.As(error(se), &gotSE) || gotSE.Device != 7 {
+		t.Fatalf("ShardError identity lost: %v", se)
+	}
+}
+
+func TestShardErrorNonErrorPanicUnwrapsNil(t *testing.T) {
+	se := Recovered(0, 0, 0, "plain string panic")
+	if se.Unwrap() != nil {
+		t.Fatalf("non-error panic value must not unwrap: %v", se.Unwrap())
+	}
+	we := RecoveredWorker(0, 42)
+	if we.Unwrap() != nil {
+		t.Fatalf("non-error worker panic value must not unwrap: %v", we.Unwrap())
+	}
+}
+
+func TestWorkerErrorUnwrapsSentinel(t *testing.T) {
+	// A worker that panicked with a wrapped sentinel keeps it reachable
+	// through worker -> shard -> fmt.Errorf wrapping.
+	inner := fmt.Errorf("device blew up: %w", ErrCanceled)
+	we := RecoveredWorker(0, inner)
+	se := Recovered(0, 1, 0, we)
+	wrapped := fmt.Errorf("run failed: %w", se)
+	if !errors.Is(wrapped, ErrCanceled) {
+		t.Fatalf("sentinel lost through worker->shard->wrap chain: %v", wrapped)
+	}
+}
+
+func TestJoinedContextSentinels(t *testing.T) {
+	// FromContext joins the guard sentinel with the raw context error;
+	// further joins (e.g. serve's deadline-during-backoff) keep both
+	// identities plus the transient failure visible.
+	base := FromContext(context.DeadlineExceeded)
+	se := Recovered(2, 5, 1, "transient")
+	joined := errors.Join(base, se)
+
+	if !errors.Is(joined, ErrDeadline) {
+		t.Fatalf("ErrDeadline lost in join: %v", joined)
+	}
+	if !errors.Is(joined, context.DeadlineExceeded) {
+		t.Fatalf("context.DeadlineExceeded lost in join: %v", joined)
+	}
+	var gotSE *ShardError
+	if !errors.As(joined, &gotSE) || gotSE.Shard != 2 {
+		t.Fatalf("ShardError lost in join: %v", joined)
+	}
+	if errors.Is(joined, ErrCanceled) {
+		t.Fatalf("deadline join must not read as canceled: %v", joined)
+	}
+}
+
+func TestBreakerErrorIdentity(t *testing.T) {
+	trip := Recovered(0, 3, 4, RecoveredWorker(1, "model exploded"))
+	be := &BreakerError{Path: "models/switch8.ptm.json", Failures: 5, LastErr: trip}
+
+	if !errors.Is(error(be), ErrBreakerOpen) {
+		t.Fatalf("BreakerError must match ErrBreakerOpen: %v", be)
+	}
+	// The full tripping chain stays reachable: breaker -> shard -> worker.
+	var se *ShardError
+	if !errors.As(error(be), &se) || se.Device != 3 {
+		t.Fatalf("tripping ShardError lost: %v", be)
+	}
+	var we *WorkerError
+	if !errors.As(error(be), &we) || we.Worker != 1 {
+		t.Fatalf("tripping WorkerError lost: %v", be)
+	}
+	var gotBE *BreakerError
+	if !errors.As(fmt.Errorf("request failed: %w", be), &gotBE) || gotBE.Path != be.Path {
+		t.Fatalf("BreakerError identity lost through wrapping")
+	}
+}
+
+func TestBreakerErrorNoLastErr(t *testing.T) {
+	be := &BreakerError{Path: "default", Failures: 5}
+	if !errors.Is(error(be), ErrBreakerOpen) {
+		t.Fatalf("LastErr-less BreakerError must still match ErrBreakerOpen: %v", be)
+	}
+	var se *ShardError
+	if errors.As(error(be), &se) {
+		t.Fatalf("no ShardError should be found: %v", be)
+	}
+	if be.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestBreakerErrorDistinguishableFromContextErrors(t *testing.T) {
+	// A breaker-open state must never read as a cancellation or deadline
+	// (the HTTP layer maps them to different statuses).
+	be := &BreakerError{Path: "p", Failures: 1, LastErr: Recovered(0, 0, 0, "x")}
+	if errors.Is(error(be), ErrCanceled) || errors.Is(error(be), ErrDeadline) {
+		t.Fatalf("breaker error must not match context sentinels: %v", be)
+	}
+}

@@ -1,0 +1,335 @@
+package serve_test
+
+// End-to-end chaos suite: the acceptance gate for the resilient serving
+// layer. A real ScenarioRunner (synthetic PTM, real IRSA engine) serves
+// HTTP traffic while internal/chaos injects shard panics, NaN outputs,
+// latency, and mid-run cancels at material rates. The server must
+// survive every fault, answer only well-defined statuses, open and
+// recover circuit breakers, shed with 429 + Retry-After, drain cleanly,
+// and — with chaos disabled — reproduce engine digests bit for bit.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deepqueuenet/internal/chaos"
+	"deepqueuenet/internal/core"
+	"deepqueuenet/internal/experiments"
+	"deepqueuenet/internal/guard"
+	"deepqueuenet/internal/ptm"
+	"deepqueuenet/internal/serve"
+)
+
+// testArch is a CPU-cheap but structurally complete PTM architecture.
+var testArch = ptm.Arch{TimeSteps: 8, Margin: 2, Embed: 4, BLSTM1: 4, BLSTM2: 4, Heads: 1, DK: 2, DV: 2, HeadOut: 4}
+
+func testModel(t *testing.T) *ptm.PTM {
+	t.Helper()
+	m, err := ptm.Synthetic(testArch, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// simBody renders a /simulate request body.
+func simBody(seed uint64) string {
+	return fmt.Sprintf(`{"topo":"line4","duration":0.0002,"shards":2,"seed":%d}`, seed)
+}
+
+func postSim(h http.Handler, body string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/simulate", strings.NewReader(body)))
+	return rec
+}
+
+// TestChaosStormServerSurvives is the headline drill: sustained
+// concurrent traffic with every fault kind injected at >= 1% rates. The
+// process must not die, every response must be a well-defined status,
+// some requests must still succeed, and the server must drain cleanly
+// while traffic is still arriving.
+func TestChaosStormServerSurvives(t *testing.T) {
+	inj := chaos.New(chaos.Config{
+		Seed:      7,
+		PanicRate: 0.03, NaNRate: 0.03, LatencyRate: 0.02, CancelRate: 0.10,
+		Latency: 200 * time.Microsecond, CancelAfter: 50 * time.Microsecond,
+	})
+	runner := &serve.ScenarioRunner{DefaultModel: testModel(t), MaxShards: 2}
+	runner.WrapDevice = inj.WrapDevice
+	srv := serve.New(serve.Config{
+		Workers: 3, QueueDepth: 2,
+		DefaultTimeout: 10 * time.Second,
+		RetryMax:       1, RetryBase: time.Millisecond, RetryCap: 2 * time.Millisecond,
+		Breaker: serve.BreakerConfig{Threshold: 4, Cooldown: 20 * time.Millisecond, ProbeSuccesses: 1},
+		Seed:    7,
+	}, inj.WrapRunner(runner))
+	h := srv.Handler()
+
+	var codes sync.Map // status -> *atomic.Uint64
+	count := func(code int) {
+		c, _ := codes.LoadOrStore(code, new(atomic.Uint64))
+		c.(*atomic.Uint64).Add(1)
+	}
+	var wg sync.WaitGroup
+	var seed atomic.Uint64
+	storm := func(n int) {
+		for g := 0; g < 6; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					rec := postSim(h, simBody(seed.Add(1)))
+					count(rec.Code)
+					if rec.Code == http.StatusTooManyRequests && rec.Header().Get("Retry-After") == "" {
+						t.Error("429 without Retry-After")
+					}
+				}
+			}()
+		}
+	}
+	storm(15)
+	wg.Wait()
+
+	// Only the documented statuses may ever appear.
+	allowed := map[int]bool{
+		http.StatusOK: true, http.StatusTooManyRequests: true,
+		http.StatusServiceUnavailable: true, http.StatusGatewayTimeout: true,
+		serve.StatusClientClosedRequest: true, http.StatusInternalServerError: true,
+	}
+	var ok200 uint64
+	codes.Range(func(k, v any) bool {
+		code, n := k.(int), v.(*atomic.Uint64).Load()
+		t.Logf("status %d: %d", code, n)
+		if !allowed[code] {
+			t.Errorf("undocumented status %d (%d times)", code, n)
+		}
+		if code == http.StatusOK {
+			ok200 = n
+		}
+		return true
+	})
+	if ok200 == 0 {
+		t.Error("no request succeeded under chaos")
+	}
+
+	// Every fault kind must actually have fired.
+	for f := chaos.FaultPanic; f <= chaos.FaultCancel; f++ {
+		if inj.Count(f) == 0 {
+			t.Errorf("fault %v never injected (total %d)", f, inj.Total())
+		}
+	}
+
+	// Terminal accounting must balance: every request seen got exactly
+	// one disposition.
+	st := srv.Snapshot()
+	if got := st.Shed + st.Rejected + st.Completed + st.Failed + st.Canceled + st.Deadline; got != st.Received {
+		t.Errorf("dispositions %d != received %d (%+v)", got, st.Received, st)
+	}
+	if st.Panics != 0 {
+		t.Errorf("chaos panics leaked to worker level: %d (must be contained as shard errors)", st.Panics)
+	}
+
+	// Drain while fresh traffic is still arriving: drain must finish,
+	// late requests must see 503.
+	storm(5)
+	time.Sleep(2 * time.Millisecond)
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		t.Fatalf("drain under storm: %v", err)
+	}
+	wg.Wait()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after drain: %d, want 503", rec.Code)
+	}
+	if rec2 := postSim(h, simBody(0)); rec2.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain simulate: %d, want 503", rec2.Code)
+	}
+}
+
+// TestChaosBreakerOpensAndRecovers drives the breaker lifecycle with a
+// switchable injector: 100% panic rate until the breaker opens (500s,
+// then degraded 200s), then a healed model and an elapsed cooldown let
+// the half-open probe close it again.
+func TestChaosBreakerOpensAndRecovers(t *testing.T) {
+	var inj atomic.Pointer[chaos.Injector]
+	inj.Store(chaos.New(chaos.Config{Seed: 3, PanicRate: 1.0}))
+	runner := &serve.ScenarioRunner{DefaultModel: testModel(t), MaxShards: 2}
+	runner.WrapDevice = func(sw int, m core.DeviceModel) core.DeviceModel {
+		if in := inj.Load(); in != nil {
+			return in.WrapDevice(sw, m)
+		}
+		return m
+	}
+	srv := serve.New(serve.Config{
+		Workers: 1, QueueDepth: 2, RetryMax: -1,
+		Breaker: serve.BreakerConfig{Threshold: 2, Cooldown: 30 * time.Millisecond, ProbeSuccesses: 1},
+	}, runner)
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Drain(dctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+	h := srv.Handler()
+
+	// Every inference panics: two failures open the breaker.
+	for i := 0; i < 2; i++ {
+		if rec := postSim(h, simBody(uint64(i+1))); rec.Code != http.StatusInternalServerError {
+			t.Fatalf("request %d: status %d, want 500", i, rec.Code)
+		}
+	}
+	br := srv.BreakerFor("default")
+	if br == nil || br.State() != serve.BreakerOpen {
+		t.Fatalf("breaker not open after threshold failures: %v", br)
+	}
+
+	// Open: availability through the degraded-FIFO fallback.
+	rec := postSim(h, simBody(10))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("degraded request: status %d body %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("X-DQN-Degraded") != "breaker-open" {
+		t.Fatalf("degraded response missing X-DQN-Degraded header")
+	}
+	if !strings.Contains(rec.Body.String(), `"mode":"degraded-fifo"`) {
+		t.Fatalf("degraded body %s", rec.Body.String())
+	}
+
+	// Heal the model, let the cooldown elapse: the probe closes it.
+	inj.Store(nil)
+	time.Sleep(40 * time.Millisecond)
+	rec = postSim(h, simBody(11))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"mode":"model"`) {
+		t.Fatalf("probe request: status %d body %s", rec.Code, rec.Body.String())
+	}
+	if br.State() != serve.BreakerClosed {
+		t.Fatalf("breaker %v after successful probe, want closed", br.State())
+	}
+}
+
+// TestChaosNaNSurfacesAsDivergence: a poisoned model output must be
+// caught by the engine's divergence watchdog, not silently served.
+func TestChaosNaNSurfacesAsDivergence(t *testing.T) {
+	inj := chaos.New(chaos.Config{Seed: 5, NaNRate: 1.0})
+	runner := &serve.ScenarioRunner{DefaultModel: testModel(t), MaxShards: 2}
+	runner.WrapDevice = inj.WrapDevice
+	srv := serve.New(serve.Config{Workers: 1, QueueDepth: 1, RetryMax: -1}, runner)
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Drain(dctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+	_, err := srv.Submit(context.Background(), &serve.Request{Topo: "line4", Duration: 0.0002, Shards: 2})
+	if err == nil {
+		t.Fatal("NaN-poisoned run must fail")
+	}
+	var de *guard.DivergenceError
+	if !errors.As(err, &de) {
+		t.Fatalf("want *guard.DivergenceError, got %v", err)
+	}
+	if inj.Count(chaos.FaultNaN) == 0 {
+		t.Fatal("NaN fault never injected")
+	}
+}
+
+// TestChaosCancelSurfacesAsCanceled: an injected mid-run cancel must
+// read as guard.ErrCanceled (HTTP 499), never as a deadline or failure.
+func TestChaosCancelSurfacesAsCanceled(t *testing.T) {
+	inj := chaos.New(chaos.Config{Seed: 5, CancelRate: 1.0, CancelAfter: time.Microsecond})
+	runner := &serve.ScenarioRunner{DefaultModel: testModel(t), MaxShards: 2}
+	srv := serve.New(serve.Config{Workers: 1, QueueDepth: 1, RetryMax: -1}, inj.WrapRunner(runner))
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Drain(dctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+	_, err := srv.Submit(context.Background(), &serve.Request{Topo: "line4", Duration: 0.0002, Shards: 2})
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("want guard.ErrCanceled, got %v", err)
+	}
+	rec := postSim(srv.Handler(), simBody(1))
+	if rec.Code != serve.StatusClientClosedRequest {
+		t.Fatalf("status %d, want 499", rec.Code)
+	}
+	if got := srv.Snapshot().Canceled; got < 2 {
+		t.Fatalf("canceled count %d, want >= 2", got)
+	}
+	if inj.Count(chaos.FaultCancel) == 0 {
+		t.Fatal("cancel fault never injected")
+	}
+}
+
+// TestChaosOffDigestBitIdentical: with every rate zero the chaos
+// wrappers are identities — a served run reproduces a direct engine
+// run's delivery digest bit for bit, and repeated serves agree.
+func TestChaosOffDigestBitIdentical(t *testing.T) {
+	model := testModel(t)
+	inj := chaos.New(chaos.Config{Seed: 1}) // all rates zero
+	runner := &serve.ScenarioRunner{DefaultModel: model, MaxShards: 2}
+	runner.WrapDevice = inj.WrapDevice
+	srv := serve.New(serve.Config{Workers: 2, QueueDepth: 2, RetryMax: -1}, inj.WrapRunner(runner))
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Drain(dctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+
+	req := &serve.Request{Topo: "line4", Duration: 0.0002, Shards: 2, Seed: 9}
+	res1, err := srv.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := srv.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Digest == "" || res1.Digest != res2.Digest {
+		t.Fatalf("served digests disagree: %q vs %q", res1.Digest, res2.Digest)
+	}
+
+	// Direct engine run of the identical scenario.
+	g, err := experiments.TopoByName("line4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := experiments.SchedByName("fifo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := experiments.TrafficByName("poisson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := experiments.NewScenario("line4/fifo/poisson", g, sched, tm, 0.5, 0.0002, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := sc.RunDQNCfgCtx(context.Background(), model, core.Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := serve.Digest(res); res1.Digest != want {
+		t.Fatalf("served digest %q != direct engine digest %q: the serving layer perturbed the simulation", res1.Digest, want)
+	}
+	if res1.Mode != "model" || res1.Degraded {
+		t.Fatalf("chaos-off run must be a clean model run: %+v", res1)
+	}
+}

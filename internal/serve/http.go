@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"deepqueuenet/internal/guard"
+)
+
+// HTTP API:
+//
+//	POST /simulate  — run one what-if query (Request JSON in, Result out)
+//	GET  /healthz   — liveness: 200 while the process is up
+//	GET  /readyz    — readiness: 200 accepting, 503 draining
+//	GET  /stats     — Stats JSON (counters, breakers, queue state)
+//
+// Failure → status mapping:
+//
+//	queue full            429 + Retry-After
+//	draining              503 + Retry-After
+//	bad request           400
+//	deadline exceeded     504
+//	canceled              499 (client closed request, nginx convention)
+//	inference failure     500 (after retries; breaker charged)
+//	breaker open          200 degraded-FIFO result + X-DQN-Degraded
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// StatusClientClosedRequest is nginx's conventional status for a
+// request whose client went away before the response was ready.
+const StatusClientClosedRequest = 499
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/simulate", s.handleSimulate)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only", Kind: "method"})
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding request: %v", err), Kind: "bad_request"})
+		return
+	}
+	res, err := s.Submit(r.Context(), &req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if res.Mode == "degraded-fifo" {
+		w.Header().Set("X-DQN-Degraded", "breaker-open")
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// writeError maps a Submit failure to its HTTP shape.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrShed):
+		w.Header().Set("Retry-After", retryAfterSeconds(s.RetryAfter()))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), Kind: "shed"})
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", retryAfterSeconds(s.RetryAfter()))
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), Kind: "draining"})
+	case errors.Is(err, ErrBadRequest):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_request"})
+	case errors.Is(err, guard.ErrDeadline):
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error(), Kind: "deadline"})
+	case errors.Is(err, guard.ErrCanceled):
+		writeJSON(w, StatusClientClosedRequest, errorBody{Error: err.Error(), Kind: "canceled"})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error(), Kind: "failure"})
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.RetryAfter()))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+// retryAfterSeconds renders a Retry-After header value (whole seconds,
+// minimum 1).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(d.Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// writeJSON writes a JSON response. A failed write means the client is
+// gone; there is nothing useful to do with the error.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Marshaling our own response types cannot fail; degrade to a
+		// plain 500 if it somehow does.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if _, err := w.Write(data); err != nil {
+		return // client disconnected mid-write; response is moot
+	}
+}

@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"deepqueuenet/internal/core"
+	"deepqueuenet/internal/experiments"
+	"deepqueuenet/internal/metrics"
+	"deepqueuenet/internal/ptm"
+)
+
+// ErrBadRequest marks a request the server can never execute (unknown
+// topology, out-of-range load, unloadable parameters): it maps to HTTP
+// 400, is never retried, and never charges the circuit breaker.
+var ErrBadRequest = errors.New("serve: bad request")
+
+// badRequestf wraps a descriptive error with ErrBadRequest.
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrBadRequest}, args...)...)
+}
+
+// errModelInvalid marks an unloadable or structurally invalid device
+// model file. Unlike a bad request it charges the circuit breaker of
+// its model path: the path is expected to work and repeated failures
+// should trip the degraded fallback.
+var errModelInvalid = errors.New("serve: device model invalid")
+
+// Request is one what-if simulation query, the JSON body of POST
+// /simulate. Zero fields take server-side defaults.
+type Request struct {
+	// Topo names the topology (experiments.TopoByName grammar:
+	// lineN, torusRxC, fattree16/64/128, abilene, geant, ...).
+	Topo string `json:"topo"`
+	// Sched names the per-switch scheduler ("fifo", "sp2", "wfq:9,1", ...).
+	Sched string `json:"sched,omitempty"`
+	// Traffic names the arrival model (poisson, onoff, map, bc, anarchy).
+	Traffic string `json:"traffic,omitempty"`
+	// Load is the target utilization of the most-shared link, (0, 1).
+	Load float64 `json:"load,omitempty"`
+	// Duration is the simulated horizon in seconds.
+	Duration float64 `json:"duration,omitempty"`
+	// Seed seeds the scenario's traffic generators.
+	Seed uint64 `json:"seed,omitempty"`
+	// Shards is the number of parallel inference shards for this job.
+	Shards int `json:"shards,omitempty"`
+	// Model is the device-model path this job runs against; "" uses the
+	// server's default model. The circuit breaker is keyed on this.
+	Model string `json:"model,omitempty"`
+	// NoSEC disables statistical error correction.
+	NoSEC bool `json:"nosec,omitempty"`
+	// TimeoutMs bounds the job's wall-clock runtime; 0 uses the server
+	// default, and values above the server maximum are clamped.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// modelKey is the circuit-breaker identity of the request.
+func (r *Request) modelKey() string {
+	if r.Model == "" {
+		return "default"
+	}
+	return r.Model
+}
+
+// Result is the JSON payload of a completed simulation job.
+type Result struct {
+	Scenario   string  `json:"scenario"`
+	Deliveries int     `json:"deliveries"`
+	Iterations int     `json:"iterations"`
+	Bound      int     `json:"bound"`
+	MeanRTTUs  float64 `json:"mean_rtt_us"`
+	P99RTTUs   float64 `json:"p99_rtt_us"`
+	// Mode is "model" for PTM-driven runs, "degraded-fifo" when the
+	// breaker rerouted the job to the exact FIFO fallback.
+	Mode string `json:"mode"`
+	// Degraded reports whether any device ran the FIFO fallback (all of
+	// them under Mode == "degraded-fifo").
+	Degraded        bool   `json:"degraded,omitempty"`
+	DegradedDevices int    `json:"degraded_devices,omitempty"`
+	DegradedReason  string `json:"degraded_reason,omitempty"`
+	// Digest is the bit-exact SHA-256 over the delivery trace (the
+	// golden-trace scheme) — two runs of the same request agree on it
+	// bit for bit, chaos off.
+	Digest    string  `json:"digest"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// Attempts counts runner executions including retries.
+	Attempts int `json:"attempts"`
+}
+
+// Runner executes one admitted simulation job. degraded requests the
+// exact FIFO-serialization fallback instead of the device model (the
+// circuit breaker's open-state path). Implementations must be
+// goroutine-safe; the worker pool calls Run concurrently.
+type Runner interface {
+	Run(ctx context.Context, req *Request, degraded bool) (*Result, error)
+}
+
+// ScenarioRunner is the production Runner: it materializes requests
+// into experiments.Scenario runs against cached PTM models.
+type ScenarioRunner struct {
+	// DefaultModel serves requests with no model path.
+	DefaultModel *ptm.PTM
+	// MaxShards caps per-request shard counts. <= 0 uses 8.
+	MaxShards int
+	// MaxDuration caps the simulated horizon per request (admission
+	// control against unboundedly large jobs). <= 0 uses 0.01 s.
+	MaxDuration float64
+	// WrapDevice, when set, is passed through to core.Config.WrapDevice
+	// on every non-degraded run — the chaos-injection seam.
+	WrapDevice func(switchID int, m core.DeviceModel) core.DeviceModel
+
+	mu    sync.Mutex
+	cache map[string]*ptm.PTM
+}
+
+// model resolves and caches the device model for one request. Load
+// failures are not cached: a half-open probe after the model file is
+// fixed must see the fix.
+func (r *ScenarioRunner) model(path string) (*ptm.PTM, error) {
+	if path == "" {
+		if r.DefaultModel == nil {
+			return nil, badRequestf("no model path given and no default model configured")
+		}
+		return r.DefaultModel, nil
+	}
+	r.mu.Lock()
+	m, ok := r.cache[path]
+	r.mu.Unlock()
+	if ok {
+		return m, nil
+	}
+	m, err := ptm.Load(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", errModelInvalid, err)
+	}
+	r.mu.Lock()
+	if r.cache == nil {
+		r.cache = make(map[string]*ptm.PTM)
+	}
+	r.cache[path] = m
+	r.mu.Unlock()
+	return m, nil
+}
+
+// scenario builds and calibrates the scenario a request describes.
+func (r *ScenarioRunner) scenario(req *Request) (*experiments.Scenario, error) {
+	g, err := experiments.TopoByName(req.Topo)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+	}
+	schedName := req.Sched
+	if schedName == "" {
+		schedName = "fifo"
+	}
+	sched, err := experiments.SchedByName(schedName)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+	}
+	trafficName := req.Traffic
+	if trafficName == "" {
+		trafficName = "poisson"
+	}
+	tm, err := experiments.TrafficByName(trafficName)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+	}
+	load := req.Load
+	if load == 0 {
+		load = 0.5
+	}
+	if load < 0 || load >= 1 {
+		return nil, badRequestf("load %v outside (0, 1)", load)
+	}
+	maxDur := r.MaxDuration
+	if maxDur <= 0 {
+		maxDur = 0.01
+	}
+	dur := req.Duration
+	if dur == 0 {
+		dur = 0.001
+	}
+	if dur < 0 || dur > maxDur {
+		return nil, badRequestf("duration %v outside (0, %v]", dur, maxDur)
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	name := fmt.Sprintf("%s/%s/%s", req.Topo, schedName, trafficName)
+	sc, err := experiments.NewScenario(name, g, sched, tm, load, dur, seed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+	}
+	return sc, nil
+}
+
+// Run implements Runner.
+func (r *ScenarioRunner) Run(ctx context.Context, req *Request, degraded bool) (*Result, error) {
+	start := time.Now()
+	sc, err := r.scenario(req)
+	if err != nil {
+		return nil, err
+	}
+	maxShards := r.MaxShards
+	if maxShards <= 0 {
+		maxShards = 8
+	}
+	shards := req.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	if shards > maxShards {
+		shards = maxShards
+	}
+	cfg := core.Config{Shards: shards, NoSEC: req.NoSEC}
+	var model *ptm.PTM
+	if degraded {
+		// PR 1's availability-preserving fallback: no model resolves for
+		// any switch, so every device runs the exact transmission-time +
+		// FIFO-serialization operator.
+		cfg.DeviceFor = func(int) core.DeviceModel { return nil }
+	} else {
+		model, err = r.model(req.Model)
+		if err != nil {
+			return nil, err
+		}
+		cfg.WrapDevice = r.WrapDevice
+	}
+	samples, res, err := sc.RunDQNCfgCtx(ctx, model, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Scenario:   sc.Name,
+		Deliveries: len(res.Deliveries),
+		Iterations: res.Iterations,
+		Bound:      res.Bound,
+		Digest:     Digest(res),
+		ElapsedMs:  float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if degraded {
+		out.Mode = "degraded-fifo"
+	} else {
+		out.Mode = "model"
+	}
+	if res.Degraded() {
+		out.Degraded = true
+		out.DegradedDevices = len(res.DegradedDevices)
+		if !degraded {
+			out.DegradedReason = res.DegradedReasons[res.DegradedDevices[0]]
+		}
+	}
+	var all []float64
+	for _, v := range samples {
+		all = append(all, v...)
+	}
+	if len(all) > 0 {
+		out.MeanRTTUs = metrics.Mean(all) * 1e6
+		out.P99RTTUs = metrics.Percentile(all, 99) * 1e6
+	}
+	return out, nil
+}
+
+// Digest hashes a result's delivery trace bit-exactly — packet identity
+// plus the raw IEEE-754 bits of each send/receive time — with the same
+// scheme as the repository's golden-trace tests, so a served run can be
+// checked bit-for-bit against a direct engine run.
+func Digest(res *core.Result) string {
+	h := sha256.New()
+	var buf [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, d := range res.Deliveries {
+		w(d.PktID)
+		w(uint64(d.FlowID))
+		if d.IsRTT {
+			w(1)
+		} else {
+			w(0)
+		}
+		w(math.Float64bits(d.SendTime))
+		w(math.Float64bits(d.RecvTime))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

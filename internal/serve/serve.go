@@ -1,0 +1,563 @@
+// Package serve is the resilient simulation-serving layer: it runs
+// concurrent DeepQueueNet jobs (Sim.RunContext via a Runner) through a
+// bounded worker pool behind a bounded admission queue, propagates
+// per-request deadlines, sheds load with Retry-After when the queue is
+// full, contains repeated model failures behind per-model-path circuit
+// breakers (reusing the engine's degraded-FIFO fallback while open),
+// retries transient faults with exponential backoff and jitter, and
+// drains in-flight jobs on shutdown. The failure taxonomy is
+// internal/guard's: shard panics, divergence, cancellation, deadlines,
+// and breaker-open states all stay inspectable with errors.Is/As.
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deepqueuenet/internal/guard"
+	"deepqueuenet/internal/rng"
+)
+
+// Config tunes the server's resilience envelope.
+type Config struct {
+	// Workers is the number of concurrently executing simulation jobs.
+	// <= 0 uses 2.
+	Workers int
+	// QueueDepth bounds the admission queue beyond the in-flight jobs;
+	// a request arriving with the queue full is shed with 429 +
+	// Retry-After instead of queuing unboundedly. <= 0 uses 8.
+	QueueDepth int
+	// DefaultTimeout is the per-job deadline when the request names
+	// none. <= 0 uses 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines. <= 0 uses 2m.
+	MaxTimeout time.Duration
+	// RetryMax is how many times a transient job failure (shard panic,
+	// divergence) is retried before surfacing. < 0 disables retries;
+	// 0 uses 2.
+	RetryMax int
+	// RetryBase is the first backoff delay; attempt n waits
+	// RetryBase·2ⁿ plus jitter, capped at RetryCap. <= 0 uses 25ms.
+	RetryBase time.Duration
+	// RetryCap bounds a single backoff delay. <= 0 uses 1s.
+	RetryCap time.Duration
+	// Breaker configures the per-model-path circuit breakers.
+	Breaker BreakerConfig
+	// Seed seeds the jitter generator (deterministic tests). 0 uses 1.
+	Seed uint64
+	// Now is the clock (injectable for deterministic breaker tests);
+	// nil uses time.Now.
+	Now func() time.Time
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.RetryMax == 0 {
+		c.RetryMax = 2
+	}
+	if c.RetryMax < 0 {
+		c.RetryMax = 0
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 25 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// ErrShed marks a request refused at admission because the queue was
+// full (HTTP 429 + Retry-After).
+var ErrShed = errors.New("serve: overloaded, request shed")
+
+// ErrDraining marks a request refused because the server is draining
+// for shutdown (HTTP 503 + Retry-After).
+var ErrDraining = errors.New("serve: draining, not accepting jobs")
+
+// jobOutcome is what a worker hands back to the waiting submitter.
+type jobOutcome struct {
+	res *Result
+	err error
+}
+
+// job is one admitted request traveling through the queue.
+type job struct {
+	req  *Request
+	ctx  context.Context
+	done chan jobOutcome // buffered(1): a worker never blocks finishing
+}
+
+// finish delivers the outcome exactly once.
+func (j *job) finish(res *Result, err error) {
+	j.done <- jobOutcome{res, err}
+}
+
+// counters is the server's monotonic event counts (atomics; exported
+// snapshot via Stats).
+type counters struct {
+	received  atomic.Uint64 // simulate requests seen
+	accepted  atomic.Uint64 // admitted into the queue
+	completed atomic.Uint64 // finished successfully (incl. degraded)
+	failed    atomic.Uint64 // finished with a non-context error
+	shed      atomic.Uint64 // refused with 429 (queue full)
+	rejected  atomic.Uint64 // refused with 503 (draining)
+	retries   atomic.Uint64 // transient-failure re-executions
+	canceled  atomic.Uint64 // jobs ended by cancellation
+	deadline  atomic.Uint64 // jobs ended by deadline
+	degraded  atomic.Uint64 // jobs served by the FIFO fallback (breaker open)
+	panics    atomic.Uint64 // worker-level recovered panics
+	inflight  atomic.Int64  // jobs currently executing
+}
+
+// Server owns the worker pool, admission queue, breakers, and stats.
+// Build with New, serve HTTP through Handler, stop with Drain.
+type Server struct {
+	cfg    Config
+	runner Runner
+
+	queue  chan *job
+	closed chan struct{} // closes when workers must exit
+	wg     sync.WaitGroup
+	jobWG  sync.WaitGroup // tracks admitted-but-unfinished jobs
+
+	// drainMu orders jobWG.Add against Drain's jobWG.Wait: Submit
+	// increments under the read lock only after seeing draining false,
+	// and Drain flips the flag under the write lock before waiting, so
+	// no Add can start from a zero counter while Wait runs.
+	drainMu   sync.RWMutex
+	draining  atomic.Bool
+	drainOnce sync.Once
+
+	breakerMu sync.Mutex
+	breakers  map[string]*Breaker
+
+	jitterMu sync.Mutex
+	jitter   *rng.Rand
+
+	stats    counters
+	avgRunNs atomic.Int64 // EWMA of job wall time, drives Retry-After
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config, runner Runner) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		runner:   runner,
+		queue:    make(chan *job, cfg.QueueDepth),
+		closed:   make(chan struct{}),
+		breakers: make(map[string]*Breaker),
+		jitter:   rng.New(cfg.Seed),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	return s
+}
+
+// worker pulls jobs until the server closes. Each job runs behind
+// serveJob's panic isolation; this outer recover is the last line that
+// keeps a worker goroutine from taking down the process.
+func (s *Server) worker(i int) {
+	defer s.wg.Done()
+	defer func() {
+		if we := guard.RecoveredWorker(i, recover()); we != nil {
+			// Unreachable in practice (serveJob recovers per-job), but a
+			// panic here must still not kill the process.
+			s.stats.panics.Add(1)
+		}
+	}()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case j := <-s.queue:
+			s.serveJob(i, j)
+		}
+	}
+}
+
+// Submit admits a request and blocks until its job finishes or ctx
+// ends. It is the transport-independent core of POST /simulate: HTTP
+// handlers and benchmarks call it directly. The returned error is one
+// of: nil, ErrShed, ErrDraining, ErrBadRequest, a guard error
+// (ErrCanceled/ErrDeadline/ShardError/DivergenceError/WorkerError), or
+// a runner failure.
+func (s *Server) Submit(ctx context.Context, req *Request) (*Result, error) {
+	s.stats.received.Add(1)
+	s.drainMu.RLock()
+	if s.draining.Load() {
+		s.drainMu.RUnlock()
+		s.stats.rejected.Add(1)
+		return nil, ErrDraining
+	}
+	s.jobWG.Add(1)
+	s.drainMu.RUnlock()
+	jctx, cancel := context.WithTimeout(ctx, s.timeoutFor(req))
+	defer cancel()
+	j := &job{req: req, ctx: jctx, done: make(chan jobOutcome, 1)}
+	select {
+	case s.queue <- j:
+		s.stats.accepted.Add(1)
+	default:
+		s.jobWG.Done()
+		s.stats.shed.Add(1)
+		return nil, ErrShed
+	}
+	select {
+	case out := <-j.done:
+		return out.res, out.err
+	case <-jctx.Done():
+		// Still queued (or the submitter gave up first): the worker will
+		// observe the dead context, finish the job cheaply, and do the
+		// stats accounting; the buffered done channel means nobody blocks.
+		return nil, guard.FromContext(jctx.Err())
+	}
+}
+
+// timeoutFor clamps the request's deadline into the server's envelope.
+func (s *Server) timeoutFor(req *Request) time.Duration {
+	d := time.Duration(req.TimeoutMs) * time.Millisecond
+	if d <= 0 {
+		d = s.cfg.DefaultTimeout
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// serveJob executes one admitted job: breaker consultation, retry loop,
+// stat accounting — inside per-job panic isolation so no request can
+// kill a worker.
+func (s *Server) serveJob(worker int, j *job) {
+	defer s.jobWG.Done()
+	s.stats.inflight.Add(1)
+	defer s.stats.inflight.Add(-1)
+	defer func() {
+		if we := guard.RecoveredWorker(worker, recover()); we != nil {
+			s.stats.panics.Add(1)
+			s.stats.failed.Add(1)
+			j.finish(nil, we)
+		}
+	}()
+	if err := j.ctx.Err(); err != nil {
+		// Canceled while queued; the submitter is already gone.
+		gerr := guard.FromContext(err)
+		s.countCtxErr(gerr)
+		j.finish(nil, gerr)
+		return
+	}
+	start := s.cfg.Now()
+	br := s.breakerFor(j.req.modelKey())
+	admission := br.Allow(start)
+
+	var res *Result
+	var err error
+	if admission == AdmitDegraded {
+		// Breaker open: serve availability through the exact FIFO
+		// fallback instead of hammering the suspect model.
+		s.stats.degraded.Add(1)
+		res, err = s.runner.Run(j.ctx, j.req, true)
+		if res != nil {
+			res.Attempts = 1
+			res.DegradedReason = br.Err().Error()
+		}
+	} else {
+		var attempts int
+		res, attempts, err = s.runWithRetry(j)
+		if res != nil {
+			res.Attempts = attempts
+		}
+		switch {
+		case breakerWorthy(err):
+			br.Record(admission == AdmitProbe, err, s.cfg.Now())
+		case err == nil:
+			br.Record(admission == AdmitProbe, nil, s.cfg.Now())
+		case admission == AdmitProbe:
+			// Context-terminated or bad-request probes judge nothing;
+			// hand the probe slot back so the breaker can try again.
+			br.ReleaseProbe()
+		}
+		// Context-terminated and bad requests charge nobody.
+	}
+	s.observeRun(s.cfg.Now().Sub(start))
+	switch {
+	case err == nil:
+		s.stats.completed.Add(1)
+	case errors.Is(err, guard.ErrCanceled) || errors.Is(err, guard.ErrDeadline):
+		s.countCtxErr(err)
+	default:
+		s.stats.failed.Add(1)
+	}
+	j.finish(res, err)
+}
+
+// runWithRetry executes the job's runner call, retrying transient
+// failures with exponential backoff + jitter while the deadline lasts.
+func (s *Server) runWithRetry(j *job) (*Result, int, error) {
+	attempts := 0
+	for {
+		res, err := s.runner.Run(j.ctx, j.req, false)
+		attempts++
+		if err == nil || !transient(err) || attempts > s.cfg.RetryMax {
+			return res, attempts, err
+		}
+		delay := s.backoff(attempts - 1)
+		t := time.NewTimer(delay)
+		select {
+		case <-j.ctx.Done():
+			t.Stop()
+			// Out of time mid-backoff: the transient error is what the
+			// caller should see, joined with the deadline state.
+			return res, attempts, errors.Join(guard.FromContext(j.ctx.Err()), err)
+		case <-t.C:
+		}
+		s.stats.retries.Add(1)
+	}
+}
+
+// backoff computes the delay before retry attempt n (0-based):
+// RetryBase·2ⁿ capped at RetryCap, with "equal jitter" — half fixed,
+// half uniform — so synchronized failures don't retry in lockstep.
+func (s *Server) backoff(attempt int) time.Duration {
+	if attempt > 30 {
+		attempt = 30
+	}
+	d := s.cfg.RetryBase << uint(attempt)
+	if d > s.cfg.RetryCap || d <= 0 {
+		d = s.cfg.RetryCap
+	}
+	s.jitterMu.Lock()
+	u := s.jitter.Float64()
+	s.jitterMu.Unlock()
+	return d/2 + time.Duration(u*float64(d/2))
+}
+
+// transient reports whether a failure is worth retrying: shard panics
+// and divergence can stem from environmental faults (and, under chaos
+// testing, provably do), while context errors, bad requests, and
+// invalid models are deterministic.
+func transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, guard.ErrCanceled) || errors.Is(err, guard.ErrDeadline) {
+		return false
+	}
+	var se *guard.ShardError
+	var de *guard.DivergenceError
+	var we *guard.WorkerError
+	return errors.As(err, &se) || errors.As(err, &de) || errors.As(err, &we)
+}
+
+// breakerWorthy reports whether a failure should charge the model
+// path's circuit breaker: inference faults and invalid models do;
+// cancellations, deadlines, and bad requests do not.
+func breakerWorthy(err error) bool {
+	if err == nil {
+		return false
+	}
+	return transient(err) || errors.Is(err, errModelInvalid)
+}
+
+// countCtxErr buckets a context-termination error.
+func (s *Server) countCtxErr(err error) {
+	if errors.Is(err, guard.ErrDeadline) {
+		s.stats.deadline.Add(1)
+	} else {
+		s.stats.canceled.Add(1)
+	}
+}
+
+// breakerFor returns (creating on first use) the breaker of one model
+// path.
+func (s *Server) breakerFor(path string) *Breaker {
+	s.breakerMu.Lock()
+	defer s.breakerMu.Unlock()
+	b, ok := s.breakers[path]
+	if !ok {
+		b = NewBreaker(path, s.cfg.Breaker)
+		s.breakers[path] = b
+	}
+	return b
+}
+
+// observeRun feeds the job-duration EWMA (α = 1/8) behind Retry-After.
+func (s *Server) observeRun(d time.Duration) {
+	for {
+		old := s.avgRunNs.Load()
+		var next int64
+		if old == 0 {
+			next = int64(d)
+		} else {
+			next = old + (int64(d)-old)/8
+		}
+		if s.avgRunNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// RetryAfter estimates how long a shed client should wait before
+// retrying: the time for the current backlog to clear through the
+// worker pool, clamped to [1s, 60s].
+func (s *Server) RetryAfter() time.Duration {
+	avg := time.Duration(s.avgRunNs.Load())
+	if avg <= 0 {
+		avg = time.Second
+	}
+	backlog := len(s.queue) + int(s.stats.inflight.Load())
+	est := avg * time.Duration(backlog+1) / time.Duration(s.cfg.Workers)
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > time.Minute {
+		est = time.Minute
+	}
+	return est.Round(time.Second)
+}
+
+// Draining reports whether the server has begun shutdown.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully shuts the server down: it stops admitting new jobs
+// (readiness goes false, /simulate answers 503), waits for every
+// already-admitted job — queued and in-flight — to finish, then stops
+// the workers. If ctx expires first, remaining workers are stopped
+// anyway and still-queued jobs are failed with ErrDraining; the error
+// is then ctx's. Drain is idempotent; concurrent calls all wait.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining.Store(true)
+	s.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		defer func() {
+			if we := guard.RecoveredWorker(0, recover()); we != nil {
+				s.stats.panics.Add(1) // keep the drain waiter from killing the process
+			}
+		}()
+		s.jobWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.drainOnce.Do(func() { close(s.closed) })
+	if err != nil {
+		// Timed out: fail whatever is still queued so submitters unblock.
+		for {
+			select {
+			case j := <-s.queue:
+				j.finish(nil, ErrDraining)
+				s.jobWG.Done()
+			default:
+				s.wg.Wait()
+				return err
+			}
+		}
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Stats is the observable server state (/stats payload).
+type Stats struct {
+	Received  uint64 `json:"received"`
+	Accepted  uint64 `json:"accepted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Shed      uint64 `json:"shed"`
+	Rejected  uint64 `json:"rejected"`
+	Retries   uint64 `json:"retries"`
+	Canceled  uint64 `json:"canceled"`
+	Deadline  uint64 `json:"deadline_exceeded"`
+	Degraded  uint64 `json:"degraded"`
+	Panics    uint64 `json:"panics"`
+	InFlight  int64  `json:"in_flight"`
+	Queued    int    `json:"queued"`
+	Workers   int    `json:"workers"`
+	Queue     int    `json:"queue_depth"`
+	Draining  bool   `json:"draining"`
+	AvgRunMs  float64        `json:"avg_run_ms"`
+	Breakers  []BreakerStats `json:"breakers,omitempty"`
+}
+
+// Snapshot collects the current stats.
+func (s *Server) Snapshot() Stats {
+	st := Stats{
+		Received:  s.stats.received.Load(),
+		Accepted:  s.stats.accepted.Load(),
+		Completed: s.stats.completed.Load(),
+		Failed:    s.stats.failed.Load(),
+		Shed:      s.stats.shed.Load(),
+		Rejected:  s.stats.rejected.Load(),
+		Retries:   s.stats.retries.Load(),
+		Canceled:  s.stats.canceled.Load(),
+		Deadline:  s.stats.deadline.Load(),
+		Degraded:  s.stats.degraded.Load(),
+		Panics:    s.stats.panics.Load(),
+		InFlight:  s.stats.inflight.Load(),
+		Queued:    len(s.queue),
+		Workers:   s.cfg.Workers,
+		Queue:     s.cfg.QueueDepth,
+		Draining:  s.draining.Load(),
+		AvgRunMs:  float64(s.avgRunNs.Load()) / float64(time.Millisecond),
+	}
+	s.breakerMu.Lock()
+	paths := make([]string, 0, len(s.breakers))
+	for p := range s.breakers {
+		paths = append(paths, p)
+	}
+	s.breakerMu.Unlock()
+	sortStrings(paths)
+	for _, p := range paths {
+		st.Breakers = append(st.Breakers, s.breakerFor(p).Stats())
+	}
+	return st
+}
+
+// sortStrings is an allocation-light insertion sort; breaker sets are
+// tiny (one per model path).
+func sortStrings(a []string) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// BreakerFor exposes the breaker of a model path for tests and
+// operational tooling (nil when that path has never been requested).
+func (s *Server) BreakerFor(path string) *Breaker {
+	s.breakerMu.Lock()
+	defer s.breakerMu.Unlock()
+	return s.breakers[path]
+}

@@ -1,0 +1,439 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deepqueuenet/internal/guard"
+)
+
+// stubRunner scripts Run outcomes for server-mechanics tests.
+type stubRunner struct {
+	mu    sync.Mutex
+	calls int
+	fn    func(ctx context.Context, req *Request, degraded bool, call int) (*Result, error)
+}
+
+func (s *stubRunner) Run(ctx context.Context, req *Request, degraded bool) (*Result, error) {
+	s.mu.Lock()
+	s.calls++
+	call := s.calls
+	s.mu.Unlock()
+	return s.fn(ctx, req, degraded, call)
+}
+
+func (s *stubRunner) callCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// okResult builds a minimal successful result.
+func okResult(mode string) *Result {
+	return &Result{Scenario: "stub", Mode: mode, Digest: "d"}
+}
+
+// blockingRunner blocks every Run until released (or its ctx dies).
+type blockingRunner struct {
+	started     chan struct{} // one tick per Run entered
+	release     chan struct{} // closed by Release to let every Run finish
+	releaseOnce sync.Once
+}
+
+func newBlockingRunner() *blockingRunner {
+	return &blockingRunner{started: make(chan struct{}, 64), release: make(chan struct{})}
+}
+
+func (b *blockingRunner) Release() { b.releaseOnce.Do(func() { close(b.release) }) }
+
+func (b *blockingRunner) Run(ctx context.Context, _ *Request, _ bool) (*Result, error) {
+	b.started <- struct{}{}
+	select {
+	case <-b.release:
+		return okResult("model"), nil
+	case <-ctx.Done():
+		return nil, guard.FromContext(ctx.Err())
+	}
+}
+
+func drainServer(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// waitQueued spins until the admission queue holds n jobs.
+func waitQueued(t *testing.T, s *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.queue) < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if len(s.queue) < n {
+		t.Fatalf("queue depth %d, want >= %d", len(s.queue), n)
+	}
+}
+
+func TestSubmitRunsJob(t *testing.T) {
+	r := &stubRunner{fn: func(context.Context, *Request, bool, int) (*Result, error) {
+		return okResult("model"), nil
+	}}
+	s := New(Config{Workers: 1, QueueDepth: 1, RetryMax: -1}, r)
+	defer drainServer(t, s)
+	res, err := s.Submit(context.Background(), &Request{Topo: "line4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "model" || res.Attempts != 1 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	st := s.Snapshot()
+	if st.Completed != 1 || st.Accepted != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestShedWhenQueueFull(t *testing.T) {
+	b := newBlockingRunner()
+	s := New(Config{Workers: 1, QueueDepth: 1, RetryMax: -1}, b)
+	defer drainServer(t, s)
+	defer b.Release() // runs before the drain defer (LIFO), unblocking it
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	// First request occupies the worker; second occupies the queue.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer func() {
+				if we := guard.RecoveredWorker(i, recover()); we != nil {
+					errs[i] = we
+				}
+				wg.Done()
+			}()
+			_, errs[i] = s.Submit(context.Background(), &Request{})
+		}(i)
+	}
+	<-b.started // worker picked up request 1
+	waitQueued(t, s, 1)
+	// Third request must shed.
+	if _, err := s.Submit(context.Background(), &Request{}); !errors.Is(err, ErrShed) {
+		t.Fatalf("want ErrShed, got %v", err)
+	}
+	if got := s.Snapshot().Shed; got != 1 {
+		t.Fatalf("shed count %d, want 1", got)
+	}
+	b.Release()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d failed: %v", i, err)
+		}
+	}
+}
+
+func TestShedHTTP429WithRetryAfter(t *testing.T) {
+	b := newBlockingRunner()
+	s := New(Config{Workers: 1, QueueDepth: 1, RetryMax: -1}, b)
+	defer drainServer(t, s)
+	defer b.Release()
+	h := s.Handler()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer func() {
+				if we := guard.RecoveredWorker(i, recover()); we != nil {
+					t.Error(we)
+				}
+				wg.Done()
+			}()
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/simulate", strings.NewReader(`{}`)))
+		}(i)
+	}
+	<-b.started
+	waitQueued(t, s, 1)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/simulate", strings.NewReader(`{}`)))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+	b.Release()
+	wg.Wait()
+}
+
+func TestDeadlinePropagates(t *testing.T) {
+	b := newBlockingRunner()
+	s := New(Config{Workers: 1, QueueDepth: 1, RetryMax: -1}, b)
+	defer drainServer(t, s)
+	defer b.Release()
+	_, err := s.Submit(context.Background(), &Request{TimeoutMs: 20})
+	if !errors.Is(err, guard.ErrDeadline) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+	// The worker does the terminal accounting; wait for it.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Snapshot().Deadline == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.Snapshot().Deadline; got != 1 {
+		t.Fatalf("deadline counter %d, want 1", got)
+	}
+}
+
+func TestRetryTransientThenSucceed(t *testing.T) {
+	r := &stubRunner{fn: func(_ context.Context, _ *Request, _ bool, call int) (*Result, error) {
+		if call <= 2 {
+			return nil, guard.Recovered(0, 1, 0, "transient boom")
+		}
+		return okResult("model"), nil
+	}}
+	s := New(Config{Workers: 1, QueueDepth: 1, RetryMax: 2, RetryBase: time.Millisecond, RetryCap: 2 * time.Millisecond}, r)
+	defer drainServer(t, s)
+	res, err := s.Submit(context.Background(), &Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 3 {
+		t.Fatalf("attempts %d, want 3", res.Attempts)
+	}
+	if got := s.Snapshot().Retries; got != 2 {
+		t.Fatalf("retries %d, want 2", got)
+	}
+}
+
+func TestBadRequestNotRetriedNotBreakerCharged(t *testing.T) {
+	r := &stubRunner{fn: func(context.Context, *Request, bool, int) (*Result, error) {
+		return nil, badRequestf("no such topo")
+	}}
+	s := New(Config{Workers: 1, QueueDepth: 1, Breaker: BreakerConfig{Threshold: 1}}, r)
+	defer drainServer(t, s)
+	_, err := s.Submit(context.Background(), &Request{Topo: "nope"})
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("want ErrBadRequest, got %v", err)
+	}
+	if r.callCount() != 1 {
+		t.Fatalf("bad request retried: %d calls", r.callCount())
+	}
+	if st := s.BreakerFor("default").State(); st != BreakerClosed {
+		t.Fatalf("bad request charged the breaker: %v", st)
+	}
+}
+
+// fakeClock is a mutable clock for breaker-timing tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerOpensDegradesAndRecovers(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	var healthy atomic.Bool
+	r := &stubRunner{fn: func(_ context.Context, _ *Request, degraded bool, _ int) (*Result, error) {
+		if degraded {
+			return okResult("degraded-fifo"), nil
+		}
+		if healthy.Load() {
+			return okResult("model"), nil
+		}
+		return nil, guard.Recovered(0, 3, 1, "model keeps exploding")
+	}}
+	s := New(Config{
+		Workers: 1, QueueDepth: 2, RetryMax: -1, Now: clk.Now,
+		Breaker: BreakerConfig{Threshold: 2, Cooldown: time.Minute, ProbeSuccesses: 1},
+	}, r)
+	defer drainServer(t, s)
+
+	// Two consecutive failures open the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(context.Background(), &Request{}); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	br := s.BreakerFor("default")
+	if br.State() != BreakerOpen {
+		t.Fatalf("breaker %v, want open", br.State())
+	}
+	if !errors.Is(br.Err(), guard.ErrBreakerOpen) {
+		t.Fatalf("breaker error %v must match guard.ErrBreakerOpen", br.Err())
+	}
+	var se *guard.ShardError
+	if !errors.As(br.Err(), &se) {
+		t.Fatalf("breaker error %v must expose the tripping ShardError", br.Err())
+	}
+
+	// Open: requests serve the degraded-FIFO fallback, not errors.
+	res, err := s.Submit(context.Background(), &Request{})
+	if err != nil {
+		t.Fatalf("open breaker must degrade, not fail: %v", err)
+	}
+	if res.Mode != "degraded-fifo" || res.DegradedReason == "" {
+		t.Fatalf("degraded result %+v", res)
+	}
+	if got := s.Snapshot().Degraded; got != 1 {
+		t.Fatalf("degraded count %d, want 1", got)
+	}
+
+	// Model fixed + cooldown elapsed: the next request is the half-open
+	// probe, succeeds, and closes the breaker.
+	healthy.Store(true)
+	clk.Advance(2 * time.Minute)
+	res, err = s.Submit(context.Background(), &Request{})
+	if err != nil {
+		t.Fatalf("probe failed: %v", err)
+	}
+	if res.Mode != "model" {
+		t.Fatalf("probe should run the real model, got %+v", res)
+	}
+	if br.State() != BreakerClosed {
+		t.Fatalf("breaker %v after successful probe, want closed", br.State())
+	}
+}
+
+func TestDrainWaitsForInFlightAndRefusesNew(t *testing.T) {
+	b := newBlockingRunner()
+	s := New(Config{Workers: 1, QueueDepth: 2, RetryMax: -1}, b)
+	defer b.Release()
+
+	var submitErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer func() {
+			if we := guard.RecoveredWorker(0, recover()); we != nil {
+				submitErr = we
+			}
+			wg.Done()
+		}()
+		_, submitErr = s.Submit(context.Background(), &Request{})
+	}()
+	<-b.started // job is in flight
+
+	drainDone := make(chan error, 1)
+	go func() {
+		defer func() {
+			if we := guard.RecoveredWorker(1, recover()); we != nil {
+				drainDone <- we
+			}
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainDone <- s.Drain(ctx)
+	}()
+
+	// Draining: readiness false, new work refused with 503.
+	deadline := time.Now().Add(2 * time.Second)
+	for !s.Draining() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: %d, want 503", rec.Code)
+	}
+	if _, err := s.Submit(context.Background(), &Request{}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("want ErrDraining, got %v", err)
+	}
+
+	// The in-flight job completes; drain then returns cleanly.
+	b.Release()
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	if submitErr != nil {
+		t.Fatalf("in-flight job must complete during drain: %v", submitErr)
+	}
+}
+
+func TestWorkerSurvivesRunnerPanic(t *testing.T) {
+	r := &stubRunner{fn: func(_ context.Context, _ *Request, _ bool, call int) (*Result, error) {
+		if call == 1 {
+			panic("runner exploded straight through")
+		}
+		return okResult("model"), nil
+	}}
+	s := New(Config{Workers: 1, QueueDepth: 1, RetryMax: -1, Breaker: BreakerConfig{Threshold: 100}}, r)
+	defer drainServer(t, s)
+	_, err := s.Submit(context.Background(), &Request{})
+	if err == nil {
+		t.Fatal("panicking job must surface an error")
+	}
+	var we *guard.WorkerError
+	if !errors.As(err, &we) {
+		t.Fatalf("want *guard.WorkerError, got %v", err)
+	}
+	// The same worker must still serve the next request.
+	if _, err := s.Submit(context.Background(), &Request{}); err != nil {
+		t.Fatalf("worker died after panic: %v", err)
+	}
+	if got := s.Snapshot().Panics; got != 1 {
+		t.Fatalf("panic count %d, want 1", got)
+	}
+}
+
+func TestHealthzAlwaysOK(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1}, &stubRunner{fn: func(context.Context, *Request, bool, int) (*Result, error) {
+		return okResult("model"), nil
+	}})
+	defer drainServer(t, s)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz %d", rec.Code)
+	}
+}
+
+func TestBreakerProbeReleaseOnNeutralOutcome(t *testing.T) {
+	// A probe that ends for a reason unrelated to the model (deadline)
+	// must hand the probe slot back instead of wedging the breaker.
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	br := NewBreaker("m", BreakerConfig{Threshold: 1, Cooldown: time.Minute, ProbeSuccesses: 1})
+	br.Record(false, guard.Recovered(0, 0, 0, "boom"), clk.Now())
+	if br.State() != BreakerOpen {
+		t.Fatalf("state %v, want open", br.State())
+	}
+	clk.Advance(2 * time.Minute)
+	if adm := br.Allow(clk.Now()); adm != AdmitProbe {
+		t.Fatalf("admission %v, want probe", adm)
+	}
+	// While the probe is out, everyone else degrades.
+	if adm := br.Allow(clk.Now()); adm != AdmitDegraded {
+		t.Fatalf("admission %v, want degraded while probing", adm)
+	}
+	br.ReleaseProbe() // neutral outcome: no judgment
+	if adm := br.Allow(clk.Now()); adm != AdmitProbe {
+		t.Fatalf("admission %v, want a fresh probe after release", adm)
+	}
+	br.Record(true, nil, clk.Now())
+	if br.State() != BreakerClosed {
+		t.Fatalf("state %v, want closed", br.State())
+	}
+}
