@@ -3,7 +3,7 @@ GO ?= go
 # Per-target budget for `make fuzz`; raise for longer local campaigns.
 FUZZTIME ?= 15s
 
-.PHONY: build test race vet lint lint-fix-report check golden bench bench-check fuzz
+.PHONY: build test race vet lint lint-fix-report check golden bench bench-check metrics-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -34,8 +34,14 @@ lint-fix-report:
 # check is the CI gate: go vet, the repo's own analyzers, the full
 # suite under the race detector (the shard fan-out and DLib are the
 # concurrency-bearing paths it watches), the golden-trace determinism
-# digests, and the benchmark regression gate.
-check: vet lint race golden bench-check
+# digests, the /metrics consistency smoke, and the benchmark
+# regression gate.
+check: vet lint race golden metrics-smoke bench-check
+
+# metrics-smoke drives a request through the full dqnserve handler
+# stack and asserts /metrics exposes counters consistent with /stats.
+metrics-smoke:
+	$(GO) test -run TestMetricsEndpointSmoke -count=1 ./internal/serve
 
 # golden re-runs the fixed-seed example scenarios and fails if any
 # per-packet departure-time digest moved a single bit. Regenerate after
@@ -45,14 +51,16 @@ golden:
 	$(GO) test -run TestGoldenTraces -count=1 .
 
 # bench runs the reproducible perf harness (cmd/dqnbench) and refreshes
-# BENCH_pr4.json in place, preserving its recorded "before" baseline.
+# BENCH_pr5.json in place, preserving its recorded "before" baseline.
+# Since PR 5 the e2e benchmarks run with an EngineObserver attached, so
+# the recorded numbers include the observability layer's cost.
 bench:
-	$(GO) run ./cmd/dqnbench -out BENCH_pr4.json
+	$(GO) run ./cmd/dqnbench -out BENCH_pr5.json
 
 # bench-check reruns the harness and fails on a >15% ns/op or any
-# allocs/op regression against the committed BENCH_pr4.json.
+# allocs/op regression against the committed BENCH_pr5.json.
 bench-check:
-	$(GO) run ./cmd/dqnbench -check BENCH_pr4.json
+	$(GO) run ./cmd/dqnbench -check BENCH_pr5.json
 
 # microbench runs the plain go test benchmarks (no regression gate).
 microbench:

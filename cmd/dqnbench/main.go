@@ -4,12 +4,14 @@
 // PredictStream, and end-to-end IRSA runs on the FatTree16 and Abilene
 // example topologies — plus the serving layer at saturation (requests/s
 // and shed rate through the bounded worker pool), and records ns/op,
-// allocs/op, B/op, and throughput as JSON (BENCH_pr4.json schema,
-// documented in the README "Benchmarking" section).
+// allocs/op, B/op, and throughput as JSON (BENCH_pr5.json schema,
+// documented in the README "Benchmarking" section). The e2e runs carry
+// an attached obs.EngineObserver, so the recorded numbers include the
+// observability layer's cost and -check gates its overhead.
 //
-//	dqnbench -out BENCH_pr4.json                 # run, write results
-//	dqnbench -out BENCH_pr4.json -record-before  # also store run as the "before" baseline
-//	dqnbench -check BENCH_pr4.json               # run, fail on regression vs committed file
+//	dqnbench -out BENCH_pr5.json                 # run, write results
+//	dqnbench -out BENCH_pr5.json -record-before  # also store run as the "before" baseline
+//	dqnbench -check BENCH_pr5.json               # run, fail on regression vs committed file
 //
 // When -out points at an existing file its "before" section is
 // preserved, so the pre-optimization baseline survives refreshes.
@@ -30,9 +32,11 @@ import (
 	"testing"
 	"time"
 
+	"deepqueuenet/internal/core"
 	"deepqueuenet/internal/des"
 	"deepqueuenet/internal/experiments"
 	"deepqueuenet/internal/guard"
+	"deepqueuenet/internal/obs"
 	"deepqueuenet/internal/ptm"
 	"deepqueuenet/internal/rng"
 	"deepqueuenet/internal/serve"
@@ -95,11 +99,12 @@ func main() {
 	recordBefore := flag.Bool("record-before", false, "store this run as the 'before' baseline too")
 	note := flag.String("note", "", "free-form note recorded in the output file")
 	flag.IntVar(&reps, "reps", reps, "repetitions per benchmark; the fastest run is kept")
+	flag.BoolVar(&obsSummary, "obs-summary", false, "print each e2e benchmark's engine telemetry (delta trace, shard work)")
 	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
 		fatal(err)
 	}
 	if *out == "" && *check == "" {
-		*out = "BENCH_pr4.json"
+		*out = "BENCH_pr5.json"
 	}
 
 	benches, err := runAll()
@@ -348,21 +353,26 @@ func synthStream(n int, seed uint64) []ptm.PacketIn {
 	return stream
 }
 
+// obsSummary enables per-benchmark telemetry dumps (-obs-summary).
+var obsSummary bool
+
 // benchE2E measures a full IRSA run (Shards=4) on one example topology
-// and derives end-to-end packets/sec from the delivery count.
+// and derives end-to-end packets/sec from the delivery count. An
+// EngineObserver is attached to every measured run, so the recorded
+// baseline is observer-on: bench-check's 15% gate then proves the
+// observability layer's overhead fits the budget by construction.
 func benchE2E(name string, g *topo.Graph, tm traffic.Model, load, dur float64, seed uint64) (Bench, error) {
 	model, err := ptm.Synthetic(benchArch, 8, 1)
 	if err != nil {
 		return Bench{}, err
 	}
-	mk := func() (*experiments.Scenario, error) {
-		return experiments.NewScenario(name, g, des.SchedConfig{Kind: des.FIFO}, tm, load, dur, seed)
-	}
-	sc, err := mk()
+	sc, err := experiments.NewScenario(name, g, des.SchedConfig{Kind: des.FIFO}, tm, load, dur, seed)
 	if err != nil {
 		return Bench{}, err
 	}
-	_, res, err := sc.RunDQN(model, 4, false)
+	observer := obs.NewEngineObserver(obs.NewRegistry())
+	cfg := core.Config{Shards: 4, Observer: observer}
+	_, res, err := sc.RunDQNCfg(model, cfg)
 	if err != nil {
 		return Bench{}, err
 	}
@@ -370,11 +380,17 @@ func benchE2E(name string, g *topo.Graph, tm traffic.Model, load, dur float64, s
 	r := measure(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := sc.RunDQN(model, 4, false); err != nil {
+			if _, _, err := sc.RunDQNCfg(model, cfg); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
+	if obsSummary {
+		fmt.Printf("--- %s telemetry (accumulated across all measured runs)\n", name)
+		if err := observer.WriteSummary(os.Stdout); err != nil {
+			return Bench{}, err
+		}
+	}
 	out := record(name, r)
 	out.PacketsPerSec = float64(delivered) / (out.NsPerOp * 1e-9)
 	return out, nil

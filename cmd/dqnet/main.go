@@ -20,9 +20,11 @@ import (
 	"syscall"
 	"time"
 
+	"deepqueuenet/internal/core"
 	"deepqueuenet/internal/experiments"
 	"deepqueuenet/internal/guard"
 	"deepqueuenet/internal/metrics"
+	"deepqueuenet/internal/obs"
 	"deepqueuenet/internal/ptm"
 )
 
@@ -55,6 +57,31 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: dqnet <train|sim|eval> [flags]")
 	os.Exit(2)
+}
+
+// obsConfig builds the engine Config for a run, attaching an
+// EngineObserver when -obs-summary was given (nil otherwise — the
+// engine's observer seam is zero-cost when detached).
+func obsConfig(summary bool, shards int) (*obs.EngineObserver, core.Config) {
+	cfg := core.Config{Shards: shards}
+	if !summary {
+		return nil, cfg
+	}
+	o := obs.NewEngineObserver(obs.NewRegistry())
+	cfg.Observer = o
+	return o, cfg
+}
+
+// dumpObs prints the -obs-summary block. It runs even after a failed or
+// interrupted run: the partial delta trace is exactly what you want
+// when diagnosing why a run did not converge.
+func dumpObs(o *obs.EngineObserver) {
+	if o == nil {
+		return
+	}
+	if err := o.WriteSummary(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "dqnet: writing obs summary: %v\n", err)
+	}
 }
 
 func cmdTrain(args []string) error {
@@ -139,6 +166,7 @@ func cmdSim(ctx context.Context, args []string) error {
 	mk, modelPath, shards := scenarioFlags(fs)
 	tracePath := fs.String("trace", "", "write per-device packet traces (CSV)")
 	timeout := fs.Duration("timeout", 0, "wall-clock run deadline (0 = none; ^C always cancels)")
+	obsSummary := fs.Bool("obs-summary", false, "print engine telemetry (delta trace, shard work, metrics) after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -155,8 +183,10 @@ func cmdSim(ctx context.Context, args []string) error {
 	}
 	rctx, cancel := withTimeout(ctx, *timeout)
 	defer cancel()
+	observer, runCfg := obsConfig(*obsSummary, *shards)
 	t0 := time.Now()
-	pred, res, err := sc.RunDQNCtx(rctx, model, *shards, false)
+	pred, res, err := sc.RunDQNCfgCtx(rctx, model, runCfg)
+	defer dumpObs(observer)
 	if err != nil {
 		if res != nil && len(res.Deliveries) > 0 {
 			fmt.Printf("partial results after %d/%d IRSA iterations (%d deliveries):\n",
@@ -197,6 +227,7 @@ func cmdEval(ctx context.Context, args []string) error {
 	mk, modelPath, shards := scenarioFlags(fs)
 	perDevice := fs.Bool("perdevice", false, "print per-switch sojourn comparison")
 	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the DQN run (0 = none; ^C always cancels)")
+	obsSummary := fs.Bool("obs-summary", false, "print engine telemetry (delta trace, shard work, metrics) after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -221,8 +252,10 @@ func cmdEval(ctx context.Context, args []string) error {
 	if err := rctx.Err(); err != nil {
 		return describeRunErr(guard.FromContext(err))
 	}
+	observer, runCfg := obsConfig(*obsSummary, *shards)
 	t0 = time.Now()
-	pred, res, err := sc.RunDQNCtx(rctx, model, *shards, false)
+	pred, res, err := sc.RunDQNCfgCtx(rctx, model, runCfg)
+	defer dumpObs(observer)
 	if err != nil {
 		if res != nil {
 			fmt.Printf("DQN run ended early after %d/%d IRSA iterations (%d deliveries)\n",

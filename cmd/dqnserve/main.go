@@ -18,15 +18,19 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
 	"deepqueuenet/internal/chaos"
 	"deepqueuenet/internal/core"
 	"deepqueuenet/internal/guard"
+	"deepqueuenet/internal/obs"
 	"deepqueuenet/internal/ptm"
 	"deepqueuenet/internal/serve"
 )
@@ -58,6 +62,10 @@ func run(args []string) error {
 	brProbes := fs.Int("breaker-probes", 2, "successful probes required to close a breaker")
 	drain := fs.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM/SIGINT")
 	seed := fs.Uint64("seed", 1, "retry-jitter seed")
+	maxBody := fs.Int64("max-body", 2<<20, "request body size cap in bytes (413 beyond)")
+	pprofAddr := fs.String("pprof-addr", "", "admin listen address for net/http/pprof + /metrics (empty: disabled)")
+	logJSON := fs.Bool("log-json", false, "emit slog request logs as JSON instead of text")
+	quietLog := fs.Bool("quiet", false, "disable per-request structured logging")
 
 	chaosPanic := fs.Float64("chaos-panic", 0, "injected panic rate per device inference (testing only)")
 	chaosNaN := fs.Float64("chaos-nan", 0, "injected NaN rate per device inference (testing only)")
@@ -84,6 +92,7 @@ func run(args []string) error {
 		fmt.Println("no -model given: serving a synthetic (untrained) 8-port model for smoke testing")
 	}
 
+	reg := obs.NewRegistry()
 	runner := &serve.ScenarioRunner{DefaultModel: model, MaxShards: *maxShards, MaxDuration: *maxDur}
 	var jobRunner serve.Runner = runner
 	if *chaosPanic > 0 || *chaosNaN > 0 || *chaosLatency > 0 || *chaosCancel > 0 {
@@ -93,16 +102,42 @@ func run(args []string) error {
 		})
 		runner.WrapDevice = func(sw int, m core.DeviceModel) core.DeviceModel { return inj.WrapDevice(sw, m) }
 		jobRunner = inj.WrapRunner(runner)
+		registerChaosMetrics(reg, inj)
 		fmt.Printf("CHAOS ENABLED (seed %d): panic=%.3f nan=%.3f latency=%.3f cancel=%.3f\n",
 			*chaosSeed, *chaosPanic, *chaosNaN, *chaosLatency, *chaosCancel)
+	}
+
+	var logger *slog.Logger
+	if !*quietLog {
+		if *logJSON {
+			logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		} else {
+			logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		}
 	}
 
 	srv := serve.New(serve.Config{
 		Workers: *workers, QueueDepth: *queueDepth,
 		DefaultTimeout: *timeout, MaxTimeout: *maxTimeout,
 		RetryMax: *retries, Seed: *seed,
+		MaxBodyBytes: *maxBody, Metrics: reg, Logger: logger,
 		Breaker: serve.BreakerConfig{Threshold: *brThreshold, Cooldown: *brCooldown, ProbeSuccesses: *brProbes},
 	}, jobRunner)
+
+	if *pprofAddr != "" {
+		admin := adminMux(srv)
+		go func() {
+			defer func() {
+				if we := guard.RecoveredWorker(1, recover()); we != nil {
+					fmt.Fprintf(os.Stderr, "dqnserve: admin listener: %v\n", we)
+				}
+			}()
+			if err := http.ListenAndServe(*pprofAddr, admin); err != nil {
+				fmt.Fprintf(os.Stderr, "dqnserve: admin listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("admin (pprof + metrics) on %s\n", *pprofAddr)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
@@ -140,4 +175,38 @@ func run(args []string) error {
 	fmt.Printf("drained: %d completed, %d failed, %d shed, %d degraded, %d retries\n",
 		st.Completed, st.Failed, st.Shed, st.Degraded, st.Retries)
 	return nil
+}
+
+// registerChaosMetrics exposes the fault injector's per-kind injection
+// counts as dqn_chaos_injections_total{fault=...}, so a resilience
+// drill's /metrics can be reconciled against the faults actually fired.
+func registerChaosMetrics(reg *obs.Registry, inj *chaos.Injector) {
+	names := make([]string, 0, len(inj.Counts()))
+	for name := range inj.Counts() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		name := name
+		reg.GaugeFunc("dqn_chaos_injections_total", "faults injected by kind (chaos drills only)",
+			func() float64 { return float64(inj.Counts()[name]) }, obs.L("fault", name))
+	}
+}
+
+// adminMux serves the operational side-channel: pprof profiles and the
+// metrics scrape, kept off the public API listener.
+func adminMux(srv *serve.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := srv.Metrics().WritePrometheus(w); err != nil {
+			return // client disconnected mid-scrape
+		}
+	})
+	return mux
 }

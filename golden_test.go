@@ -26,6 +26,7 @@ import (
 	"deepqueuenet/internal/core"
 	"deepqueuenet/internal/des"
 	"deepqueuenet/internal/experiments"
+	"deepqueuenet/internal/obs"
 	"deepqueuenet/internal/ptm"
 	"deepqueuenet/internal/topo"
 	"deepqueuenet/internal/traffic"
@@ -85,6 +86,11 @@ func deliveryDigest(res *core.Result) string {
 
 func runGoldenCase(t *testing.T, gc goldenCase, shards int) *core.Result {
 	t.Helper()
+	return runGoldenCaseCfg(t, gc, core.Config{Shards: shards})
+}
+
+func runGoldenCaseCfg(t *testing.T, gc goldenCase, cfg core.Config) *core.Result {
+	t.Helper()
 	model, err := ptm.Synthetic(goldenArch, 8, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -94,7 +100,7 @@ func runGoldenCase(t *testing.T, gc goldenCase, shards int) *core.Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, res, err := sc.RunDQN(model, shards, false)
+	_, res, err := sc.RunDQNCfg(model, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,6 +126,19 @@ func TestGoldenTraces(t *testing.T) {
 			if d1 != d8 {
 				t.Fatalf("%s: digest differs between Shards=1 (%s) and Shards=8 (%s): sharding leaked into results",
 					gc.name, d1, d8)
+			}
+
+			// The observability seam must be read-only: an attached
+			// EngineObserver may time and count, but the delivery trace
+			// must stay bit-identical to the unobserved run.
+			observer := obs.NewEngineObserver(obs.NewRegistry())
+			resObs := runGoldenCaseCfg(t, gc, core.Config{Shards: 8, Observer: observer})
+			if dObs := deliveryDigest(resObs); dObs != d1 {
+				t.Fatalf("%s: digest differs with observer attached (%s) vs detached (%s): observability perturbed the simulation",
+					gc.name, dObs, d1)
+			}
+			if got := len(observer.Deltas()); got != resObs.Iterations {
+				t.Fatalf("%s: observer saw %d iterations, engine reports %d", gc.name, got, resObs.Iterations)
 			}
 
 			path := goldenPath(gc.name)

@@ -84,6 +84,12 @@ type Config struct {
 	// the run with a DivergenceError. 0 uses guard.DefaultPatience;
 	// NaN/Inf deltas abort immediately regardless.
 	DivergePatience int
+	// Observer, when non-nil, receives per-iteration and per-device-
+	// inference telemetry (internal/obs.EngineObserver is the standard
+	// implementation). nil costs one pointer check per call site; the
+	// observer's clock reads never feed back into simulation state, so
+	// attaching one cannot perturb results.
+	Observer Observer
 }
 
 // hop is one device traversal on a packet's path.

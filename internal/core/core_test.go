@@ -214,7 +214,7 @@ func TestHostEgressExactness(t *testing.T) {
 		p.sojourn = make([]float64, 1)
 	}
 	entries := []entry{{pkt: 0, hop: 0}, {pkt: 1, hop: 0}}
-	serializeFIFO(entries, pkts)
+	serializeFIFOInPlace(entries, pkts)
 	tx := 8e-6 // 1000 B at 1 Gb/s
 	if math.Abs(pkts[0].sojourn[0]-tx) > 1e-15 {
 		t.Fatalf("first packet sojourn %v", pkts[0].sojourn[0])

@@ -254,13 +254,27 @@ func (s *Sim) RunContext(ctx context.Context, duration float64) (*Result, error)
 	}
 	watchdog := &guard.Watchdog{Patience: s.Cfg.DivergePatience}
 	// One error slot per shard: each worker writes only its own slot, so
-	// panic reports need no lock.
+	// panic reports need no lock. obsWork is the observer's per-shard
+	// wall-time accumulator with the same single-writer discipline.
 	shardErrs := make([]error, len(shardSets))
+	obs := s.Cfg.Observer
+	var obsWork []time.Duration
+	if obs != nil {
+		obsWork = make([]time.Duration, len(shardSets))
+	}
 	for iter := 0; iter < maxIter; iter++ {
 		if err := ctx.Err(); err != nil {
 			return finish(guard.FromContext(err))
 		}
 		iters++
+		var iterStart time.Time
+		if obs != nil {
+			//dqnlint:allow detguard wall-clock observer instrumentation; timing is reported, never fed back into simulation state
+			iterStart = time.Now()
+			for i := range obsWork {
+				obsWork[i] = 0
+			}
+		}
 		if damping < 1 {
 			for i, p := range pkts {
 				copy(prev[i], p.sojourn)
@@ -273,7 +287,7 @@ func (s *Sim) RunContext(ctx context.Context, duration float64) (*Result, error)
 			for si, shard := range shardSets {
 				//dqnlint:allow detguard wall-clock shard-timing instrumentation; measures compute cost, never feeds simulation state
 				t0 := time.Now()
-				shardErrs[si] = s.runShard(ctx, iter, si, shard, plans, pkts, devModels, shardClones[si])
+				shardErrs[si] = s.runShard(ctx, iter, si, shard, plans, pkts, devModels, shardClones[si], obsWork)
 				shardWork[si] += time.Since(t0).Seconds()
 			}
 		} else {
@@ -282,7 +296,7 @@ func (s *Sim) RunContext(ctx context.Context, duration float64) (*Result, error)
 				wg.Add(1)
 				go func(si int, shard []int) {
 					defer wg.Done()
-					shardErrs[si] = s.runShard(ctx, iter, si, shard, plans, pkts, devModels, shardClones[si])
+					shardErrs[si] = s.runShard(ctx, iter, si, shard, plans, pkts, devModels, shardClones[si], obsWork)
 				}(si, shard)
 			}
 			wg.Wait()
@@ -305,6 +319,10 @@ func (s *Sim) RunContext(ctx context.Context, duration float64) (*Result, error)
 		}
 
 		delta := propagate(pkts)
+		if obs != nil {
+			//dqnlint:allow detguard wall-clock observer instrumentation; timing is reported, never fed back into simulation state
+			obs.ObserveIteration(IterationEvent{Iter: iter, Delta: delta, Duration: time.Since(iterStart), ShardWork: obsWork})
+		}
 		if err := watchdog.Observe(iter, delta); err != nil {
 			return finish(err)
 		}
@@ -318,20 +336,50 @@ func (s *Sim) RunContext(ctx context.Context, duration float64) (*Result, error)
 
 // runShard infers every device of one shard, stopping early on
 // cancellation and recovering any panic into a *guard.ShardError so a
-// crashing device model cannot take down the process.
+// crashing device model cannot take down the process. obsWork (set iff
+// an Observer is attached) accumulates this shard's inference wall time
+// for the iteration; each shard writes only its own slot.
 func (s *Sim) runShard(ctx context.Context, iter, si int, shard []int,
 	plans map[int]*devicePlan, pkts []*packet,
-	devModels map[int]DeviceModel, clones map[DeviceModel]DeviceModel) error {
+	devModels map[int]DeviceModel, clones map[DeviceModel]DeviceModel,
+	obsWork []time.Duration) error {
 
+	obs := s.Cfg.Observer
 	for _, d := range shard {
 		if ctx.Err() != nil {
 			return nil // the caller maps ctx.Err() to the cancel error
 		}
-		if err := s.inferDeviceGuarded(iter, si, d, plans[d], pkts, devModels[d], clones); err != nil {
+		var t0 time.Time
+		if obs != nil {
+			//dqnlint:allow detguard wall-clock observer instrumentation; timing is reported, never fed back into simulation state
+			t0 = time.Now()
+		}
+		err := s.inferDeviceGuarded(iter, si, d, plans[d], pkts, devModels[d], clones)
+		if obs != nil {
+			//dqnlint:allow detguard wall-clock observer instrumentation; timing is reported, never fed back into simulation state
+			dur := time.Since(t0)
+			obsWork[si] += dur
+			obs.ObserveInference(inferenceEvent(si, d, plans[d], devModels[d], dur))
+		}
+		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// inferenceEvent assembles the observer's view of one device inference.
+func inferenceEvent(si, dev int, plan *devicePlan, model DeviceModel, dur time.Duration) InferenceEvent {
+	ev := InferenceEvent{Device: dev, Shard: si, Duration: dur}
+	if plan != nil {
+		ev.Ports = len(plan.ports)
+		for i := range plan.ports {
+			ev.Packets += len(plan.ports[i].es)
+		}
+		ev.Host = plan.isHost
+		ev.Degraded = !plan.isHost && model == nil
+	}
+	return ev
 }
 
 // inferDeviceGuarded runs inferDevice with panic isolation.
@@ -435,17 +483,12 @@ func (s *Sim) inferDevice(dev int, plan *devicePlan, pkts []*packet,
 	}
 }
 
-// serializeFIFO computes exact FIFO serialization over one egress
-// port's traversals (a known, deterministic TM — no DNN needed,
-// mirroring the paper's exactly-solvable link model). It serves host
-// egresses and, per port, the graceful-degradation fallback for switches
-// whose PTM is missing or invalid.
-func serializeFIFO(entries []entry, pkts []*packet) {
-	serializeFIFOInPlace(append([]entry(nil), entries...), pkts)
-}
-
-// serializeFIFOInPlace is serializeFIFO over caller-owned entries,
-// re-sorted in place (plan-owned slices make that safe).
+// serializeFIFOInPlace computes exact FIFO serialization over one
+// egress port's traversals (a known, deterministic TM — no DNN needed,
+// mirroring the paper's exactly-solvable link model), re-sorting the
+// caller-owned entries in place (plan-owned slices make that safe). It
+// serves host egresses and, per port, the graceful-degradation fallback
+// for switches whose PTM is missing or invalid.
 func serializeFIFOInPlace(es []entry, pkts []*packet) {
 	sortEntriesByArrival(es, pkts)
 	lastDepart := math.Inf(-1)

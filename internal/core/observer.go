@@ -1,0 +1,64 @@
+package core
+
+import "time"
+
+// IterationEvent describes one completed IRSA iteration — the runtime
+// view of the fixed-point recursion Theorem 3.1 bounds. Delta is the
+// convergence measure the stopping rule and the divergence watchdog
+// consume, so an observer sees exactly the trace that decides the run's
+// fate.
+type IterationEvent struct {
+	// Iter is the 0-based iteration index.
+	Iter int
+	// Delta is the largest departure-time change produced by this
+	// iteration's propagation sweep.
+	Delta float64
+	// Duration is the wall-clock time of the whole iteration (inference
+	// sweep, damping, propagation).
+	Duration time.Duration
+	// ShardWork is the per-shard inference wall time of this iteration,
+	// indexed by shard — the Fig. 11 model-parallel load picture. The
+	// slice is owned by the engine and reused across iterations:
+	// observers must copy it if they retain it beyond the call.
+	ShardWork []time.Duration
+}
+
+// InferenceEvent describes one device inference inside an IRSA
+// iteration: the unit of work the per-device batching (Fig. 11)
+// schedules across shards.
+type InferenceEvent struct {
+	// Device is the topology node ID.
+	Device int
+	// Shard is the shard that executed the inference.
+	Shard int
+	// Ports is the number of egress ports inferred.
+	Ports int
+	// Packets is the total number of packet traversals across those
+	// ports.
+	Packets int
+	// Duration is the wall-clock time of the inference.
+	Duration time.Duration
+	// Host marks a host egress (exact FIFO serialization, no DNN).
+	Host bool
+	// Degraded marks a switch served by the exact FIFO fallback because
+	// its model was missing or invalid.
+	Degraded bool
+}
+
+// Observer receives engine telemetry. A nil Config.Observer costs one
+// nil check per call site and nothing else: no clocks are read and no
+// events are built. Implementations must be goroutine-safe —
+// ObserveInference is called concurrently from every shard goroutine.
+// Observers must not mutate anything reachable from the event, and the
+// engine never lets observer timing feed back into simulation state, so
+// an attached observer cannot perturb results (golden traces stay
+// bit-identical either way).
+type Observer interface {
+	// ObserveIteration fires once per IRSA iteration, after the
+	// propagation sweep computed Delta and before the stopping rule
+	// consumes it.
+	ObserveIteration(IterationEvent)
+	// ObserveInference fires once per device inference, from the shard
+	// goroutine that ran it.
+	ObserveInference(InferenceEvent)
+}

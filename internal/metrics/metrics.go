@@ -10,13 +10,27 @@ import (
 	"sort"
 )
 
+// hasNaN reports whether xs contains a NaN. NaN breaks sort.Float64s'
+// strict weak ordering, so the sorted order — and anything derived from
+// it — would depend on the input permutation.
+func hasNaN(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return true
+		}
+	}
+	return false
+}
+
 // W1 returns the Wasserstein-1 distance between the empirical distributions
 // of a and b. For one-dimensional samples the distance equals the L1
 // distance between the two quantile functions; when len(a) == len(b) it is
 // the mean absolute difference of the sorted samples, and in general it is
 // computed by integrating |F_a^-1(q) - F_b^-1(q)| over q in [0, 1].
+// Empty inputs and inputs containing NaN yield NaN (a NaN sample would
+// otherwise make the result depend on input order via the sort).
 func W1(a, b []float64) float64 {
-	if len(a) == 0 || len(b) == 0 {
+	if len(a) == 0 || len(b) == 0 || hasNaN(a) || hasNaN(b) {
 		return math.NaN()
 	}
 	as := append([]float64(nil), a...)
@@ -135,9 +149,11 @@ func PearsonCI(x, y []float64) (rho, lo, hi float64) {
 }
 
 // Percentile returns the p-th percentile (p in [0, 100]) of xs using linear
-// interpolation between order statistics. It returns NaN for empty input.
+// interpolation between order statistics. It returns NaN for empty input
+// or input containing NaN (which would make the sort, and hence the
+// order statistics, depend on input order).
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+	if len(xs) == 0 || hasNaN(xs) {
 		return math.NaN()
 	}
 	s := append([]float64(nil), xs...)
@@ -190,10 +206,15 @@ type CDF struct {
 	sorted []float64
 }
 
-// NewCDF builds an empirical CDF from samples.
+// NewCDF builds an empirical CDF from samples. Empty samples and
+// samples containing NaN are rejected: NaN has no place on a CDF, and
+// sorting it yields an order-dependent (nondeterministic) layout.
 func NewCDF(samples []float64) (*CDF, error) {
 	if len(samples) == 0 {
 		return nil, errors.New("metrics: empty sample for CDF")
+	}
+	if hasNaN(samples) {
+		return nil, errors.New("metrics: NaN sample for CDF")
 	}
 	s := append([]float64(nil), samples...)
 	sort.Float64s(s)
@@ -212,16 +233,27 @@ func (c *CDF) Quantile(q float64) float64 {
 }
 
 // Points returns (x, F(x)) pairs suitable for plotting, thinned to at most
-// maxPoints entries.
+// maxPoints entries (maxPoints <= 0 means no thinning). The last sample is
+// always included, so the plot always reaches F(x) = 1.
 func (c *CDF) Points(maxPoints int) (xs, ps []float64) {
 	n := len(c.sorted)
 	step := 1
 	if maxPoints > 0 && n > maxPoints {
-		step = n / maxPoints
+		// Ceiling division: a truncating n/maxPoints understeps and can
+		// emit up to twice the requested points (e.g. n=199, max=100 gave
+		// step 1 → 199 points).
+		step = (n + maxPoints - 1) / maxPoints
 	}
-	for i := 0; i < n; i += step {
+	// Walk backwards from the final sample so it is always emitted (a
+	// forward walk drops it whenever (n-1) % step != 0), then reverse
+	// into ascending plot order.
+	for i := n - 1; i >= 0; i -= step {
 		xs = append(xs, c.sorted[i])
 		ps = append(ps, float64(i+1)/float64(n))
+	}
+	for l, r := 0, len(xs)-1; l < r; l, r = l+1, r-1 {
+		xs[l], xs[r] = xs[r], xs[l]
+		ps[l], ps[r] = ps[r], ps[l]
 	}
 	return xs, ps
 }

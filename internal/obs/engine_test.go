@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"deepqueuenet/internal/core"
+)
+
+func TestEngineObserverAccumulates(t *testing.T) {
+	reg := NewRegistry()
+	o := NewEngineObserver(reg)
+
+	o.ObserveIteration(core.IterationEvent{Iter: 0, Delta: 3e-4, Duration: time.Millisecond,
+		ShardWork: []time.Duration{time.Millisecond, 2 * time.Millisecond}})
+	o.ObserveIteration(core.IterationEvent{Iter: 1, Delta: 1e-4, Duration: time.Millisecond,
+		ShardWork: []time.Duration{time.Millisecond, time.Millisecond}})
+	o.ObserveInference(core.InferenceEvent{Device: 3, Shard: 0, Ports: 4, Packets: 100, Duration: time.Microsecond})
+	o.ObserveInference(core.InferenceEvent{Device: 9, Shard: 1, Packets: 5, Duration: time.Microsecond, Host: true})
+	o.ObserveInference(core.InferenceEvent{Device: 4, Shard: 0, Packets: 7, Duration: time.Microsecond, Degraded: true})
+
+	if got := o.Deltas(); len(got) != 2 || got[0] != 3e-4 || got[1] != 1e-4 {
+		t.Fatalf("delta trace = %v", got)
+	}
+	work := o.ShardWork()
+	if len(work) != 2 || work[0] != 2*time.Millisecond || work[1] != 3*time.Millisecond {
+		t.Fatalf("shard work = %v", work)
+	}
+	if v, ok := reg.Value("dqn_irsa_iterations_total"); !ok || v != 2 {
+		t.Fatalf("iterations = %v,%v", v, ok)
+	}
+	if v, ok := reg.Value("dqn_irsa_delta"); !ok || v != 1e-4 {
+		t.Fatalf("last delta = %v,%v", v, ok)
+	}
+	// Iteration 1's delta shrank vs iteration 0: one converging step.
+	if v, ok := reg.Value("dqn_irsa_converged_total"); !ok || v != 1 {
+		t.Fatalf("converged = %v,%v", v, ok)
+	}
+	for _, tc := range []struct {
+		kind    string
+		packets float64
+	}{{"switch", 100}, {"host", 5}, {"degraded", 7}} {
+		if v, ok := reg.Value("dqn_inference_packets_total", L("kind", tc.kind)); !ok || v != tc.packets {
+			t.Fatalf("packets[%s] = %v,%v want %v", tc.kind, v, ok, tc.packets)
+		}
+		if v, ok := reg.Value("dqn_inference_total", L("kind", tc.kind)); !ok || v != 1 {
+			t.Fatalf("count[%s] = %v,%v", tc.kind, v, ok)
+		}
+	}
+}
+
+func TestEngineObserverSummary(t *testing.T) {
+	o := NewEngineObserver(NewRegistry())
+	o.ObserveIteration(core.IterationEvent{Iter: 0, Delta: 2e-4, Duration: time.Millisecond,
+		ShardWork: []time.Duration{4 * time.Millisecond, 2 * time.Millisecond}})
+	var b strings.Builder
+	if err := o.WriteSummary(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"iterations: 1",
+		"final delta: 0.0002",
+		"parallel speedup (total/critical-path): 1.50",
+		"# TYPE dqn_irsa_iterations_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEngineObserverConcurrent exercises the goroutine-safety contract:
+// ObserveInference arrives from every shard goroutine concurrently with
+// ObserveIteration from the coordinator.
+func TestEngineObserverConcurrent(t *testing.T) {
+	o := NewEngineObserver(NewRegistry())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				o.ObserveInference(core.InferenceEvent{Device: w, Shard: w % 4, Packets: 1,
+					Duration: time.Microsecond, Host: w%2 == 0})
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		o.ObserveIteration(core.IterationEvent{Iter: i, Delta: float64(50 - i),
+			Duration: time.Microsecond, ShardWork: []time.Duration{time.Microsecond}})
+	}
+	wg.Wait()
+	if got := len(o.Deltas()); got != 50 {
+		t.Fatalf("deltas = %d, want 50", got)
+	}
+}

@@ -1,0 +1,441 @@
+// Package obs is the repository's stdlib-only observability kernel:
+// atomic counters, gauges, and fixed-bucket histograms collected in a
+// Registry that renders the Prometheus text exposition format. It backs
+// dqnserve's /metrics endpoint and the -obs-summary dumps of the
+// offline binaries, so a served run and a CLI run read identically.
+//
+// Design constraints, in order:
+//
+//   - Hot-path safety: Inc/Add/Observe are single atomic operations
+//     (histograms: two) with zero allocations, safe for concurrent use
+//     from the IRSA shard goroutines and the serve worker pool.
+//   - Determinism: exposition output is byte-stable for a given set of
+//     observed values — families and series render in sorted order — so
+//     it can be golden-tested.
+//   - No dependencies: the exposition writer speaks the Prometheus text
+//     format directly; nothing outside the standard library.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (stored as float64 bits).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by v (atomically, CAS loop).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets (cumulative "le"
+// semantics like Prometheus: bucket i counts observations <= Bounds[i],
+// with an implicit +Inf bucket). Observations are two atomic adds; the
+// sum is maintained with a CAS loop on float bits.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    Gauge
+	count  atomic.Uint64
+}
+
+// Observe records one sample. NaN samples land in the +Inf bucket and
+// are excluded from the sum so one poisoned value cannot make every
+// derived mean NaN; they still count toward _count.
+func (h *Histogram) Observe(v float64) {
+	i := len(h.bounds)
+	if !math.IsNaN(v) {
+		for b, ub := range h.bounds {
+			if v <= ub {
+				i = b
+				break
+			}
+		}
+		h.sum.Add(v)
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all (non-NaN) observations.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// DefTimeBuckets are the default duration buckets (seconds), spanning
+// one microsecond-scale inference to a multi-second end-to-end job.
+var DefTimeBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// ExpBuckets returns n buckets starting at start, each factor times the
+// previous — for sizing histograms to a known dynamic range.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// metricKind is the exposition TYPE of a family.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one labeled instance of a family.
+type series struct {
+	labels  string // canonical rendered label block, "" or `{k="v",...}`
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// family groups the series of one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	bounds []float64 // histogram families only
+	series map[string]*series
+}
+
+// Registry holds metric families and renders them. The zero value is
+// not usable; build with NewRegistry. All methods are goroutine-safe.
+// Registration (Counter/Gauge/...) takes a lock and may allocate; the
+// returned handles are lock-free, so hot paths should register once and
+// hold the handle.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns (registering on first use) the counter series for
+// name + labels. Registering the same name with a different metric type
+// panics: that is a programming error, not an operational condition.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.lookup(name, help, kindCounter, nil, labels)
+	return s.counter
+}
+
+// Gauge returns (registering on first use) the gauge series for
+// name + labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.lookup(name, help, kindGauge, nil, labels)
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at
+// exposition time — for values that already live elsewhere (queue
+// lengths, breaker states). Re-registering the same series replaces fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.lookup(name, help, kindGauge, nil, labels)
+	r.mu.Lock()
+	s.gaugeFn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns (registering on first use) the histogram series for
+// name + labels. bounds must be sorted ascending; nil uses
+// DefTimeBuckets. All series of one family share the first
+// registration's bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefTimeBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly increasing", name))
+		}
+	}
+	s := r.lookup(name, help, kindHistogram, bounds, labels)
+	return s.hist
+}
+
+// Value returns the current value of a registered series (counters and
+// gauges; histograms report their observation count). The second result
+// is false when the series does not exist — the test-facing read path
+// for reconciliation assertions.
+func (r *Registry) Value(name string, labels ...Label) (float64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		return 0, false
+	}
+	s, ok := f.series[renderLabels(labels)]
+	if !ok {
+		return 0, false
+	}
+	switch f.kind {
+	case kindCounter:
+		return float64(s.counter.Value()), true
+	case kindGauge:
+		if s.gaugeFn != nil {
+			return s.gaugeFn(), true
+		}
+		return s.gauge.Value(), true
+	default:
+		return float64(s.hist.Count()), true
+	}
+}
+
+// lookup finds or creates the series, enforcing name validity and
+// type consistency.
+func (r *Registry) lookup(name, help string, kind metricKind, bounds []float64, labels []Label) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l.Key, name))
+		}
+	}
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds, series: make(map[string]*series)}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, kind, f.kind))
+	}
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key}
+		switch kind {
+		case kindCounter:
+			s.counter = &Counter{}
+		case kindGauge:
+			s.gauge = &Gauge{}
+		case kindHistogram:
+			s.hist = &Histogram{bounds: f.bounds, counts: make([]atomic.Uint64, len(f.bounds)+1)}
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (version 0.0.4), in sorted family and series order
+// so output is byte-stable for a given state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Snapshot the family/series structure under the lock; atomic values
+	// are read lock-free afterwards.
+	fams := make([]*family, len(names))
+	sers := make([][]*series, len(names))
+	for i, n := range names {
+		f := r.families[n]
+		fams[i] = f
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sers[i] = append(sers[i], f.series[k])
+		}
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for i, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range sers[i] {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.counter.Value())
+			case kindGauge:
+				v := 0.0
+				if s.gaugeFn != nil {
+					v = s.gaugeFn()
+				} else {
+					v = s.gauge.Value()
+				}
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(v))
+			case kindHistogram:
+				writeHistogram(&b, f, s)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative _bucket lines
+// per bound plus +Inf, then _sum and _count.
+func writeHistogram(b *strings.Builder, f *family, s *series) {
+	cum := uint64(0)
+	for i, ub := range s.hist.bounds {
+		cum += s.hist.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, withLabel(s.labels, "le", formatFloat(ub)), cum)
+	}
+	cum += s.hist.counts[len(s.hist.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, withLabel(s.labels, "le", "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", f.name, s.labels, formatFloat(s.hist.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", f.name, s.labels, s.hist.Count())
+}
+
+// renderLabels canonicalizes a label set: sorted by key, escaped,
+// rendered as {k="v",...} ("" for no labels).
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// withLabel inserts one extra label into an already-rendered block —
+// the histogram "le" label.
+func withLabel(block, key, value string) string {
+	extra := key + `="` + escapeValue(value) + `"`
+	if block == "" {
+		return "{" + extra + "}"
+	}
+	return block[:len(block)-1] + "," + extra + "}"
+}
+
+// formatFloat renders a float64 the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeValue escapes a label value per the exposition format.
+func escapeValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// validName reports whether s is a legal metric or label name
+// ([a-zA-Z_:][a-zA-Z0-9_:]*).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			(i > 0 && '0' <= c && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -94,6 +94,23 @@ type Breaker struct {
 
 	opens   uint64 // total times this breaker has opened
 	lastErr error
+
+	// onTransition, when set, observes every state change. It runs under
+	// the breaker's mutex and must not call back into the breaker or
+	// block (the serve layer wires pre-registered metric counters here).
+	onTransition func(from, to BreakerState)
+}
+
+// setState moves the state machine, notifying the transition hook.
+func (b *Breaker) setState(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
 }
 
 // NewBreaker builds a breaker for one guarded model path.
@@ -114,7 +131,7 @@ func (b *Breaker) Allow(now time.Time) Admission {
 		if now.Sub(b.openedAt) < b.cfg.Cooldown {
 			return AdmitDegraded
 		}
-		b.state = BreakerHalfOpen
+		b.setState(BreakerHalfOpen)
 		b.probeOK = 0
 		b.probing = true
 		return AdmitProbe
@@ -141,7 +158,7 @@ func (b *Breaker) Record(probe bool, err error, now time.Time) {
 		b.lastErr = err
 		if b.state == BreakerHalfOpen && probe {
 			// Failed probe: back to open, restart the cooldown.
-			b.state = BreakerOpen
+			b.setState(BreakerOpen)
 			b.openedAt = now
 			b.opens++
 			return
@@ -149,7 +166,7 @@ func (b *Breaker) Record(probe bool, err error, now time.Time) {
 		if b.state == BreakerClosed {
 			b.fails++
 			if b.fails >= b.cfg.Threshold {
-				b.state = BreakerOpen
+				b.setState(BreakerOpen)
 				b.openedAt = now
 				b.opens++
 			}
@@ -163,7 +180,7 @@ func (b *Breaker) Record(probe bool, err error, now time.Time) {
 		if probe {
 			b.probeOK++
 			if b.probeOK >= b.cfg.ProbeSuccesses {
-				b.state = BreakerClosed
+				b.setState(BreakerClosed)
 				b.fails = 0
 				b.lastErr = nil
 			}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -49,6 +50,26 @@ func postSim(h http.Handler, body string) *httptest.ResponseRecorder {
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/simulate", strings.NewReader(body)))
 	return rec
+}
+
+// scrapeValue extracts one series' value from a Prometheus text
+// exposition. series is the exact "name" or `name{labels}` prefix; a
+// missing series reads as 0 (counters register eagerly, so the real
+// families are always present).
+func scrapeValue(t *testing.T, exposition, series string) uint64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		rest, ok := strings.CutPrefix(line, series+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+		if err != nil {
+			t.Fatalf("parsing %q value %q: %v", series, rest, err)
+		}
+		return v
+	}
+	return 0
 }
 
 // TestChaosStormServerSurvives is the headline drill: sustained
@@ -135,6 +156,39 @@ func TestChaosStormServerSurvives(t *testing.T) {
 	}
 	if st.Panics != 0 {
 		t.Errorf("chaos panics leaked to worker level: %d (must be contained as shard errors)", st.Panics)
+	}
+
+	// /metrics must tell the same story as /stats, exactly: the storm is
+	// quiescent here, so every counter is settled.
+	mrec := httptest.NewRecorder()
+	h.ServeHTTP(mrec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if mrec.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d", mrec.Code)
+	}
+	exp := mrec.Body.String()
+	if got := scrapeValue(t, exp, `dqn_requests_received_total`); got != st.Received {
+		t.Errorf("/metrics received %d != /stats %d", got, st.Received)
+	}
+	outcomes := map[string]uint64{
+		"completed": st.Completed, "failed": st.Failed, "shed": st.Shed,
+		"rejected": st.Rejected, "canceled": st.Canceled, "deadline": st.Deadline,
+	}
+	var sum uint64
+	for outcome, want := range outcomes {
+		got := scrapeValue(t, exp, fmt.Sprintf(`dqn_requests_total{outcome="%s"}`, outcome))
+		if got != want {
+			t.Errorf("/metrics outcome %s = %d, /stats = %d", outcome, got, want)
+		}
+		sum += got
+	}
+	if received := scrapeValue(t, exp, `dqn_requests_received_total`); sum != received {
+		t.Errorf("/metrics outcomes sum %d != received %d", sum, received)
+	}
+	if got := scrapeValue(t, exp, `dqn_retries_total`); got != st.Retries {
+		t.Errorf("/metrics retries %d != /stats %d", got, st.Retries)
+	}
+	if got := scrapeValue(t, exp, `dqn_degraded_total`); got != st.Degraded {
+		t.Errorf("/metrics degraded %d != /stats %d", got, st.Degraded)
 	}
 
 	// Drain while fresh traffic is still arriving: drain must finish,

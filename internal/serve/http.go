@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
@@ -17,12 +19,14 @@ import (
 //	GET  /healthz   — liveness: 200 while the process is up
 //	GET  /readyz    — readiness: 200 accepting, 503 draining
 //	GET  /stats     — Stats JSON (counters, breakers, queue state)
+//	GET  /metrics   — Prometheus text exposition of the obs registry
 //
 // Failure → status mapping:
 //
 //	queue full            429 + Retry-After
 //	draining              503 + Retry-After
-//	bad request           400
+//	bad request           400 (malformed JSON, trailing data, bad params)
+//	body too large        413 (Config.MaxBodyBytes)
 //	deadline exceeded     504
 //	canceled              499 (client closed request, nginx convention)
 //	inference failure     500 (after retries; breaker charged)
@@ -38,14 +42,69 @@ type errorBody struct {
 // request whose client went away before the response was ready.
 const StatusClientClosedRequest = 499
 
-// Handler returns the server's HTTP API.
+// Handler returns the server's HTTP API, wrapped in the observability
+// middleware (request counters by route/status plus optional slog
+// request logging).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/simulate", s.handleSimulate)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/stats", s.handleStats)
-	return mux
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return s.instrument(mux)
+}
+
+// knownRoutes bounds the path label's cardinality: anything else is
+// counted as "other" so hostile URL sweeps cannot grow the registry.
+var knownRoutes = map[string]bool{
+	"/simulate": true, "/healthz": true, "/readyz": true,
+	"/stats": true, "/metrics": true,
+}
+
+// statusRecorder captures the status code and body size a handler
+// wrote, for the request counter and the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+// instrument wraps the API with per-request accounting: one
+// dqn_http_requests_total increment per exchange and, when a Logger is
+// configured, one structured record per exchange.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := s.cfg.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		route := r.URL.Path
+		if !knownRoutes[route] {
+			route = "other"
+		}
+		s.met.httpRequest(route, rec.code)
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "http_request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rec.code),
+				slog.Int("bytes", rec.bytes),
+				slog.Duration("duration", s.cfg.Now().Sub(start)),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -53,12 +112,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only", Kind: "method"})
 		return
 	}
-	var req Request
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding request: %v", err), Kind: "bad_request"})
+	req, errStatus, err := s.decodeRequest(w, r)
+	if err != nil {
+		writeJSON(w, errStatus, errorBody{Error: err.Error(), Kind: kindFor(errStatus)})
 		return
 	}
-	res, err := s.Submit(r.Context(), &req)
+	res, err := s.Submit(r.Context(), req)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -67,6 +126,48 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-DQN-Degraded", "breaker-open")
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// decodeRequest reads one Request from a size-capped body. A body over
+// Config.MaxBodyBytes maps to 413, malformed JSON or trailing garbage
+// after the object to 400 (a second document would otherwise be
+// silently ignored, masking client bugs).
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*Request, int, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return nil, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return nil, http.StatusBadRequest, errors.New("request body has trailing data after the JSON object")
+	}
+	return &req, 0, nil
+}
+
+// kindFor labels a decode failure's error envelope.
+func kindFor(status int) string {
+	if status == http.StatusRequestEntityTooLarge {
+		return "too_large"
+	}
+	return "bad_request"
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.cfg.Metrics.WritePrometheus(w); err != nil {
+		return // client disconnected mid-scrape
+	}
 }
 
 // writeError maps a Submit failure to its HTTP shape.

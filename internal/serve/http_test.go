@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"deepqueuenet/internal/obs"
+)
+
+// okServer builds a server whose runner always succeeds.
+func okServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	r := &stubRunner{fn: func(context.Context, *Request, bool, int) (*Result, error) {
+		return okResult("model"), nil
+	}}
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 1
+	}
+	cfg.RetryMax = -1
+	s := New(cfg, r)
+	t.Cleanup(func() { drainServer(t, s) })
+	return s
+}
+
+// TestBodyTooLargeIs413 is the regression test for the unbounded-body
+// bug: handleSimulate used to decode r.Body with no cap, so one huge
+// request could exhaust memory. Overflow must map to 413, not 400.
+func TestBodyTooLargeIs413(t *testing.T) {
+	s := okServer(t, Config{MaxBodyBytes: 256})
+	h := s.Handler()
+
+	big := `{"topo":"line4","note":"` + strings.Repeat("x", 1024) + `"}`
+	rec := postSimBody(h, big)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413 (body %s)", rec.Code, rec.Body.String())
+	}
+	var eb errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Kind != "too_large" {
+		t.Fatalf("kind = %q, want too_large", eb.Kind)
+	}
+
+	// A body under the cap still works.
+	rec = postSimBody(h, `{"topo":"line4"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("small body: status %d, want 200 (body %s)", rec.Code, rec.Body.String())
+	}
+	if st := s.Snapshot(); st.Rejected != 0 {
+		t.Fatalf("413 must happen before admission; rejected = %d", st.Rejected)
+	}
+}
+
+// TestTrailingGarbageIs400 is the regression test for silent
+// trailing-data acceptance: json.Decoder.Decode reads one value and
+// stops, so `{}{"topo":"evil"}` used to be accepted as `{}`.
+func TestTrailingGarbageIs400(t *testing.T) {
+	s := okServer(t, Config{})
+	h := s.Handler()
+	for _, body := range []string{
+		`{"topo":"line4"}{"topo":"other"}`,
+		`{"topo":"line4"} trailing`,
+		`{"topo":"line4"}[]`,
+	} {
+		rec := postSimBody(h, body)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, rec.Code)
+		}
+	}
+	// Trailing whitespace is fine — it is not a second document.
+	rec := postSimBody(h, `{"topo":"line4"}`+"\n  \n")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("trailing whitespace: status %d, want 200 (body %s)", rec.Code, rec.Body.String())
+	}
+}
+
+func TestMalformedJSONIs400(t *testing.T) {
+	s := okServer(t, Config{})
+	rec := postSimBody(s.Handler(), `{"topo":`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", rec.Code)
+	}
+}
+
+// TestMetricsEndpointSmoke drives a request through the full handler
+// and asserts /metrics exposes consistent serve-layer counters — the
+// `make metrics-smoke` gate.
+func TestMetricsEndpointSmoke(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := okServer(t, Config{Metrics: reg})
+	h := s.Handler()
+
+	if rec := postSimBody(h, `{"topo":"line4"}`); rec.Code != http.StatusOK {
+		t.Fatalf("simulate: %d (%s)", rec.Code, rec.Body.String())
+	}
+	postSimBody(h, `not json`)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE dqn_requests_received_total counter",
+		"dqn_requests_received_total 1",
+		`dqn_requests_total{outcome="completed"} 1`,
+		`dqn_http_requests_total{code="200",path="/simulate"} 1`,
+		`dqn_http_requests_total{code="400",path="/simulate"} 1`,
+		"# TYPE dqn_job_seconds histogram",
+		"dqn_queue_depth 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	// The registry accessor serves the same state.
+	if v, ok := s.Metrics().Value("dqn_requests_received_total"); !ok || v != 1 {
+		t.Fatalf("Metrics().Value = %v,%v", v, ok)
+	}
+}
+
+// TestUnknownRouteBounded: hostile path sweeps must collapse into the
+// "other" label, not mint one series per URL.
+func TestUnknownRouteBounded(t *testing.T) {
+	s := okServer(t, Config{})
+	h := s.Handler()
+	for _, p := range []string{"/a", "/b", "/c"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, p, nil))
+	}
+	if v, ok := s.Metrics().Value("dqn_http_requests_total", obs.L("path", "other"), obs.L("code", "404")); !ok || v != 3 {
+		t.Fatalf("other/404 = %v,%v, want 3", v, ok)
+	}
+}
+
+// TestRequestLogging exercises the slog seam: one record per exchange.
+func TestRequestLogging(t *testing.T) {
+	var buf strings.Builder
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	s := okServer(t, Config{Logger: logger})
+	h := s.Handler()
+	if rec := postSimBody(h, `{"topo":"line4"}`); rec.Code != http.StatusOK {
+		t.Fatalf("simulate: %d", rec.Code)
+	}
+	out := buf.String()
+	for _, want := range []string{"http_request", "path=/simulate", "status=200", "method=POST"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("log missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func postSimBody(h http.Handler, body string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/simulate", strings.NewReader(body)))
+	return rec
+}

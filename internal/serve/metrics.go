@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"strconv"
+	"sync"
+
+	"deepqueuenet/internal/obs"
+)
+
+// jobOutcomes are the terminal dispositions of a received request.
+// Exactly one fires per request, so across the registry
+//
+//	dqn_requests_received_total ==
+//	    Σ dqn_requests_total{outcome=*}
+//
+// holds at every quiescent point — the same single-sited accounting
+// invariant /stats asserts, and what the chaos e2e reconciles between
+// the two endpoints.
+var jobOutcomes = []string{"completed", "failed", "shed", "rejected", "canceled", "deadline"}
+
+// serverMetrics holds the serve layer's pre-registered metric handles.
+// Everything on the job path (Submit/serveJob) is a pre-created atomic
+// handle: no registry lock, no allocation — the serve_saturation
+// allocs/op gate stays untouched.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	received *obs.Counter
+	accepted *obs.Counter
+	outcomes map[string]*obs.Counter
+	degraded *obs.Counter
+	retries  *obs.Counter
+	panics   *obs.Counter
+
+	jobSeconds *obs.Histogram
+
+	httpMu   sync.Mutex
+	httpReqs map[string]*obs.Counter // keyed path + "\x00" + code
+}
+
+// jobBuckets cover the serve job latency range: sub-millisecond cache
+// hits through multi-second saturated runs.
+var jobBuckets = []float64{
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// newServerMetrics registers the serve metric families in reg.
+func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
+	m := &serverMetrics{
+		reg:      reg,
+		received: reg.Counter("dqn_requests_received_total", "simulate requests seen at admission"),
+		accepted: reg.Counter("dqn_requests_accepted_total", "requests admitted into the queue"),
+		outcomes: make(map[string]*obs.Counter, len(jobOutcomes)),
+		degraded: reg.Counter("dqn_degraded_total", "jobs served by the FIFO fallback (breaker open)"),
+		retries:  reg.Counter("dqn_retries_total", "transient-failure re-executions"),
+		panics:   reg.Counter("dqn_panics_total", "worker-level recovered panics"),
+		jobSeconds: reg.Histogram("dqn_job_seconds",
+			"wall time per executed job (admission to finish, including retries)", jobBuckets),
+		httpReqs: make(map[string]*obs.Counter),
+	}
+	for _, o := range jobOutcomes {
+		m.outcomes[o] = reg.Counter("dqn_requests_total",
+			"terminal request dispositions; sums to dqn_requests_received_total", obs.L("outcome", o))
+	}
+	reg.GaugeFunc("dqn_queue_depth", "jobs waiting in the admission queue",
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("dqn_inflight", "jobs currently executing",
+		func() float64 { return float64(s.stats.inflight.Load()) })
+	reg.GaugeFunc("dqn_draining", "1 while the server is draining",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	return m
+}
+
+// httpRequest counts one finished HTTP exchange by route and status.
+func (m *serverMetrics) httpRequest(path string, code int) {
+	key := path + "\x00" + strconv.Itoa(code)
+	m.httpMu.Lock()
+	c, ok := m.httpReqs[key]
+	if !ok {
+		c = m.reg.Counter("dqn_http_requests_total", "HTTP requests by route and status",
+			obs.L("path", path), obs.L("code", strconv.Itoa(code)))
+		m.httpReqs[key] = c
+	}
+	m.httpMu.Unlock()
+	c.Inc()
+}
+
+// breakerMetrics registers the per-path breaker series and returns the
+// transition hook for NewBreaker. Counters are pre-created here so the
+// hook — which runs under the breaker's mutex — never touches the
+// registry lock.
+func (m *serverMetrics) breakerMetrics(path string, b *Breaker) func(from, to BreakerState) {
+	trans := map[BreakerState]*obs.Counter{}
+	for _, st := range []BreakerState{BreakerClosed, BreakerOpen, BreakerHalfOpen} {
+		trans[st] = m.reg.Counter("dqn_breaker_transitions_total",
+			"circuit-breaker state transitions by destination state",
+			obs.L("path", path), obs.L("to", st.String()))
+	}
+	m.reg.GaugeFunc("dqn_breaker_state", "breaker position (0 closed, 1 open, 2 half-open)",
+		func() float64 { return float64(b.State()) }, obs.L("path", path))
+	return func(_, to BreakerState) { trans[to].Inc() }
+}

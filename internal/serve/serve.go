@@ -13,11 +13,13 @@ package serve
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"deepqueuenet/internal/guard"
+	"deepqueuenet/internal/obs"
 	"deepqueuenet/internal/rng"
 )
 
@@ -51,6 +53,17 @@ type Config struct {
 	// Now is the clock (injectable for deterministic breaker tests);
 	// nil uses time.Now.
 	Now func() time.Time
+	// MaxBodyBytes caps the size of a /simulate request body; an
+	// oversized body is refused with 413 before any decoding buffers
+	// grow. <= 0 uses 2 MiB.
+	MaxBodyBytes int64
+	// Metrics is the registry the server's observability series register
+	// in (exposed at GET /metrics). nil creates a private registry,
+	// reachable via Server.Metrics.
+	Metrics *obs.Registry
+	// Logger, when non-nil, receives one structured record per finished
+	// HTTP exchange (method, path, status, duration, bytes).
+	Logger *slog.Logger
 }
 
 // withDefaults fills zero fields.
@@ -84,6 +97,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Now == nil {
 		c.Now = time.Now
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 2 << 20
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
 	}
 	return c
 }
@@ -157,6 +176,7 @@ type Server struct {
 	jitter   *rng.Rand
 
 	stats    counters
+	met      *serverMetrics
 	avgRunNs atomic.Int64 // EWMA of job wall time, drives Retry-After
 }
 
@@ -171,6 +191,7 @@ func New(cfg Config, runner Runner) *Server {
 		breakers: make(map[string]*Breaker),
 		jitter:   rng.New(cfg.Seed),
 	}
+	s.met = newServerMetrics(cfg.Metrics, s)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker(i)
@@ -208,10 +229,12 @@ func (s *Server) worker(i int) {
 // a runner failure.
 func (s *Server) Submit(ctx context.Context, req *Request) (*Result, error) {
 	s.stats.received.Add(1)
+	s.met.received.Inc()
 	s.drainMu.RLock()
 	if s.draining.Load() {
 		s.drainMu.RUnlock()
 		s.stats.rejected.Add(1)
+		s.met.outcomes["rejected"].Inc()
 		return nil, ErrDraining
 	}
 	s.jobWG.Add(1)
@@ -222,9 +245,11 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Result, error) {
 	select {
 	case s.queue <- j:
 		s.stats.accepted.Add(1)
+		s.met.accepted.Inc()
 	default:
 		s.jobWG.Done()
 		s.stats.shed.Add(1)
+		s.met.outcomes["shed"].Inc()
 		return nil, ErrShed
 	}
 	select {
@@ -260,7 +285,9 @@ func (s *Server) serveJob(worker int, j *job) {
 	defer func() {
 		if we := guard.RecoveredWorker(worker, recover()); we != nil {
 			s.stats.panics.Add(1)
+			s.met.panics.Inc()
 			s.stats.failed.Add(1)
+			s.met.outcomes["failed"].Inc()
 			j.finish(nil, we)
 		}
 	}()
@@ -281,6 +308,7 @@ func (s *Server) serveJob(worker int, j *job) {
 		// Breaker open: serve availability through the exact FIFO
 		// fallback instead of hammering the suspect model.
 		s.stats.degraded.Add(1)
+		s.met.degraded.Inc()
 		res, err = s.runner.Run(j.ctx, j.req, true)
 		if res != nil {
 			res.Attempts = 1
@@ -308,10 +336,12 @@ func (s *Server) serveJob(worker int, j *job) {
 	switch {
 	case err == nil:
 		s.stats.completed.Add(1)
+		s.met.outcomes["completed"].Inc()
 	case errors.Is(err, guard.ErrCanceled) || errors.Is(err, guard.ErrDeadline):
 		s.countCtxErr(err)
 	default:
 		s.stats.failed.Add(1)
+		s.met.outcomes["failed"].Inc()
 	}
 	j.finish(res, err)
 }
@@ -337,6 +367,7 @@ func (s *Server) runWithRetry(j *job) (*Result, int, error) {
 		case <-t.C:
 		}
 		s.stats.retries.Add(1)
+		s.met.retries.Inc()
 	}
 }
 
@@ -388,8 +419,10 @@ func breakerWorthy(err error) bool {
 func (s *Server) countCtxErr(err error) {
 	if errors.Is(err, guard.ErrDeadline) {
 		s.stats.deadline.Add(1)
+		s.met.outcomes["deadline"].Inc()
 	} else {
 		s.stats.canceled.Add(1)
+		s.met.outcomes["canceled"].Inc()
 	}
 }
 
@@ -401,13 +434,19 @@ func (s *Server) breakerFor(path string) *Breaker {
 	b, ok := s.breakers[path]
 	if !ok {
 		b = NewBreaker(path, s.cfg.Breaker)
+		b.onTransition = s.met.breakerMetrics(path, b)
 		s.breakers[path] = b
 	}
 	return b
 }
 
+// Metrics returns the registry the server's series live in — the
+// backing store of GET /metrics.
+func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
+
 // observeRun feeds the job-duration EWMA (α = 1/8) behind Retry-After.
 func (s *Server) observeRun(d time.Duration) {
+	s.met.jobSeconds.Observe(d.Seconds())
 	for {
 		old := s.avgRunNs.Load()
 		var next int64

@@ -72,10 +72,12 @@ func drainServer(t *testing.T, s *Server) {
 	}
 }
 
-// waitQueued spins until the admission queue holds n jobs.
+// waitQueued spins until the admission queue holds n jobs. The
+// deadline is generous: under -race with the full suite running in
+// parallel, goroutine scheduling can stall for seconds.
 func waitQueued(t *testing.T, s *Server, n int) {
 	t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
+	deadline := time.Now().Add(30 * time.Second)
 	for len(s.queue) < n && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
@@ -111,10 +113,9 @@ func TestShedWhenQueueFull(t *testing.T) {
 
 	var wg sync.WaitGroup
 	errs := make([]error, 2)
-	// First request occupies the worker; second occupies the queue.
-	for i := 0; i < 2; i++ {
+	submit := func(i int) {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer func() {
 				if we := guard.RecoveredWorker(i, recover()); we != nil {
 					errs[i] = we
@@ -122,9 +123,15 @@ func TestShedWhenQueueFull(t *testing.T) {
 				wg.Done()
 			}()
 			_, errs[i] = s.Submit(context.Background(), &Request{})
-		}(i)
+		}()
 	}
+	// First request occupies the worker; only then submit the second so
+	// it is guaranteed a queue slot (submitting both concurrently races
+	// the second enqueue against the worker's dequeue of the first, and
+	// losing that race sheds it).
+	submit(0)
 	<-b.started // worker picked up request 1
+	submit(1)
 	waitQueued(t, s, 1)
 	// Third request must shed.
 	if _, err := s.Submit(context.Background(), &Request{}); !errors.Is(err, ErrShed) {
@@ -150,9 +157,9 @@ func TestShedHTTP429WithRetryAfter(t *testing.T) {
 	h := s.Handler()
 
 	var wg sync.WaitGroup
-	for i := 0; i < 2; i++ {
+	submit := func(i int) {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer func() {
 				if we := guard.RecoveredWorker(i, recover()); we != nil {
 					t.Error(we)
@@ -161,9 +168,13 @@ func TestShedHTTP429WithRetryAfter(t *testing.T) {
 			}()
 			rec := httptest.NewRecorder()
 			h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/simulate", strings.NewReader(`{}`)))
-		}(i)
+		}()
 	}
+	// Occupy the worker first, then the queue slot (see
+	// TestShedWhenQueueFull for why these must not race).
+	submit(0)
 	<-b.started
+	submit(1)
 	waitQueued(t, s, 1)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/simulate", strings.NewReader(`{}`)))
