@@ -3,7 +3,7 @@ GO ?= go
 # Per-target budget for `make fuzz`; raise for longer local campaigns.
 FUZZTIME ?= 15s
 
-.PHONY: build test race vet lint lint-fix-report check golden bench bench-check metrics-smoke fuzz
+.PHONY: build test race vet lint lint-fix-report check golden resume-golden bench bench-check metrics-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Short-mode race pass is quick; the full race suite trains models.
+# The full race suite trains models and replays the golden/resume
+# scenarios under the detector; on a small machine that can exceed go
+# test's default 10m per-package timeout, so give it real headroom.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 
 vet:
 	$(GO) vet ./...
@@ -36,7 +38,7 @@ lint-fix-report:
 # concurrency-bearing paths it watches), the golden-trace determinism
 # digests, the /metrics consistency smoke, and the benchmark
 # regression gate.
-check: vet lint race golden metrics-smoke bench-check
+check: vet lint race golden resume-golden metrics-smoke bench-check
 
 # metrics-smoke drives a request through the full dqnserve handler
 # stack and asserts /metrics exposes counters consistent with /stats.
@@ -50,17 +52,25 @@ metrics-smoke:
 golden:
 	$(GO) test -run TestGoldenTraces -count=1 .
 
+# resume-golden proves checkpointed resume is bit-identical: each golden
+# scenario is crashed at an epoch boundary, resumed from its snapshot,
+# and the resumed digest must equal both the uninterrupted run and the
+# committed golden digest (at Shards=1 and 8).
+resume-golden:
+	$(GO) test -run 'TestResume' -count=1 .
+
 # bench runs the reproducible perf harness (cmd/dqnbench) and refreshes
-# BENCH_pr5.json in place, preserving its recorded "before" baseline.
-# Since PR 5 the e2e benchmarks run with an EngineObserver attached, so
-# the recorded numbers include the observability layer's cost.
+# BENCH_pr6.json in place, preserving its recorded "before" baseline.
+# Since PR 5 the e2e benchmarks run with an EngineObserver attached;
+# since PR 6 an e2e_fattree16_ckpt variant prices epoch checkpointing
+# and serve_saturation reports p50/p99 request latency.
 bench:
-	$(GO) run ./cmd/dqnbench -out BENCH_pr5.json
+	$(GO) run ./cmd/dqnbench -out BENCH_pr6.json
 
 # bench-check reruns the harness and fails on a >15% ns/op or any
-# allocs/op regression against the committed BENCH_pr5.json.
+# allocs/op regression against the committed BENCH_pr6.json.
 bench-check:
-	$(GO) run ./cmd/dqnbench -check BENCH_pr5.json
+	$(GO) run ./cmd/dqnbench -check BENCH_pr6.json
 
 # microbench runs the plain go test benchmarks (no regression gate).
 microbench:
@@ -73,3 +83,4 @@ microbench:
 fuzz:
 	$(GO) test ./internal/ptm -fuzz FuzzPTMLoad -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/topo -fuzz FuzzBuildTopo -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/checkpoint -fuzz FuzzCheckpointLoad -fuzztime $(FUZZTIME) -run '^$$'

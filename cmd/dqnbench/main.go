@@ -4,14 +4,17 @@
 // PredictStream, and end-to-end IRSA runs on the FatTree16 and Abilene
 // example topologies — plus the serving layer at saturation (requests/s
 // and shed rate through the bounded worker pool), and records ns/op,
-// allocs/op, B/op, and throughput as JSON (BENCH_pr5.json schema,
+// allocs/op, B/op, and throughput as JSON (BENCH_pr6.json schema,
 // documented in the README "Benchmarking" section). The e2e runs carry
 // an attached obs.EngineObserver, so the recorded numbers include the
-// observability layer's cost and -check gates its overhead.
+// observability layer's cost and -check gates its overhead. An
+// e2e_fattree16_ckpt variant runs with epoch checkpointing on at every
+// IRSA iteration, pricing the crash-safety layer, and serve_saturation
+// reports p50/p99 request latency alongside requests/s and shed rate.
 //
-//	dqnbench -out BENCH_pr5.json                 # run, write results
-//	dqnbench -out BENCH_pr5.json -record-before  # also store run as the "before" baseline
-//	dqnbench -check BENCH_pr5.json               # run, fail on regression vs committed file
+//	dqnbench -out BENCH_pr6.json                 # run, write results
+//	dqnbench -out BENCH_pr6.json -record-before  # also store run as the "before" baseline
+//	dqnbench -check BENCH_pr6.json               # run, fail on regression vs committed file
 //
 // When -out points at an existing file its "before" section is
 // preserved, so the pre-optimization baseline survives refreshes.
@@ -32,10 +35,12 @@ import (
 	"testing"
 	"time"
 
+	"deepqueuenet/internal/checkpoint"
 	"deepqueuenet/internal/core"
 	"deepqueuenet/internal/des"
 	"deepqueuenet/internal/experiments"
 	"deepqueuenet/internal/guard"
+	"deepqueuenet/internal/metrics"
 	"deepqueuenet/internal/obs"
 	"deepqueuenet/internal/ptm"
 	"deepqueuenet/internal/rng"
@@ -55,6 +60,10 @@ type Bench struct {
 	PacketsPerSec   float64 `json:"packets_per_sec,omitempty"`
 	RequestsPerSec  float64 `json:"requests_per_sec,omitempty"`
 	ShedRate        float64 `json:"shed_rate,omitempty"`
+	// P50/P99LatencyMs are per-request wall latencies of completed
+	// (non-shed) requests, serve_saturation only.
+	P50LatencyMs float64 `json:"p50_latency_ms,omitempty"`
+	P99LatencyMs float64 `json:"p99_latency_ms,omitempty"`
 }
 
 // File is the on-disk benchmark report.
@@ -104,7 +113,7 @@ func main() {
 		fatal(err)
 	}
 	if *out == "" && *check == "" {
-		*out = "BENCH_pr5.json"
+		*out = "BENCH_pr6.json"
 	}
 
 	benches, err := runAll()
@@ -120,7 +129,8 @@ func main() {
 			line += fmt.Sprintf("   %10.0f pkts/sec", b.PacketsPerSec)
 		}
 		if b.RequestsPerSec > 0 {
-			line += fmt.Sprintf("   %8.1f req/sec  %5.1f%% shed", b.RequestsPerSec, b.ShedRate*100)
+			line += fmt.Sprintf("   %8.1f req/sec  %5.1f%% shed  p50 %.2fms p99 %.2fms",
+				b.RequestsPerSec, b.ShedRate*100, b.P50LatencyMs, b.P99LatencyMs)
 		}
 		fmt.Println(line)
 	}
@@ -273,6 +283,9 @@ func benchDefs() []benchDef {
 		{"e2e_wan_abilene", func() (Bench, error) {
 			return benchE2E("e2e_wan_abilene", topo.Abilene(10e9), traffic.ModelBCLike, 0.12, 0.002, 17)
 		}},
+		{"e2e_fattree16_ckpt", func() (Bench, error) {
+			return benchE2ECkpt("e2e_fattree16_ckpt", topo.FatTree(topo.FatTree16, topo.DefaultLAN), traffic.ModelMAP, 0.5, 0.0002, 11)
+		}},
 		{"serve_saturation", benchServe},
 	}
 }
@@ -362,6 +375,18 @@ var obsSummary bool
 // baseline is observer-on: bench-check's 15% gate then proves the
 // observability layer's overhead fits the budget by construction.
 func benchE2E(name string, g *topo.Graph, tm traffic.Model, load, dur float64, seed uint64) (Bench, error) {
+	return benchE2ECfg(name, g, tm, load, dur, seed, false)
+}
+
+// benchE2ECkpt is benchE2E with epoch checkpointing on at every IRSA
+// iteration (snapshots to a scratch dir, fsync off): it prices the
+// tentpole's crash-safety against the checkpoint-free run of the same
+// scenario, and bench-check gates it like any other benchmark.
+func benchE2ECkpt(name string, g *topo.Graph, tm traffic.Model, load, dur float64, seed uint64) (Bench, error) {
+	return benchE2ECfg(name, g, tm, load, dur, seed, true)
+}
+
+func benchE2ECfg(name string, g *topo.Graph, tm traffic.Model, load, dur float64, seed uint64, ckpt bool) (Bench, error) {
 	model, err := ptm.Synthetic(benchArch, 8, 1)
 	if err != nil {
 		return Bench{}, err
@@ -372,6 +397,26 @@ func benchE2E(name string, g *topo.Graph, tm traffic.Model, load, dur float64, s
 	}
 	observer := obs.NewEngineObserver(obs.NewRegistry())
 	cfg := core.Config{Shards: 4, Observer: observer}
+	if ckpt {
+		dir, err := os.MkdirTemp("", "dqnbench-ckpt-*")
+		if err != nil {
+			return Bench{}, err
+		}
+		defer os.RemoveAll(dir)
+		modelDigest, err := checkpoint.ModelDigest(model)
+		if err != nil {
+			return Bench{}, err
+		}
+		w := &checkpoint.Writer{
+			Path:        dir + "/run.ckpt",
+			TopoDigest:  checkpoint.TopoDigest(g),
+			ModelDigest: modelDigest,
+			Seed:        seed,
+			NoSync:      true,
+		}
+		cfg.EpochSink = w.Sink()
+		cfg.EpochEvery = 1
+	}
 	_, res, err := sc.RunDQNCfg(model, cfg)
 	if err != nil {
 		return Bench{}, err
@@ -410,10 +455,13 @@ func benchServe() (Bench, error) {
 		return Bench{}, err
 	}
 	runner := &serve.ScenarioRunner{DefaultModel: model, MaxShards: 2}
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		Workers: 2, QueueDepth: 2, RetryMax: -1,
 		DefaultTimeout: 30 * time.Second, Seed: 1,
 	}, runner)
+	if err != nil {
+		return Bench{}, err
+	}
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
@@ -421,6 +469,12 @@ func benchServe() (Bench, error) {
 			fmt.Fprintf(os.Stderr, "dqnbench: serve drain: %v\n", err)
 		}
 	}()
+
+	// Per-request wall latencies of completed (non-shed) requests,
+	// accumulated across every measured episode. Preallocated so the
+	// append inside the measured region stays allocation-free.
+	var latMu sync.Mutex
+	lats := make([]float64, 0, 1<<20)
 
 	const clients, perClient = 8, 4
 	r := measure(func(b *testing.B) {
@@ -439,7 +493,17 @@ func benchServe() (Bench, error) {
 					for k := 0; k < perClient; k++ {
 						req := &serve.Request{Topo: "line4", Duration: 0.0002, Shards: 2,
 							Seed: uint64(c*perClient + k + 1)}
-						if _, err := srv.Submit(context.Background(), req); err != nil && !errors.Is(err, serve.ErrShed) {
+						t0 := time.Now()
+						_, err := srv.Submit(context.Background(), req)
+						switch {
+						case err == nil:
+							d := float64(time.Since(t0)) / float64(time.Millisecond)
+							latMu.Lock()
+							if len(lats) < cap(lats) {
+								lats = append(lats, d)
+							}
+							latMu.Unlock()
+						case !errors.Is(err, serve.ErrShed):
 							b.Error(err)
 						}
 					}
@@ -456,5 +520,9 @@ func benchServe() (Bench, error) {
 	// Completed throughput at saturation: the non-shed fraction of each
 	// episode's requests over the episode wall time.
 	out.RequestsPerSec = float64(clients*perClient) * (1 - out.ShedRate) / (out.NsPerOp * 1e-9)
+	if len(lats) > 0 {
+		out.P50LatencyMs = metrics.Percentile(lats, 50)
+		out.P99LatencyMs = metrics.Percentile(lats, 99)
+	}
 	return out, nil
 }

@@ -16,16 +16,20 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"syscall"
 	"time"
 
+	"deepqueuenet/internal/chaos"
+	"deepqueuenet/internal/checkpoint"
 	"deepqueuenet/internal/core"
 	"deepqueuenet/internal/experiments"
 	"deepqueuenet/internal/guard"
 	"deepqueuenet/internal/metrics"
 	"deepqueuenet/internal/obs"
 	"deepqueuenet/internal/ptm"
+	"deepqueuenet/internal/serve"
 )
 
 func main() {
@@ -161,19 +165,37 @@ func scenarioFlags(fs *flag.FlagSet) (mk func() (*experiments.Scenario, error), 
 	return mk, modelPath, shards
 }
 
+// loadModel resolves the -model flag: a trained model file, or the
+// literal "synth" for a deterministic synthetic (untrained) 8-port
+// model — enough for checkpoint/resume drills without a training run.
+func loadModel(path string) (*ptm.PTM, error) {
+	if path == "synth" {
+		return ptm.Synthetic(synthArch, 8, 1)
+	}
+	return ptm.Load(path)
+}
+
+// synthArch matches the serving layer's smoke-test architecture.
+var synthArch = ptm.Arch{TimeSteps: 32, Margin: 8, Embed: 12, BLSTM1: 16, BLSTM2: 10, Heads: 2, DK: 8, DV: 8, HeadOut: 16}
+
 func cmdSim(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sim", flag.ExitOnError)
 	mk, modelPath, shards := scenarioFlags(fs)
 	tracePath := fs.String("trace", "", "write per-device packet traces (CSV)")
 	timeout := fs.Duration("timeout", 0, "wall-clock run deadline (0 = none; ^C always cancels)")
 	obsSummary := fs.Bool("obs-summary", false, "print engine telemetry (delta trace, shard work, metrics) after the run")
+	ckptDir := fs.String("checkpoint-dir", "", "persist an epoch snapshot there (enables checkpointing)")
+	ckptEvery := fs.Int("checkpoint-every", 1, "snapshot cadence in IRSA iterations")
+	resume := fs.Bool("resume", false, "resume from the snapshot in -checkpoint-dir (fails if missing or from a different run)")
+	crashAfter := fs.Int("crash-after", 0, "chaos drill: crash the run after the Nth epoch snapshot is on disk (exit nonzero)")
+	printDigest := fs.Bool("digest", false, "print the bit-exact delivery-trace digest")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *modelPath == "" {
-		return fmt.Errorf("sim requires -model")
+		return fmt.Errorf("sim requires -model (a .ptm.json file, or 'synth')")
 	}
-	model, err := ptm.Load(*modelPath)
+	model, err := loadModel(*modelPath)
 	if err != nil {
 		return err
 	}
@@ -184,6 +206,40 @@ func cmdSim(ctx context.Context, args []string) error {
 	rctx, cancel := withTimeout(ctx, *timeout)
 	defer cancel()
 	observer, runCfg := obsConfig(*obsSummary, *shards)
+	if *crashAfter > 0 && *ckptDir == "" {
+		return fmt.Errorf("-crash-after requires -checkpoint-dir")
+	}
+	if *ckptDir != "" {
+		modelDigest, err := checkpoint.ModelDigest(model)
+		if err != nil {
+			return err
+		}
+		w := &checkpoint.Writer{
+			Path:        filepath.Join(*ckptDir, "run.ckpt"),
+			TopoDigest:  checkpoint.TopoDigest(sc.G),
+			ModelDigest: modelDigest,
+			Seed:        sc.Seed,
+		}
+		sink := w.Sink()
+		if *crashAfter > 0 {
+			sink = chaos.New(chaos.Config{CrashAfterEpochs: *crashAfter}).WrapEpochSink(sink)
+		}
+		runCfg.EpochSink = sink
+		runCfg.EpochEvery = *ckptEvery
+		if *resume {
+			snap, err := checkpoint.Load(w.Path)
+			if err != nil {
+				return fmt.Errorf("-resume: %w", err)
+			}
+			if err := snap.Validate(w.TopoDigest, w.ModelDigest); err != nil {
+				return fmt.Errorf("-resume: %w", err)
+			}
+			runCfg.Resume = snap.EpochState()
+			fmt.Printf("resuming from %s at IRSA iteration %d\n", w.Path, snap.Iter)
+		}
+	} else if *resume {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
 	t0 := time.Now()
 	pred, res, err := sc.RunDQNCfgCtx(rctx, model, runCfg)
 	defer dumpObs(observer)
@@ -193,11 +249,17 @@ func cmdSim(ctx context.Context, args []string) error {
 				res.Iterations, res.Bound, len(res.Deliveries))
 			printPathStats(pred)
 		}
+		if errors.Is(err, guard.ErrCrash) {
+			return fmt.Errorf("chaos drill crashed the run (snapshot persisted in %s): %w", *ckptDir, err)
+		}
 		return describeRunErr(err)
 	}
 	fmt.Printf("simulated %s in %v (IRSA %d/%d iterations)\n",
 		sc.Name, time.Since(t0).Round(time.Millisecond), res.Iterations, res.Bound)
 	printPathStats(pred)
+	if *printDigest {
+		fmt.Printf("digest %s\n", serve.Digest(res))
+	}
 
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)

@@ -61,6 +61,8 @@ func run(args []string) error {
 	brCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before half-open probes")
 	brProbes := fs.Int("breaker-probes", 2, "successful probes required to close a breaker")
 	drain := fs.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM/SIGINT")
+	stateDir := fs.String("state-dir", "", "durable job state directory (empty: jobs are in-memory only)")
+	ckptEvery := fs.Int("checkpoint-every", 1, "epoch snapshot cadence in IRSA iterations for durable jobs")
 	seed := fs.Uint64("seed", 1, "retry-jitter seed")
 	maxBody := fs.Int64("max-body", 2<<20, "request body size cap in bytes (413 beyond)")
 	pprofAddr := fs.String("pprof-addr", "", "admin listen address for net/http/pprof + /metrics (empty: disabled)")
@@ -94,6 +96,9 @@ func run(args []string) error {
 
 	reg := obs.NewRegistry()
 	runner := &serve.ScenarioRunner{DefaultModel: model, MaxShards: *maxShards, MaxDuration: *maxDur}
+	if *stateDir != "" {
+		runner.Checkpoints = obs.NewCheckpointMetrics(reg)
+	}
 	var jobRunner serve.Runner = runner
 	if *chaosPanic > 0 || *chaosNaN > 0 || *chaosLatency > 0 || *chaosCancel > 0 {
 		inj := chaos.New(chaos.Config{
@@ -116,13 +121,20 @@ func run(args []string) error {
 		}
 	}
 
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		Workers: *workers, QueueDepth: *queueDepth,
 		DefaultTimeout: *timeout, MaxTimeout: *maxTimeout,
 		RetryMax: *retries, Seed: *seed,
 		MaxBodyBytes: *maxBody, Metrics: reg, Logger: logger,
+		StateDir: *stateDir, CheckpointEvery: *ckptEvery,
 		Breaker: serve.BreakerConfig{Threshold: *brThreshold, Cooldown: *brCooldown, ProbeSuccesses: *brProbes},
 	}, jobRunner)
+	if err != nil {
+		return err
+	}
+	if *stateDir != "" {
+		fmt.Printf("durable job state in %s (checkpoint every %d iterations)\n", *stateDir, *ckptEvery)
+	}
 
 	if *pprofAddr != "" {
 		admin := adminMux(srv)

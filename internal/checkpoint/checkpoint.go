@@ -1,0 +1,323 @@
+// Package checkpoint persists IRSA epoch state so a killed run can
+// resume bit-identically. A snapshot is a versioned, digest-guarded
+// binary record of the engine's complete mutable fixed-point state at
+// an epoch boundary (see core.EpochState): topology/model/traffic
+// digests, the iteration counter, the divergence watchdog, and every
+// packet's per-hop sojourn vector.
+//
+// The decoder applies the same hostile-input discipline as nn.Unmarshal:
+// every length field is validated against the bytes actually remaining
+// before a single allocation happens, the whole payload is guarded by a
+// trailing SHA-256, and Load refuses files over a hard size cap. A
+// truncated, corrupted, or adversarial snapshot produces a clean error —
+// never a panic or an allocation bomb.
+//
+// Persistence is atomic: Save writes to a temporary file in the target
+// directory and renames it into place, so a crash mid-write leaves
+// either the previous snapshot or none — never a torn one.
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"deepqueuenet/internal/core"
+)
+
+// Sentinel errors for unusable snapshots. All decode failures wrap
+// ErrCorrupt; digest-guard failures wrap ErrMismatch.
+var (
+	// ErrCorrupt marks a snapshot that cannot be decoded: bad magic,
+	// truncation, a length field exceeding the remaining payload, or a
+	// failed integrity hash.
+	ErrCorrupt = errors.New("checkpoint: corrupt snapshot")
+	// ErrVersion marks a snapshot written by an incompatible format
+	// version.
+	ErrVersion = errors.New("checkpoint: unsupported snapshot version")
+	// ErrTooLarge marks a snapshot file over the decode size cap.
+	ErrTooLarge = errors.New("checkpoint: snapshot exceeds size cap")
+	// ErrMismatch marks a well-formed snapshot that belongs to a
+	// different run: topology, model, or traffic digest disagrees with
+	// the run being resumed.
+	ErrMismatch = errors.New("checkpoint: snapshot does not match this run")
+)
+
+const (
+	// magic identifies a dqnet checkpoint file.
+	magic = "DQCKPT\x00\x01"
+	// Version is the current snapshot format version.
+	Version = 1
+	// MaxSize is the hard cap on snapshot files Load will read:
+	// generous for any topology this engine can simulate, small enough
+	// that a hostile "size" can't exhaust memory.
+	MaxSize = 256 << 20
+	// maxDigestLen bounds each embedded digest string (hex SHA-256 is
+	// 64 bytes; leave room for prefixed formats).
+	maxDigestLen = 1 << 10
+	// hashLen is the trailing integrity hash length.
+	hashLen = sha256.Size
+)
+
+// Snapshot is one decoded epoch checkpoint. TopoDigest, ModelDigest,
+// and Seed identify the run configuration; the remaining fields mirror
+// core.EpochState.
+type Snapshot struct {
+	TopoDigest    string
+	ModelDigest   string
+	TrafficDigest string
+	// Seed is the scenario RNG seed; traffic is regenerated from it on
+	// resume and cross-checked against TrafficDigest.
+	Seed uint64
+	// Iter is the number of fully completed IRSA iterations.
+	Iter int
+	// Delta is the convergence delta of the checkpointed iteration.
+	Delta float64
+	// WatchdogTrace and WatchdogGrowth restore the divergence watchdog.
+	WatchdogTrace  []float64
+	WatchdogGrowth int
+	// Sojourns holds each packet's per-hop sojourn vector.
+	Sojourns [][]float64
+}
+
+// Validate digest-guards a decoded snapshot against the run about to
+// resume it. Empty expected digests skip that check (callers that don't
+// know, e.g. a model-less inspection tool). Traffic is checked by the
+// engine itself via core.ErrResumeMismatch, so it is not re-checked
+// here.
+func (s *Snapshot) Validate(topoDigest, modelDigest string) error {
+	if topoDigest != "" && s.TopoDigest != topoDigest {
+		return fmt.Errorf("%w: topology digest %.12s… vs snapshot %.12s…",
+			ErrMismatch, topoDigest, s.TopoDigest)
+	}
+	if modelDigest != "" && s.ModelDigest != modelDigest {
+		return fmt.Errorf("%w: model digest %.12s… vs snapshot %.12s…",
+			ErrMismatch, modelDigest, s.ModelDigest)
+	}
+	return nil
+}
+
+// EpochState converts the snapshot into the engine's resume form. The
+// slices alias the snapshot (the engine copies out of Config.Resume, so
+// the snapshot stays intact).
+func (s *Snapshot) EpochState() *core.EpochState {
+	return &core.EpochState{
+		Iter:           s.Iter,
+		Delta:          s.Delta,
+		TrafficDigest:  s.TrafficDigest,
+		Sojourns:       s.Sojourns,
+		WatchdogTrace:  s.WatchdogTrace,
+		WatchdogGrowth: s.WatchdogGrowth,
+	}
+}
+
+// appendEncode serializes s into buf (which may be reused across
+// epochs) and returns the extended slice, ending with the SHA-256 of
+// everything before it.
+func appendEncode(buf []byte, s *Snapshot) []byte {
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, Version)
+	buf = appendString(buf, s.TopoDigest)
+	buf = appendString(buf, s.ModelDigest)
+	buf = appendString(buf, s.TrafficDigest)
+	buf = binary.LittleEndian.AppendUint64(buf, s.Seed)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Iter))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.Delta))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.WatchdogGrowth))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.WatchdogTrace)))
+	for _, d := range s.WatchdogTrace {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Sojourns)))
+	for _, sj := range s.Sojourns {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sj)))
+		for _, v := range sj {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...)
+}
+
+// Encode serializes s into a fresh buffer. Writers on the hot epoch
+// path use appendEncode with a reused buffer instead.
+func Encode(s *Snapshot) []byte { return appendEncode(nil, s) }
+
+func appendString(buf []byte, v string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(v)))
+	return append(buf, v...)
+}
+
+// cursor is a bounds-checked reader over the snapshot payload. Every
+// read reports truncation instead of slicing past the end.
+type cursor struct {
+	data []byte
+	off  int
+}
+
+func (c *cursor) remaining() int { return len(c.data) - c.off }
+
+func (c *cursor) need(n int) error {
+	if n < 0 || c.remaining() < n {
+		return fmt.Errorf("%w: truncated at offset %d (need %d bytes, have %d)",
+			ErrCorrupt, c.off, n, c.remaining())
+	}
+	return nil
+}
+
+func (c *cursor) u16() (uint16, error) {
+	if err := c.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint16(c.data[c.off:])
+	c.off += 2
+	return v, nil
+}
+
+func (c *cursor) u32() (uint32, error) {
+	if err := c.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(c.data[c.off:])
+	c.off += 4
+	return v, nil
+}
+
+func (c *cursor) u64() (uint64, error) {
+	if err := c.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(c.data[c.off:])
+	c.off += 8
+	return v, nil
+}
+
+func (c *cursor) str(max int) (string, error) {
+	n, err := c.u16()
+	if err != nil {
+		return "", err
+	}
+	if int(n) > max {
+		return "", fmt.Errorf("%w: string length %d exceeds cap %d", ErrCorrupt, n, max)
+	}
+	if err := c.need(int(n)); err != nil {
+		return "", err
+	}
+	v := string(c.data[c.off : c.off+int(n)])
+	c.off += int(n)
+	return v, nil
+}
+
+// f64s decodes a length-prefixed float64 vector, validating the length
+// against the bytes actually remaining before allocating.
+func (c *cursor) f64s() ([]float64, error) {
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int64(n)*8 > int64(c.remaining()) {
+		return nil, fmt.Errorf("%w: vector length %d exceeds remaining %d bytes",
+			ErrCorrupt, n, c.remaining())
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		bits := binary.LittleEndian.Uint64(c.data[c.off:])
+		out[i] = math.Float64frombits(bits)
+		c.off += 8
+	}
+	return out, nil
+}
+
+// Decode parses a snapshot. It verifies magic, version, and the
+// trailing integrity hash up front, then decodes with per-field budget
+// checks — the hash guards against accidental corruption, the budgets
+// against a hostile author who recomputed it.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) > MaxSize {
+		return nil, fmt.Errorf("%w: %d bytes (cap %d)", ErrTooLarge, len(data), MaxSize)
+	}
+	if len(data) < len(magic)+4+hashLen {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than any valid snapshot", ErrCorrupt, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	payload, tail := data[:len(data)-hashLen], data[len(data)-hashLen:]
+	sum := sha256.Sum256(payload)
+	if string(sum[:]) != string(tail) {
+		return nil, fmt.Errorf("%w: integrity hash mismatch", ErrCorrupt)
+	}
+	c := &cursor{data: payload, off: len(magic)}
+	ver, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("%w: version %d (supported: %d)", ErrVersion, ver, Version)
+	}
+	s := &Snapshot{}
+	if s.TopoDigest, err = c.str(maxDigestLen); err != nil {
+		return nil, err
+	}
+	if s.ModelDigest, err = c.str(maxDigestLen); err != nil {
+		return nil, err
+	}
+	if s.TrafficDigest, err = c.str(maxDigestLen); err != nil {
+		return nil, err
+	}
+	if s.Seed, err = c.u64(); err != nil {
+		return nil, err
+	}
+	iter, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	if iter > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: iteration counter %d is not a plausible IRSA iteration", ErrCorrupt, iter)
+	}
+	s.Iter = int(iter)
+	deltaBits, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	s.Delta = math.Float64frombits(deltaBits)
+	growth, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if growth > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: watchdog growth %d out of range", ErrCorrupt, growth)
+	}
+	s.WatchdogGrowth = int(growth)
+	if s.WatchdogTrace, err = c.f64s(); err != nil {
+		return nil, fmt.Errorf("watchdog trace: %w", err)
+	}
+	nPkts, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	// Every packet costs at least a 4-byte hop count, so the packet
+	// count is bounded by the remaining payload before we allocate the
+	// outer slice.
+	if int64(nPkts)*4 > int64(c.remaining()) {
+		return nil, fmt.Errorf("%w: packet count %d exceeds remaining %d bytes",
+			ErrCorrupt, nPkts, c.remaining())
+	}
+	if nPkts > 0 {
+		s.Sojourns = make([][]float64, nPkts)
+		for i := range s.Sojourns {
+			if s.Sojourns[i], err = c.f64s(); err != nil {
+				return nil, fmt.Errorf("packet %d sojourns: %w", i, err)
+			}
+		}
+	}
+	if c.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after snapshot", ErrCorrupt, c.remaining())
+	}
+	return s, nil
+}

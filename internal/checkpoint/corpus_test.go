@@ -1,0 +1,68 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// corpusSeeds is the curated FuzzCheckpointLoad seed corpus: valid
+// snapshots of increasing complexity plus the hostile shapes the
+// decoder must reject cleanly. The same inputs are registered via
+// f.Add; the on-disk copies under testdata/fuzz make them visible,
+// reviewable, and replayed by plain `go test` like any seed corpus.
+func corpusSeeds() map[string][]byte {
+	enc := Encode(sample())
+	big := sample()
+	big.Sojourns = make([][]float64, 64)
+	for i := range big.Sojourns {
+		big.Sojourns[i] = []float64{float64(i), float64(i) * 0.5}
+	}
+	hostile := append([]byte(nil), enc[:len(enc)-hashLen]...)
+	hostile[len(hostile)-1] = 0xff
+	hostile[len(hostile)-2] = 0xff
+	hostile[len(hostile)-3] = 0xff
+	hostile[len(hostile)-4] = 0xff
+	return map[string][]byte{
+		"seed-empty-snapshot":    Encode(&Snapshot{}),
+		"seed-typical-snapshot":  enc,
+		"seed-many-packets":      Encode(big),
+		"seed-truncated":         enc[:len(enc)/2],
+		"seed-bad-magic":         corrupt(enc, 0),
+		"seed-bad-hash":          corrupt(enc, len(enc)-1),
+		"seed-magic-only":        []byte(magic),
+		"seed-rehashed-bad-lens": rehash(hostile),
+	}
+}
+
+// TestFuzzCorpusCurrent asserts the committed corpus files match
+// corpusSeeds, so the on-disk corpus can't silently drift from the
+// format. Regenerate with CKPT_WRITE_CORPUS=1 go test -run FuzzCorpus.
+func TestFuzzCorpusCurrent(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzCheckpointLoad")
+	write := os.Getenv("CKPT_WRITE_CORPUS") == "1"
+	if write {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, data := range corpusSeeds() {
+		want := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		path := filepath.Join(dir, name)
+		if write {
+			if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("corpus file missing (regenerate with CKPT_WRITE_CORPUS=1): %v", err)
+		}
+		if string(got) != want {
+			t.Errorf("corpus file %s is stale (regenerate with CKPT_WRITE_CORPUS=1)", name)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// FuzzCheckpointLoad feeds arbitrary bytes to the snapshot decoder. The
+// invariants: Decode never panics, never allocates beyond the input's
+// own size class (budget checks fire before allocation), and either
+// returns a structurally valid snapshot or an error wrapping one of the
+// package sentinels. A curated corpus lives under
+// testdata/fuzz/FuzzCheckpointLoad and is replayed by plain `go test`.
+func FuzzCheckpointLoad(f *testing.F) {
+	// Valid snapshots of increasing complexity.
+	f.Add(Encode(&Snapshot{}))
+	f.Add(Encode(sample()))
+	big := sample()
+	big.Sojourns = make([][]float64, 64)
+	for i := range big.Sojourns {
+		big.Sojourns[i] = []float64{float64(i), float64(i) * 0.5}
+	}
+	f.Add(Encode(big))
+
+	// Hostile shapes: truncations, corruptions, and recomputed-hash
+	// budget attacks.
+	enc := Encode(sample())
+	f.Add(enc[:len(enc)/2])
+	f.Add(corrupt(enc, 0))
+	f.Add(corrupt(enc, len(enc)-1))
+	f.Add([]byte(magic))
+	hostile := append([]byte(nil), enc[:len(enc)-hashLen]...)
+	hostile[len(hostile)-1] = 0xff
+	hostile[len(hostile)-2] = 0xff
+	hostile[len(hostile)-3] = 0xff
+	hostile[len(hostile)-4] = 0xff
+	f.Add(rehash(hostile))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) && !errors.Is(err, ErrTooLarge) {
+				t.Fatalf("decode error outside sentinel set: %v", err)
+			}
+			return
+		}
+		// A successful decode must re-encode to the exact input: the
+		// format has one canonical serialization per snapshot.
+		if !bytes.Equal(Encode(s), data) {
+			t.Fatalf("decoded snapshot does not re-encode to its input")
+		}
+		// Shape sanity on accepted snapshots.
+		if s.Iter < 0 || s.Iter > math.MaxInt32 || s.WatchdogGrowth < 0 {
+			t.Fatalf("accepted snapshot with out-of-range counters: %+v", s)
+		}
+	})
+}

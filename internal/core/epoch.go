@@ -1,0 +1,139 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// EpochState is the engine's complete mutable fixed-point state at an
+// IRSA epoch boundary: everything needed to restore a mid-run engine
+// whose continuation is bit-identical to the uninterrupted run. The
+// arrival estimates are deliberately absent — they are derived state,
+// recomputed exactly from the sojourns by propagate on restore.
+//
+// When handed to an EpochSink, Sojourns aliases the engine's live
+// per-packet buffers and WatchdogTrace aliases the watchdog's internal
+// trace: the sink must serialize or deep-copy before returning and must
+// never retain or mutate the slices. When used as Config.Resume, the
+// engine copies out of it, so the caller's snapshot stays intact.
+type EpochState struct {
+	// Iter is the number of fully completed IRSA iterations.
+	Iter int
+	// Delta is the convergence delta of the last completed iteration.
+	Delta float64
+	// TrafficDigest fingerprints the TGen output (packets, paths, RNG
+	// draws): a resume against regenerated traffic that differs in any
+	// bit is refused rather than silently diverging.
+	TrafficDigest string
+	// Sojourns is each packet's predicted per-hop sojourn vector —
+	// the per-device stream state of the fixed-point iteration.
+	Sojourns [][]float64
+	// WatchdogTrace and WatchdogGrowth restore the divergence
+	// watchdog, so a resumed run aborts (or doesn't) exactly where the
+	// uninterrupted run would.
+	WatchdogTrace  []float64
+	WatchdogGrowth int
+}
+
+// EpochSink receives the engine's state at epoch boundaries (see
+// Config.EpochSink). A non-nil error aborts the run with that error.
+type EpochSink func(*EpochState) error
+
+// ErrResumeMismatch marks a Config.Resume snapshot that does not match
+// the freshly regenerated run: different traffic digest, packet count,
+// or hop shape. Resuming such a state would not be a continuation of
+// any real run, so the engine refuses it instead of guessing.
+var ErrResumeMismatch = errors.New("core: resume snapshot does not match this run")
+
+// trafficDigest hashes the full TGen output bit-exactly: every
+// packet's identity, class attributes, creation time, and complete hop
+// sequence (devices, ports, rates, delays). Two runs agree on it iff
+// their generated workloads — and therefore their RNG draws and
+// routing — are identical.
+func trafficDigest(pkts []*packet) string {
+	h := sha256.New()
+	var buf [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	w(uint64(len(pkts)))
+	for _, p := range pkts {
+		w(p.id)
+		w(uint64(p.flow))
+		w(uint64(p.size))
+		w(uint64(p.class))
+		w(f64bits(p.weight))
+		w(uint64(p.proto))
+		w(f64bits(p.create))
+		w(uint64(p.src))
+		w(uint64(p.dst))
+		w(uint64(p.fwdHops))
+		w(uint64(len(p.hops)))
+		for i := range p.hops {
+			hashHop(w, &p.hops[i])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashHop folds one device traversal into the traffic digest.
+func hashHop(w func(uint64), hp *hop) {
+	w(uint64(hp.device))
+	if hp.isHost {
+		w(1)
+	} else {
+		w(0)
+	}
+	w(uint64(uint32(hp.inPort)))
+	w(uint64(uint32(hp.outPort)))
+	w(f64bits(hp.rateBps))
+	w(f64bits(hp.linkDelay))
+}
+
+// f64bits aliases math.Float64bits for the digest loops.
+func f64bits(v float64) uint64 { return math.Float64bits(v) }
+
+// restoreEpoch copies a Resume snapshot into the live packet state. It
+// validates shape before touching anything: the snapshot must carry one
+// sojourn vector per packet with exactly that packet's hop count, and
+// its traffic digest must match the regenerated workload.
+func restoreEpoch(r *EpochState, pkts []*packet, digest string, maxIter int) error {
+	if r.TrafficDigest != digest {
+		return fmt.Errorf("%w: traffic digest %.12s… does not match snapshot %.12s…",
+			ErrResumeMismatch, digest, r.TrafficDigest)
+	}
+	if len(r.Sojourns) != len(pkts) {
+		return fmt.Errorf("%w: snapshot has %d packets, run generated %d",
+			ErrResumeMismatch, len(r.Sojourns), len(pkts))
+	}
+	if r.Iter < 1 || r.Iter >= maxIter {
+		return fmt.Errorf("%w: snapshot iteration %d outside (0, %d)",
+			ErrResumeMismatch, r.Iter, maxIter)
+	}
+	for i, p := range pkts {
+		if len(r.Sojourns[i]) != len(p.sojourn) {
+			return fmt.Errorf("%w: packet %d has %d hops, snapshot carries %d",
+				ErrResumeMismatch, i, len(p.sojourn), len(r.Sojourns[i]))
+		}
+	}
+	for i, p := range pkts {
+		copy(p.sojourn, r.Sojourns[i])
+	}
+	return nil
+}
+
+// epochView builds (once per run) the reusable EpochState whose
+// Sojourns alias the live packet buffers; refreshing it per epoch is
+// then a few scalar stores — the epoch loop stays allocation-free.
+func epochView(pkts []*packet, digest string) *EpochState {
+	st := &EpochState{TrafficDigest: digest, Sojourns: make([][]float64, len(pkts))}
+	for i, p := range pkts {
+		st.Sojourns[i] = p.sojourn
+	}
+	return st
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -253,6 +254,31 @@ func (s *Sim) RunContext(ctx context.Context, duration float64) (*Result, error)
 		return res, err
 	}
 	watchdog := &guard.Watchdog{Patience: s.Cfg.DivergePatience}
+	// Checkpointing state: view aliases the live sojourn buffers so an
+	// epoch snapshot refresh is a few scalar stores, keeping the epoch
+	// loop allocation-free. The traffic digest is computed once per run
+	// and only when a sink or a resume actually needs it.
+	ckptOn := s.Cfg.EpochSink != nil && s.Cfg.EpochEvery > 0
+	var view *EpochState
+	startIter := 0
+	if ckptOn || s.Cfg.Resume != nil {
+		digest := trafficDigest(pkts)
+		if r := s.Cfg.Resume; r != nil {
+			if err := restoreEpoch(r, pkts, digest, maxIter); err != nil {
+				return finish(err)
+			}
+			watchdog.Restore(r.WatchdogTrace, r.WatchdogGrowth)
+			startIter = r.Iter
+			iters = r.Iter
+			// Arrival estimates are derived state: recompute them from
+			// the restored sojourns exactly as the uninterrupted run's
+			// last propagate left them.
+			propagate(pkts)
+		}
+		if ckptOn {
+			view = epochView(pkts, digest)
+		}
+	}
 	// One error slot per shard: each worker writes only its own slot, so
 	// panic reports need no lock. obsWork is the observer's per-shard
 	// wall-time accumulator with the same single-writer discipline.
@@ -262,7 +288,7 @@ func (s *Sim) RunContext(ctx context.Context, duration float64) (*Result, error)
 	if obs != nil {
 		obsWork = make([]time.Duration, len(shardSets))
 	}
-	for iter := 0; iter < maxIter; iter++ {
+	for iter := startIter; iter < maxIter; iter++ {
 		if err := ctx.Err(); err != nil {
 			return finish(guard.FromContext(err))
 		}
@@ -287,7 +313,7 @@ func (s *Sim) RunContext(ctx context.Context, duration float64) (*Result, error)
 			for si, shard := range shardSets {
 				//dqnlint:allow detguard wall-clock shard-timing instrumentation; measures compute cost, never feeds simulation state
 				t0 := time.Now()
-				shardErrs[si] = s.runShard(ctx, iter, si, shard, plans, pkts, devModels, shardClones[si], obsWork)
+				shardErrs[si] = s.runShard(ctx, iter, si, shard, plans, pkts, devModels, shardClones[si], obsWork, ckptOn)
 				shardWork[si] += time.Since(t0).Seconds()
 			}
 		} else {
@@ -296,7 +322,7 @@ func (s *Sim) RunContext(ctx context.Context, duration float64) (*Result, error)
 				wg.Add(1)
 				go func(si int, shard []int) {
 					defer wg.Done()
-					shardErrs[si] = s.runShard(ctx, iter, si, shard, plans, pkts, devModels, shardClones[si], obsWork)
+					shardErrs[si] = s.runShard(ctx, iter, si, shard, plans, pkts, devModels, shardClones[si], obsWork, ckptOn)
 				}(si, shard)
 			}
 			wg.Wait()
@@ -304,7 +330,11 @@ func (s *Sim) RunContext(ctx context.Context, duration float64) (*Result, error)
 		if err := errors.Join(shardErrs...); err != nil {
 			return finish(err)
 		}
-		if err := ctx.Err(); err != nil {
+		if err := ctx.Err(); err != nil && !ckptOn {
+			// With a checkpoint sink attached the iteration runs to its
+			// boundary instead (a consistent snapshot is worth at most
+			// one iteration of cancellation latency); the loop-top check
+			// surfaces the cancel right after the final snapshot.
 			return finish(guard.FromContext(err))
 		}
 		if damping < 1 && iter > 0 {
@@ -329,6 +359,17 @@ func (s *Sim) RunContext(ctx context.Context, duration float64) (*Result, error)
 		if delta <= eps {
 			break
 		}
+		if ckptOn && (iters%s.Cfg.EpochEvery == 0 || ctx.Err() != nil) {
+			// Epoch boundary (or final snapshot before a cancel return):
+			// the view's sojourn slices alias live state, so only the
+			// scalars need refreshing before the sink serializes.
+			view.Iter = iters
+			view.Delta = delta
+			view.WatchdogTrace, view.WatchdogGrowth = watchdog.State()
+			if serr := s.Cfg.EpochSink(view); serr != nil {
+				return finish(fmt.Errorf("core: epoch checkpoint at iteration %d: %w", iters, serr))
+			}
+		}
 	}
 
 	return finish(nil)
@@ -338,15 +379,19 @@ func (s *Sim) RunContext(ctx context.Context, duration float64) (*Result, error)
 // cancellation and recovering any panic into a *guard.ShardError so a
 // crashing device model cannot take down the process. obsWork (set iff
 // an Observer is attached) accumulates this shard's inference wall time
-// for the iteration; each shard writes only its own slot.
+// for the iteration; each shard writes only its own slot. runToEnd
+// (set iff an epoch checkpoint sink is attached) disables the per-device
+// cancellation short-circuit: a partially inferred iteration is not a
+// resumable boundary, so the shard finishes its devices and the caller
+// snapshots before surfacing the cancel.
 func (s *Sim) runShard(ctx context.Context, iter, si int, shard []int,
 	plans map[int]*devicePlan, pkts []*packet,
 	devModels map[int]DeviceModel, clones map[DeviceModel]DeviceModel,
-	obsWork []time.Duration) error {
+	obsWork []time.Duration, runToEnd bool) error {
 
 	obs := s.Cfg.Observer
 	for _, d := range shard {
-		if ctx.Err() != nil {
+		if !runToEnd && ctx.Err() != nil {
 			return nil // the caller maps ctx.Err() to the cancel error
 		}
 		var t0 time.Time

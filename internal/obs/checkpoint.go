@@ -1,0 +1,61 @@
+package obs
+
+// CheckpointMetrics is the pre-registered metric family set of the
+// checkpoint layer (internal/checkpoint wires one into its Writer and
+// resume path; internal/serve registers one per server). Every handle
+// is an atomic — observing a snapshot costs no registry lock and no
+// allocation, keeping the epoch loop's zero-alloc property.
+type CheckpointMetrics struct {
+	// Snapshots counts epoch snapshots successfully persisted.
+	Snapshots *Counter
+	// SnapshotFailures counts snapshot writes that failed (the run
+	// aborts with the error; durability was the casualty, not
+	// correctness).
+	SnapshotFailures *Counter
+	// SnapshotBytes observes the encoded size of each snapshot.
+	SnapshotBytes *Histogram
+	// SnapshotSeconds observes the wall time of each persisted
+	// snapshot (encode + atomic write-rename).
+	SnapshotSeconds *Histogram
+	// Resumes counts runs successfully restored from a snapshot.
+	Resumes *Counter
+	// ResumeFailures counts snapshots that were present but unusable
+	// (corrupt, digest mismatch, budget violation); the run starts
+	// fresh instead.
+	ResumeFailures *Counter
+	// EpochsLost accumulates IRSA iterations that a crash threw away:
+	// work completed after the last persisted snapshot, measured when
+	// the interrupted job is resumed.
+	EpochsLost *Counter
+}
+
+// snapshotBytesBuckets cover one-packet toy runs through multi-hundred-
+// megabyte sharded topologies.
+var snapshotBytesBuckets = ExpBuckets(1024, 4, 10)
+
+// snapshotSecondsBuckets cover tmpfs microsecond renames through
+// multi-second spinning-disk fsyncs.
+var snapshotSecondsBuckets = ExpBuckets(1e-5, 4, 10)
+
+// NewCheckpointMetrics registers the checkpoint families in reg.
+// Registration is idempotent per registry (obs registries return the
+// existing series on re-registration), so engine and serving layers can
+// share one registry safely.
+func NewCheckpointMetrics(reg *Registry) *CheckpointMetrics {
+	return &CheckpointMetrics{
+		Snapshots: reg.Counter("dqn_checkpoint_snapshots_total",
+			"epoch snapshots persisted"),
+		SnapshotFailures: reg.Counter("dqn_checkpoint_snapshot_failures_total",
+			"epoch snapshot writes that failed"),
+		SnapshotBytes: reg.Histogram("dqn_checkpoint_snapshot_bytes",
+			"encoded snapshot size in bytes", snapshotBytesBuckets),
+		SnapshotSeconds: reg.Histogram("dqn_checkpoint_snapshot_seconds",
+			"wall time per persisted snapshot (encode + atomic rename)", snapshotSecondsBuckets),
+		Resumes: reg.Counter("dqn_checkpoint_resumes_total",
+			"runs restored from a persisted snapshot"),
+		ResumeFailures: reg.Counter("dqn_checkpoint_resume_failures_total",
+			"snapshots present but unusable (corrupt, mismatched, over budget)"),
+		EpochsLost: reg.Counter("dqn_checkpoint_epochs_lost_total",
+			"IRSA iterations lost to crashes (completed after the last snapshot)"),
+	}
+}

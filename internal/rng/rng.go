@@ -19,6 +19,14 @@ func New(seed uint64) *Rand {
 	return &Rand{state: seed}
 }
 
+// State returns the generator's current internal state. Together with
+// SetState it makes the stream checkpointable: a generator restored
+// with SetState(State()) continues the exact same variate sequence.
+func (r *Rand) State() uint64 { return r.state }
+
+// SetState restores a state previously captured with State.
+func (r *Rand) SetState(s uint64) { r.state = s }
+
 // Split derives an independent generator from r. The derived stream is
 // decorrelated from the parent by mixing in a large odd constant.
 func (r *Rand) Split() *Rand {

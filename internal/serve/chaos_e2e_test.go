@@ -41,6 +41,16 @@ func testModel(t *testing.T) *ptm.PTM {
 	return m
 }
 
+// mustServe builds a server, failing the test on a config/state error.
+func mustServe(t *testing.T, cfg serve.Config, r serve.Runner) *serve.Server {
+	t.Helper()
+	s, err := serve.New(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // simBody renders a /simulate request body.
 func simBody(seed uint64) string {
 	return fmt.Sprintf(`{"topo":"line4","duration":0.0002,"shards":2,"seed":%d}`, seed)
@@ -85,7 +95,7 @@ func TestChaosStormServerSurvives(t *testing.T) {
 	})
 	runner := &serve.ScenarioRunner{DefaultModel: testModel(t), MaxShards: 2}
 	runner.WrapDevice = inj.WrapDevice
-	srv := serve.New(serve.Config{
+	srv := mustServe(t, serve.Config{
 		Workers: 3, QueueDepth: 2,
 		DefaultTimeout: 10 * time.Second,
 		RetryMax:       1, RetryBase: time.Millisecond, RetryCap: 2 * time.Millisecond,
@@ -225,7 +235,7 @@ func TestChaosBreakerOpensAndRecovers(t *testing.T) {
 		}
 		return m
 	}
-	srv := serve.New(serve.Config{
+	srv := mustServe(t, serve.Config{
 		Workers: 1, QueueDepth: 2, RetryMax: -1,
 		Breaker: serve.BreakerConfig{Threshold: 2, Cooldown: 30 * time.Millisecond, ProbeSuccesses: 1},
 	}, runner)
@@ -279,7 +289,7 @@ func TestChaosNaNSurfacesAsDivergence(t *testing.T) {
 	inj := chaos.New(chaos.Config{Seed: 5, NaNRate: 1.0})
 	runner := &serve.ScenarioRunner{DefaultModel: testModel(t), MaxShards: 2}
 	runner.WrapDevice = inj.WrapDevice
-	srv := serve.New(serve.Config{Workers: 1, QueueDepth: 1, RetryMax: -1}, runner)
+	srv := mustServe(t, serve.Config{Workers: 1, QueueDepth: 1, RetryMax: -1}, runner)
 	defer func() {
 		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -305,7 +315,7 @@ func TestChaosNaNSurfacesAsDivergence(t *testing.T) {
 func TestChaosCancelSurfacesAsCanceled(t *testing.T) {
 	inj := chaos.New(chaos.Config{Seed: 5, CancelRate: 1.0, CancelAfter: time.Microsecond})
 	runner := &serve.ScenarioRunner{DefaultModel: testModel(t), MaxShards: 2}
-	srv := serve.New(serve.Config{Workers: 1, QueueDepth: 1, RetryMax: -1}, inj.WrapRunner(runner))
+	srv := mustServe(t, serve.Config{Workers: 1, QueueDepth: 1, RetryMax: -1}, inj.WrapRunner(runner))
 	defer func() {
 		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -337,7 +347,7 @@ func TestChaosOffDigestBitIdentical(t *testing.T) {
 	inj := chaos.New(chaos.Config{Seed: 1}) // all rates zero
 	runner := &serve.ScenarioRunner{DefaultModel: model, MaxShards: 2}
 	runner.WrapDevice = inj.WrapDevice
-	srv := serve.New(serve.Config{Workers: 2, QueueDepth: 2, RetryMax: -1}, inj.WrapRunner(runner))
+	srv := mustServe(t, serve.Config{Workers: 2, QueueDepth: 2, RetryMax: -1}, inj.WrapRunner(runner))
 	defer func() {
 		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -385,5 +395,110 @@ func TestChaosOffDigestBitIdentical(t *testing.T) {
 	}
 	if res1.Mode != "model" || res1.Degraded {
 		t.Fatalf("chaos-off run must be a clean model run: %+v", res1)
+	}
+}
+
+// TestChaosKillRestartResumeStorm is the storm's kill→restart→resume
+// phase: a batch of durable jobs runs under probabilistic epoch-boundary
+// crashes (simulated process death; the epoch's snapshot is already on
+// disk when the crash fires), the server drains, and a clean server on
+// the same state directory resumes every interrupted job. Every job —
+// crashed or not — must end completed with a digest bit-identical to a
+// never-killed run of the same request.
+func TestChaosKillRestartResumeStorm(t *testing.T) {
+	const jobs = 6
+	stateDir := t.TempDir()
+
+	// Ground truth: never-killed digests per seed.
+	want := make(map[uint64]string, jobs)
+	truth := &serve.ScenarioRunner{DefaultModel: testModel(t), MaxShards: 2}
+	for seed := uint64(1); seed <= jobs; seed++ {
+		req := serve.Request{Topo: "line4", Duration: 0.0002, Shards: 2, Seed: seed}
+		res, err := truth.Run(context.Background(), &req, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[seed] = res.Digest
+	}
+
+	inj := chaos.New(chaos.Config{Seed: 11, CrashRate: 0.4})
+	runner1 := &serve.ScenarioRunner{
+		DefaultModel: testModel(t), MaxShards: 2,
+		NoSyncCheckpoints: true, WrapEpochSink: inj.WrapEpochSink,
+	}
+	srv1 := mustServe(t, serve.Config{
+		Workers: 2, QueueDepth: jobs, RetryMax: -1, StateDir: stateDir,
+	}, runner1)
+
+	ids := make(map[uint64]string, jobs)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	crashed := 0
+	for seed := uint64(1); seed <= jobs; seed++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			req := &serve.Request{Topo: "line4", Duration: 0.0002, Shards: 2, Seed: seed}
+			res, id, err := srv1.SubmitJob(context.Background(), req)
+			mu.Lock()
+			defer mu.Unlock()
+			ids[seed] = id
+			switch {
+			case err == nil:
+				if res.Digest != want[seed] {
+					t.Errorf("seed %d: un-crashed digest %q != ground truth %q", seed, res.Digest, want[seed])
+				}
+			case errors.Is(err, guard.ErrCrash):
+				crashed++
+			default:
+				t.Errorf("seed %d: unexpected outcome %v", seed, err)
+			}
+		}(seed)
+	}
+	wg.Wait()
+	if crashed == 0 {
+		t.Fatal("crash rate 0.4 over 6 jobs injected nothing; the phase proved nothing")
+	}
+	t.Logf("kill phase: %d/%d jobs crashed at epoch boundaries", crashed, jobs)
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv1.Drain(dctx); err != nil {
+		t.Fatalf("drain after kill phase: %v", err)
+	}
+
+	// Restart without chaos: every interrupted job must resume from its
+	// snapshot and complete with the never-killed digest.
+	runner2 := &serve.ScenarioRunner{DefaultModel: testModel(t), MaxShards: 2, NoSyncCheckpoints: true}
+	srv2 := mustServe(t, serve.Config{
+		Workers: 2, QueueDepth: jobs, RetryMax: -1, StateDir: stateDir,
+	}, runner2)
+	deadline := time.Now().Add(30 * time.Second)
+	for seed := uint64(1); seed <= jobs; seed++ {
+		id := ids[seed]
+		for {
+			rec, err := srv2.Job(id)
+			if err == nil && rec.Status == serve.JobCompleted {
+				if rec.Result == nil || rec.Result.Digest != want[seed] {
+					t.Errorf("seed %d: resumed digest %+v != never-killed %q", seed, rec.Result, want[seed])
+				}
+				break
+			}
+			if !time.Now().Before(deadline) {
+				t.Fatalf("seed %d (job %s) never completed after restart (last: %+v, err %v)", seed, id, rec, err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	dctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	if err := srv2.Drain(dctx2); err != nil {
+		t.Fatalf("drain after resume phase: %v", err)
+	}
+	st := srv2.Snapshot()
+	if got := st.Shed + st.Rejected + st.Completed + st.Failed + st.Canceled + st.Deadline; got != st.Received {
+		t.Errorf("restart dispositions %d != received %d (%+v)", got, st.Received, st)
+	}
+	if st.Completed != uint64(crashed) {
+		t.Errorf("restarted process completed %d jobs, want the %d crashed ones", st.Completed, crashed)
 	}
 }

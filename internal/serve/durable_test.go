@@ -1,0 +1,287 @@
+package serve_test
+
+// Durability suite: admitted jobs must survive process death. Both
+// interruption paths — graceful drain (SIGTERM) and an injected crash
+// at an epoch boundary — must leave a recoverable record plus a
+// checkpoint, and a second server opened on the same state directory
+// must re-enqueue the job, resume it from the snapshot, and finish with
+// a digest bit-identical to a never-interrupted run. Terminal
+// accounting (received = shed+rejected+completed+failed+canceled+
+// deadline) must balance in every process.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"deepqueuenet/internal/chaos"
+	"deepqueuenet/internal/checkpoint"
+	"deepqueuenet/internal/core"
+	"deepqueuenet/internal/guard"
+	"deepqueuenet/internal/serve"
+)
+
+// durableReq is the shared workload: deterministic, multi-iteration,
+// CPU-cheap.
+func durableReq(seed uint64) *serve.Request {
+	return &serve.Request{Topo: "line4", Duration: 0.0002, Shards: 2, Seed: seed}
+}
+
+// uninterruptedDigest runs the request straight through a fresh runner:
+// the ground truth a resumed job must reproduce bit for bit.
+func uninterruptedDigest(t *testing.T, req serve.Request) string {
+	t.Helper()
+	r := &serve.ScenarioRunner{DefaultModel: testModel(t), MaxShards: 2}
+	res, err := r.Run(context.Background(), &req, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Digest
+}
+
+// assertBalanced checks the terminal-accounting invariant for one
+// process's stats snapshot.
+func assertBalanced(t *testing.T, st serve.Stats) {
+	t.Helper()
+	terminal := st.Shed + st.Rejected + st.Completed + st.Failed + st.Canceled + st.Deadline
+	if st.Received != terminal {
+		t.Fatalf("accounting imbalance: received %d != terminal %d (%+v)", st.Received, terminal, st)
+	}
+}
+
+// awaitStatus polls the durable record until it reaches want.
+func awaitStatus(t *testing.T, s *serve.Server, id, want string) *serve.JobRecord {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var last *serve.JobRecord
+	for time.Now().Before(deadline) {
+		rec, err := s.Job(id)
+		if err == nil {
+			last = rec
+			if rec.Status == want {
+				return rec
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %q (last record: %+v)", id, want, last)
+	return nil
+}
+
+func drainWithin(t *testing.T, s *serve.Server, budget time.Duration) time.Duration {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	start := time.Now()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain exceeded its %v budget: %v", budget, err)
+	}
+	return time.Since(start)
+}
+
+// TestDurableCrashRestartResume is the crash leg: a chaos crash at the
+// first epoch boundary (simulated process death, after that epoch's
+// snapshot hit disk) must leave an interrupted record, and a restarted
+// server must resume the job from the snapshot and complete it with the
+// uninterrupted digest.
+func TestDurableCrashRestartResume(t *testing.T) {
+	stateDir := t.TempDir()
+	req := durableReq(5)
+	want := uninterruptedDigest(t, *req)
+
+	inj := chaos.New(chaos.Config{CrashAfterEpochs: 1})
+	runner1 := &serve.ScenarioRunner{
+		DefaultModel: testModel(t), MaxShards: 2,
+		NoSyncCheckpoints: true, WrapEpochSink: inj.WrapEpochSink,
+	}
+	srv1 := mustServe(t, serve.Config{
+		Workers: 1, QueueDepth: 1, RetryMax: -1, StateDir: stateDir,
+	}, runner1)
+
+	_, id, err := srv1.SubmitJob(context.Background(), req)
+	if !errors.Is(err, guard.ErrCrash) {
+		t.Fatalf("crash-injected submit: err = %v, want guard.ErrCrash", err)
+	}
+	if id == "" {
+		t.Fatal("durable submit returned no job ID")
+	}
+	rec := awaitStatus(t, srv1, id, serve.JobInterrupted)
+	snap, err := checkpoint.Load(stateDir + "/ckpt/" + id + ".ckpt")
+	if err != nil {
+		t.Fatalf("interrupted job left no loadable checkpoint: %v", err)
+	}
+	if snap.Iter != 1 {
+		t.Fatalf("crash snapshot at iteration %d, want 1", snap.Iter)
+	}
+	drainWithin(t, srv1, 10*time.Second)
+	assertBalanced(t, srv1.Snapshot())
+
+	// Restart: a clean server on the same state directory re-enqueues
+	// the interrupted job and resumes it from the snapshot.
+	runner2 := &serve.ScenarioRunner{DefaultModel: testModel(t), MaxShards: 2, NoSyncCheckpoints: true}
+	srv2 := mustServe(t, serve.Config{
+		Workers: 1, QueueDepth: 1, RetryMax: -1, StateDir: stateDir,
+	}, runner2)
+	rec = awaitStatus(t, srv2, id, serve.JobCompleted)
+	if rec.Restarts != 1 {
+		t.Fatalf("record restarts = %d, want 1", rec.Restarts)
+	}
+	if rec.Result == nil || rec.Result.Digest != want {
+		t.Fatalf("resumed job digest = %+v, want %s", rec.Result, want)
+	}
+	if rec.Result.ResumedFrom != 1 {
+		t.Fatalf("resumed job restored at iteration %d, want 1", rec.Result.ResumedFrom)
+	}
+	if _, err := os.Stat(stateDir + "/ckpt/" + id + ".ckpt"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("completed job's checkpoint not cleaned up: %v", err)
+	}
+	drainWithin(t, srv2, 10*time.Second)
+	st := srv2.Snapshot()
+	assertBalanced(t, st)
+	if st.Completed != 1 || st.Received != 1 {
+		t.Fatalf("restarted process stats %+v, want exactly the recovered job completed", st)
+	}
+}
+
+// TestDurableDrainWritesCheckpointAndRestores is the SIGTERM leg: a
+// drain arriving mid-run must interrupt the job, persist its final
+// snapshot inside the drain budget, and leave a record a restarted
+// server completes — with the client that stayed connected observing
+// one coherent (canceled) outcome.
+func TestDurableDrainWritesCheckpointAndRestores(t *testing.T) {
+	stateDir := t.TempDir()
+	req := durableReq(6)
+	want := uninterruptedDigest(t, *req)
+
+	// The gated sink parks the engine at its first epoch boundary —
+	// after the snapshot hit disk — until the drain has begun, so the
+	// drain deterministically lands mid-run.
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	var once sync.Once
+	runner1 := &serve.ScenarioRunner{
+		DefaultModel: testModel(t), MaxShards: 2, NoSyncCheckpoints: true,
+		WrapEpochSink: func(next core.EpochSink) core.EpochSink {
+			return func(st *core.EpochState) error {
+				err := next(st)
+				once.Do(func() {
+					close(entered)
+					<-gate
+				})
+				return err
+			}
+		},
+	}
+	srv1 := mustServe(t, serve.Config{
+		Workers: 1, QueueDepth: 1, RetryMax: -1, StateDir: stateDir,
+	}, runner1)
+
+	type outcome struct {
+		id  string
+		err error
+	}
+	clientDone := make(chan outcome, 1)
+	go func() {
+		_, id, err := srv1.SubmitJob(context.Background(), req)
+		clientDone <- outcome{id, err}
+	}()
+	<-entered // engine is mid-run, first snapshot persisted
+
+	drained := make(chan time.Duration, 1)
+	go func() {
+		drained <- drainWithin(t, srv1, 10*time.Second)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for !srv1.Draining() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !srv1.Draining() {
+		t.Fatal("drain never started")
+	}
+	// Drain cancels every active job immediately after flipping the
+	// flag; give that loop a beat before releasing the engine.
+	time.Sleep(100 * time.Millisecond)
+	close(gate)
+
+	out := <-clientDone
+	if !errors.Is(out.err, guard.ErrCanceled) {
+		t.Fatalf("client outcome during drain: err = %v, want guard.ErrCanceled", out.err)
+	}
+	if took := <-drained; took > 10*time.Second {
+		t.Fatalf("drain took %v", took)
+	}
+	rec := awaitStatus(t, srv1, out.id, serve.JobInterrupted)
+	if rec.Restarts != 0 {
+		t.Fatalf("pre-restart record has Restarts = %d", rec.Restarts)
+	}
+	snap, err := checkpoint.Load(stateDir + "/ckpt/" + out.id + ".ckpt")
+	if err != nil {
+		t.Fatalf("drained job left no loadable checkpoint: %v", err)
+	}
+	if snap.Iter < 1 {
+		t.Fatalf("drained snapshot at iteration %d, want >= 1", snap.Iter)
+	}
+	assertBalanced(t, srv1.Snapshot())
+
+	runner2 := &serve.ScenarioRunner{DefaultModel: testModel(t), MaxShards: 2, NoSyncCheckpoints: true}
+	srv2 := mustServe(t, serve.Config{
+		Workers: 1, QueueDepth: 1, RetryMax: -1, StateDir: stateDir,
+	}, runner2)
+	rec = awaitStatus(t, srv2, out.id, serve.JobCompleted)
+	if rec.Result == nil || rec.Result.Digest != want {
+		t.Fatalf("restored job digest = %+v, want %s", rec.Result, want)
+	}
+	if rec.Result.ResumedFrom < 1 {
+		t.Fatalf("restored job ResumedFrom = %d, want >= 1", rec.Result.ResumedFrom)
+	}
+	drainWithin(t, srv2, 10*time.Second)
+	assertBalanced(t, srv2.Snapshot())
+}
+
+// TestDurableJobEndpoint covers the HTTP surface: /simulate returns the
+// job ID header, GET /jobs/{id} serves the record, and hostile IDs 404
+// without touching the filesystem.
+func TestDurableJobEndpoint(t *testing.T) {
+	stateDir := t.TempDir()
+	runner := &serve.ScenarioRunner{DefaultModel: testModel(t), MaxShards: 2, NoSyncCheckpoints: true}
+	srv := mustServe(t, serve.Config{
+		Workers: 1, QueueDepth: 1, RetryMax: -1, StateDir: stateDir,
+	}, runner)
+	defer drainWithin(t, srv, 10*time.Second)
+	h := srv.Handler()
+
+	rec := postSim(h, simBody(9))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("simulate: status %d body %s", rec.Code, rec.Body.String())
+	}
+	id := rec.Header().Get("X-DQN-Job")
+	if id == "" {
+		t.Fatal("durable /simulate response missing X-DQN-Job header")
+	}
+
+	get := func(path string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+		return w
+	}
+	if w := get("/jobs/" + id); w.Code != http.StatusOK {
+		t.Fatalf("GET /jobs/%s: status %d body %s", id, w.Code, w.Body.String())
+	}
+	for _, hostile := range []string{
+		"/jobs/job-1x", "/jobs/nope", "/jobs/job-99999999",
+	} {
+		if w := get(hostile); w.Code != http.StatusNotFound {
+			t.Fatalf("GET %s: status %d, want 404", hostile, w.Code)
+		}
+	}
+	// Dot-dot paths never reach the handler: ServeMux canonicalizes them
+	// into a redirect, so traversal cannot address the record store.
+	if w := get("/jobs/../jobs/" + id); w.Code != http.StatusMovedPermanently {
+		t.Fatalf("GET /jobs/../: status %d, want 301 canonicalization", w.Code)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"deepqueuenet/internal/guard"
@@ -16,6 +17,7 @@ import (
 // HTTP API:
 //
 //	POST /simulate  — run one what-if query (Request JSON in, Result out)
+//	GET  /jobs/{id} — durable-job record (404 unless Config.StateDir set)
 //	GET  /healthz   — liveness: 200 while the process is up
 //	GET  /readyz    — readiness: 200 accepting, 503 draining
 //	GET  /stats     — Stats JSON (counters, breakers, queue state)
@@ -48,6 +50,7 @@ const StatusClientClosedRequest = 499
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/simulate", s.handleSimulate)
+	mux.HandleFunc("/jobs/", s.handleJob)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/stats", s.handleStats)
@@ -57,8 +60,9 @@ func (s *Server) Handler() http.Handler {
 
 // knownRoutes bounds the path label's cardinality: anything else is
 // counted as "other" so hostile URL sweeps cannot grow the registry.
+// Job lookups collapse to one "/jobs" label for the same reason.
 var knownRoutes = map[string]bool{
-	"/simulate": true, "/healthz": true, "/readyz": true,
+	"/simulate": true, "/jobs": true, "/healthz": true, "/readyz": true,
 	"/stats": true, "/metrics": true,
 }
 
@@ -90,6 +94,9 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		next.ServeHTTP(rec, r)
 		route := r.URL.Path
+		if strings.HasPrefix(route, "/jobs/") {
+			route = "/jobs"
+		}
 		if !knownRoutes[route] {
 			route = "other"
 		}
@@ -117,7 +124,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, errStatus, errorBody{Error: err.Error(), Kind: kindFor(errStatus)})
 		return
 	}
-	res, err := s.Submit(r.Context(), req)
+	res, id, err := s.SubmitJob(r.Context(), req)
+	if id != "" {
+		w.Header().Set("X-DQN-Job", id)
+	}
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -126,6 +136,23 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-DQN-Degraded", "breaker-open")
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// handleJob serves GET /jobs/{id}: the durable record of one admitted
+// job. 404s when durability is off, the ID is malformed (the traversal
+// guard), or no record exists.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only", Kind: "method"})
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	rec, err := s.Job(id)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job", Kind: "not_found"})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
 }
 
 // decodeRequest reads one Request from a size-capped body. A body over

@@ -25,7 +25,7 @@ func okServer(t *testing.T, cfg Config) *Server {
 		cfg.QueueDepth = 1
 	}
 	cfg.RetryMax = -1
-	s := New(cfg, r)
+	s := mustNew(t, cfg, r)
 	t.Cleanup(func() { drainServer(t, s) })
 	return s
 }

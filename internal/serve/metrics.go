@@ -32,6 +32,13 @@ type serverMetrics struct {
 	retries  *obs.Counter
 	panics   *obs.Counter
 
+	// Durable-job lifecycle: interruptions that left a resumable record
+	// (drain, injected crash), parked dead letters, and recovered jobs a
+	// restarted server re-enqueued.
+	interrupted *obs.Counter
+	parked      *obs.Counter
+	recovered   *obs.Counter
+
 	jobSeconds *obs.Histogram
 
 	httpMu   sync.Mutex
@@ -55,6 +62,12 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		degraded: reg.Counter("dqn_degraded_total", "jobs served by the FIFO fallback (breaker open)"),
 		retries:  reg.Counter("dqn_retries_total", "transient-failure re-executions"),
 		panics:   reg.Counter("dqn_panics_total", "worker-level recovered panics"),
+		interrupted: reg.Counter("dqn_jobs_interrupted_total",
+			"jobs interrupted with a resumable durable record (drain or injected crash)"),
+		parked: reg.Counter("dqn_jobs_parked_total",
+			"jobs parked as dead letters after breaker-worthy failures"),
+		recovered: reg.Counter("dqn_jobs_recovered_total",
+			"recoverable jobs re-enqueued at server start"),
 		jobSeconds: reg.Histogram("dqn_job_seconds",
 			"wall time per executed job (admission to finish, including retries)", jobBuckets),
 		httpReqs: make(map[string]*obs.Counter),

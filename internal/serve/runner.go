@@ -7,14 +7,18 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io/fs"
 	"math"
 	"sync"
 	"time"
 
+	"deepqueuenet/internal/checkpoint"
 	"deepqueuenet/internal/core"
 	"deepqueuenet/internal/experiments"
 	"deepqueuenet/internal/metrics"
+	"deepqueuenet/internal/obs"
 	"deepqueuenet/internal/ptm"
+	"deepqueuenet/internal/topo"
 )
 
 // ErrBadRequest marks a request the server can never execute (unknown
@@ -59,6 +63,17 @@ type Request struct {
 	// TimeoutMs bounds the job's wall-clock runtime; 0 uses the server
 	// default, and values above the server maximum are clamped.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+
+	// Serve-internal durability fields, set by the server for durable
+	// jobs — never part of the wire API or the persisted record.
+	// CheckpointPath is where the job snapshots its epoch state (and
+	// where an existing snapshot is resumed from); CheckpointEvery is
+	// the snapshot cadence in IRSA iterations; LastProgress is the
+	// highest iteration count a previous process reported, used to
+	// account epochs lost to a crash.
+	CheckpointPath  string `json:"-"`
+	CheckpointEvery int    `json:"-"`
+	LastProgress    int    `json:"-"`
 }
 
 // modelKey is the circuit-breaker identity of the request.
@@ -92,6 +107,10 @@ type Result struct {
 	ElapsedMs float64 `json:"elapsed_ms"`
 	// Attempts counts runner executions including retries.
 	Attempts int `json:"attempts"`
+	// ResumedFrom is the IRSA iteration this run was restored at when it
+	// picked up a checkpoint from an interrupted predecessor (0 = ran
+	// from scratch).
+	ResumedFrom int `json:"resumed_from,omitempty"`
 }
 
 // Runner executes one admitted simulation job. degraded requests the
@@ -115,9 +134,60 @@ type ScenarioRunner struct {
 	// WrapDevice, when set, is passed through to core.Config.WrapDevice
 	// on every non-degraded run — the chaos-injection seam.
 	WrapDevice func(switchID int, m core.DeviceModel) core.DeviceModel
+	// WrapEpochSink, when set, wraps each durable job's checkpoint sink
+	// — the chaos crash-injection seam.
+	WrapEpochSink func(core.EpochSink) core.EpochSink
+	// Checkpoints, when non-nil, records snapshot and resume metrics
+	// for durable jobs.
+	Checkpoints *obs.CheckpointMetrics
+	// NoSyncCheckpoints skips the per-snapshot fsync (tests and
+	// benchmarks on tmpfs).
+	NoSyncCheckpoints bool
 
-	mu    sync.Mutex
-	cache map[string]*ptm.PTM
+	mu           sync.Mutex
+	cache        map[string]*ptm.PTM
+	modelDigests map[*ptm.PTM]string
+	topoDigests  map[string]string
+}
+
+// modelDigestFor caches the SHA-256 identity of a loaded model.
+func (r *ScenarioRunner) modelDigestFor(m *ptm.PTM) (string, error) {
+	r.mu.Lock()
+	d, ok := r.modelDigests[m]
+	r.mu.Unlock()
+	if ok {
+		return d, nil
+	}
+	d, err := checkpoint.ModelDigest(m)
+	if err != nil {
+		return "", err
+	}
+	r.mu.Lock()
+	if r.modelDigests == nil {
+		r.modelDigests = make(map[*ptm.PTM]string)
+	}
+	r.modelDigests[m] = d
+	r.mu.Unlock()
+	return d, nil
+}
+
+// topoDigestFor caches the topology digest by topology name (the
+// request grammar is deterministic: one name, one graph).
+func (r *ScenarioRunner) topoDigestFor(name string, g *topo.Graph) string {
+	r.mu.Lock()
+	d, ok := r.topoDigests[name]
+	r.mu.Unlock()
+	if ok {
+		return d
+	}
+	d = checkpoint.TopoDigest(g)
+	r.mu.Lock()
+	if r.topoDigests == nil {
+		r.topoDigests = make(map[string]string)
+	}
+	r.topoDigests[name] = d
+	r.mu.Unlock()
+	return d
 }
 
 // model resolves and caches the device model for one request. Load
@@ -233,17 +303,79 @@ func (r *ScenarioRunner) Run(ctx context.Context, req *Request, degraded bool) (
 		}
 		cfg.WrapDevice = r.WrapDevice
 	}
+	resumedFrom := 0
+	if req.CheckpointPath != "" && !degraded {
+		// Durable job: attach the checkpoint sink and, when a snapshot
+		// from an interrupted predecessor exists and digest-matches this
+		// run, resume from it.
+		modelDigest, derr := r.modelDigestFor(model)
+		if derr != nil {
+			return nil, fmt.Errorf("%w: %w", errModelInvalid, derr)
+		}
+		w := &checkpoint.Writer{
+			Path:        req.CheckpointPath,
+			TopoDigest:  r.topoDigestFor(req.Topo, sc.G),
+			ModelDigest: modelDigest,
+			Seed:        sc.Seed,
+			NoSync:      r.NoSyncCheckpoints,
+			Metrics:     r.Checkpoints,
+		}
+		sink := w.Sink()
+		if r.WrapEpochSink != nil {
+			sink = r.WrapEpochSink(sink)
+		}
+		cfg.EpochSink = sink
+		cfg.EpochEvery = req.CheckpointEvery
+		if cfg.EpochEvery <= 0 {
+			cfg.EpochEvery = 1
+		}
+		if snap, lerr := checkpoint.Load(req.CheckpointPath); lerr == nil {
+			if verr := snap.Validate(w.TopoDigest, w.ModelDigest); verr == nil {
+				cfg.Resume = snap.EpochState()
+				resumedFrom = snap.Iter
+				if r.Checkpoints != nil {
+					r.Checkpoints.Resumes.Inc()
+					if req.LastProgress > snap.Iter {
+						r.Checkpoints.EpochsLost.Add(uint64(req.LastProgress - snap.Iter))
+					}
+				}
+			} else if r.Checkpoints != nil {
+				r.Checkpoints.ResumeFailures.Inc()
+			}
+		} else if !errors.Is(lerr, fs.ErrNotExist) && r.Checkpoints != nil {
+			// A snapshot that exists but cannot be decoded: count it and
+			// run from scratch — robustness over resumption.
+			r.Checkpoints.ResumeFailures.Inc()
+		}
+	}
 	samples, res, err := sc.RunDQNCfgCtx(ctx, model, cfg)
+	if err != nil && cfg.Resume != nil && errors.Is(err, core.ErrResumeMismatch) {
+		// The snapshot matched our digests but not the regenerated
+		// traffic (e.g. a generator change across versions): drop it and
+		// run from scratch rather than failing the job.
+		if r.Checkpoints != nil {
+			r.Checkpoints.ResumeFailures.Inc()
+		}
+		cfg.Resume = nil
+		resumedFrom = 0
+		samples, res, err = sc.RunDQNCfgCtx(ctx, model, cfg)
+	}
 	if err != nil {
+		if req.CheckpointPath != "" && res != nil {
+			// Durable jobs report partial progress with the error so the
+			// server can account epochs lost on resume.
+			return &Result{Scenario: sc.Name, Iterations: res.Iterations, ResumedFrom: resumedFrom}, err
+		}
 		return nil, err
 	}
 	out := &Result{
-		Scenario:   sc.Name,
-		Deliveries: len(res.Deliveries),
-		Iterations: res.Iterations,
-		Bound:      res.Bound,
-		Digest:     Digest(res),
-		ElapsedMs:  float64(time.Since(start)) / float64(time.Millisecond),
+		Scenario:    sc.Name,
+		Deliveries:  len(res.Deliveries),
+		Iterations:  res.Iterations,
+		Bound:       res.Bound,
+		ResumedFrom: resumedFrom,
+		Digest:      Digest(res),
+		ElapsedMs:   float64(time.Since(start)) / float64(time.Millisecond),
 	}
 	if degraded {
 		out.Mode = "degraded-fifo"

@@ -13,6 +13,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"log/slog"
 	"sync"
 	"sync/atomic"
@@ -57,6 +58,16 @@ type Config struct {
 	// oversized body is refused with 413 before any decoding buffers
 	// grow. <= 0 uses 2 MiB.
 	MaxBodyBytes int64
+	// StateDir, when non-empty, makes jobs durable: every admitted job
+	// gets an atomically persisted JSON record under StateDir, running
+	// jobs checkpoint their epoch state there, and a restarted server
+	// re-enqueues every record that was pending or interrupted when the
+	// previous process died — resuming mid-run jobs from their last
+	// snapshot. Empty disables durability (no files, no overhead).
+	StateDir string
+	// CheckpointEvery is the epoch cadence (in IRSA iterations) of
+	// durable jobs' snapshots. <= 0 uses 1 (every boundary).
+	CheckpointEvery int
 	// Metrics is the registry the server's observability series register
 	// in (exposed at GET /metrics). nil creates a private registry,
 	// reachable via Server.Metrics.
@@ -101,6 +112,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 2 << 20
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
 	}
@@ -121,11 +135,17 @@ type jobOutcome struct {
 	err error
 }
 
-// job is one admitted request traveling through the queue.
+// job is one admitted request traveling through the queue. id and rec
+// are set only in durable mode; cancel lets Drain interrupt the job so
+// its engine writes a final snapshot inside the shutdown budget.
 type job struct {
-	req  *Request
-	ctx  context.Context
-	done chan jobOutcome // buffered(1): a worker never blocks finishing
+	req    *Request
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan jobOutcome // buffered(1): a worker never blocks finishing
+
+	id  string
+	rec *JobRecord
 }
 
 // finish delivers the outcome exactly once.
@@ -175,13 +195,23 @@ type Server struct {
 	jitterMu sync.Mutex
 	jitter   *rng.Rand
 
+	// store and active exist only in durable mode: the job store under
+	// Config.StateDir and the cancel functions of admitted jobs (Drain
+	// cancels them so engines checkpoint and exit inside the budget).
+	store    *jobStore
+	activeMu sync.Mutex
+	active   map[string]context.CancelFunc
+
 	stats    counters
 	met      *serverMetrics
 	avgRunNs atomic.Int64 // EWMA of job wall time, drives Retry-After
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config, runner Runner) *Server {
+// New builds a Server and starts its worker pool. With Config.StateDir
+// set it also opens the durable job store and re-enqueues every
+// recoverable record the previous process left behind; the only error
+// New can return is a state-directory failure.
+func New(cfg Config, runner Runner) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
@@ -191,12 +221,104 @@ func New(cfg Config, runner Runner) *Server {
 		breakers: make(map[string]*Breaker),
 		jitter:   rng.New(cfg.Seed),
 	}
+	var recovered []*JobRecord
+	if cfg.StateDir != "" {
+		store, err := openJobStore(cfg.StateDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+		s.active = make(map[string]context.CancelFunc)
+		if recovered, err = store.recoverable(); err != nil {
+			return nil, fmt.Errorf("serve: scan recoverable jobs: %w", err)
+		}
+	}
 	s.met = newServerMetrics(cfg.Metrics, s)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker(i)
 	}
-	return s
+	if len(recovered) > 0 {
+		s.jobWG.Add(1)
+		go s.recoverJobs(recovered)
+	}
+	return s, nil
+}
+
+// recoverJobs re-enqueues the previous process's unfinished jobs, in ID
+// order. Each goes through the normal admission accounting (received,
+// accepted, terminal outcome), so the terminal-accounting invariant
+// holds per process even across restarts. Runs under jobWG so Drain
+// waits for recovery to settle.
+func (s *Server) recoverJobs(recs []*JobRecord) {
+	defer s.jobWG.Done()
+	defer func() {
+		if we := guard.RecoveredWorker(-1, recover()); we != nil {
+			// A recovery panic must not kill the server; unrecovered
+			// records stay on disk for the next process.
+			s.stats.panics.Add(1)
+		}
+	}()
+	for _, rec := range recs {
+		if s.draining.Load() {
+			return // records stay recoverable for the next process
+		}
+		rec.Restarts++
+		rec.Status = JobPending
+		if err := s.store.put(rec); err != nil {
+			continue
+		}
+		s.met.recovered.Inc()
+		s.resubmit(rec)
+	}
+}
+
+// resubmit runs one recovered record through admission. The original
+// client is gone, so the job runs under a fresh deadline and its result
+// lands in the record (retrievable via GET /jobs/{id}).
+func (s *Server) resubmit(rec *JobRecord) {
+	s.stats.received.Add(1)
+	s.met.received.Inc()
+	s.drainMu.RLock()
+	if s.draining.Load() {
+		s.drainMu.RUnlock()
+		return // still recoverable; not counted as rejected
+	}
+	s.jobWG.Add(1)
+	s.drainMu.RUnlock()
+	jctx, cancel := context.WithTimeout(context.Background(), s.timeoutFor(rec.Request))
+	j := &job{req: rec.Request, ctx: jctx, cancel: cancel, done: make(chan jobOutcome, 1), id: rec.ID, rec: rec}
+	s.registerActive(j)
+	select {
+	case s.queue <- j:
+		s.stats.accepted.Add(1)
+		s.met.accepted.Inc()
+	case <-s.closed:
+		s.unregisterActive(j)
+		cancel()
+		s.jobWG.Done()
+	}
+	// Nobody waits on j.done; the worker's finish lands in the buffered
+	// channel and the record carries the outcome.
+}
+
+// registerActive and unregisterActive maintain the drain-cancel set.
+func (s *Server) registerActive(j *job) {
+	if s.store == nil || j.id == "" {
+		return
+	}
+	s.activeMu.Lock()
+	s.active[j.id] = j.cancel
+	s.activeMu.Unlock()
+}
+
+func (s *Server) unregisterActive(j *job) {
+	if s.store == nil || j.id == "" {
+		return
+	}
+	s.activeMu.Lock()
+	delete(s.active, j.id)
+	s.activeMu.Unlock()
 }
 
 // worker pulls jobs until the server closes. Each job runs behind
@@ -228,6 +350,16 @@ func (s *Server) worker(i int) {
 // (ErrCanceled/ErrDeadline/ShardError/DivergenceError/WorkerError), or
 // a runner failure.
 func (s *Server) Submit(ctx context.Context, req *Request) (*Result, error) {
+	res, _, err := s.SubmitJob(ctx, req)
+	return res, err
+}
+
+// SubmitJob is Submit plus the job's durable ID ("" when the server has
+// no StateDir or the job was refused at admission). A client holding
+// the ID can retrieve the job's final record through GET /jobs/{id}
+// even if its own connection dies mid-run — including across a server
+// restart.
+func (s *Server) SubmitJob(ctx context.Context, req *Request) (*Result, string, error) {
 	s.stats.received.Add(1)
 	s.met.received.Inc()
 	s.drainMu.RLock()
@@ -235,31 +367,49 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Result, error) {
 		s.drainMu.RUnlock()
 		s.stats.rejected.Add(1)
 		s.met.outcomes["rejected"].Inc()
-		return nil, ErrDraining
+		return nil, "", ErrDraining
 	}
 	s.jobWG.Add(1)
 	s.drainMu.RUnlock()
 	jctx, cancel := context.WithTimeout(ctx, s.timeoutFor(req))
 	defer cancel()
-	j := &job{req: req, ctx: jctx, done: make(chan jobOutcome, 1)}
+	j := &job{req: req, ctx: jctx, cancel: cancel, done: make(chan jobOutcome, 1)}
+	if s.store != nil {
+		// Persist the admission record before the job can reach a
+		// worker: a crash between here and completion leaves a
+		// recoverable record, never an invisible job.
+		j.id = s.store.newID()
+		j.rec = &JobRecord{ID: j.id, Request: req, Status: JobPending}
+		if err := s.store.put(j.rec); err != nil {
+			s.jobWG.Done()
+			s.stats.failed.Add(1)
+			s.met.outcomes["failed"].Inc()
+			return nil, "", err
+		}
+		s.registerActive(j)
+	}
 	select {
 	case s.queue <- j:
 		s.stats.accepted.Add(1)
 		s.met.accepted.Inc()
 	default:
+		if s.store != nil {
+			s.unregisterActive(j)
+			s.store.remove(j.id)
+		}
 		s.jobWG.Done()
 		s.stats.shed.Add(1)
 		s.met.outcomes["shed"].Inc()
-		return nil, ErrShed
+		return nil, "", ErrShed
 	}
 	select {
 	case out := <-j.done:
-		return out.res, out.err
+		return out.res, j.id, out.err
 	case <-jctx.Done():
 		// Still queued (or the submitter gave up first): the worker will
 		// observe the dead context, finish the job cheaply, and do the
 		// stats accounting; the buffered done channel means nobody blocks.
-		return nil, guard.FromContext(jctx.Err())
+		return nil, j.id, guard.FromContext(jctx.Err())
 	}
 }
 
@@ -280,6 +430,7 @@ func (s *Server) timeoutFor(req *Request) time.Duration {
 // kill a worker.
 func (s *Server) serveJob(worker int, j *job) {
 	defer s.jobWG.Done()
+	defer s.unregisterActive(j)
 	s.stats.inflight.Add(1)
 	defer s.stats.inflight.Add(-1)
 	defer func() {
@@ -288,6 +439,7 @@ func (s *Server) serveJob(worker int, j *job) {
 			s.met.panics.Inc()
 			s.stats.failed.Add(1)
 			s.met.outcomes["failed"].Inc()
+			s.recordOutcome(j, nil, we)
 			j.finish(nil, we)
 		}
 	}()
@@ -295,8 +447,19 @@ func (s *Server) serveJob(worker int, j *job) {
 		// Canceled while queued; the submitter is already gone.
 		gerr := guard.FromContext(err)
 		s.countCtxErr(gerr)
+		s.recordOutcome(j, nil, gerr)
 		j.finish(nil, gerr)
 		return
+	}
+	if s.store != nil && j.rec != nil {
+		// Durable job: hand the runner its checkpoint location and last
+		// known progress through serve-internal request fields. The
+		// request is copied so the caller's value stays untouched.
+		req := *j.req
+		req.CheckpointPath = s.store.checkpointPath(j.id)
+		req.CheckpointEvery = s.cfg.CheckpointEvery
+		req.LastProgress = j.rec.Progress
+		j.req = &req
 	}
 	start := s.cfg.Now()
 	br := s.breakerFor(j.req.modelKey())
@@ -343,7 +506,68 @@ func (s *Server) serveJob(worker int, j *job) {
 		s.stats.failed.Add(1)
 		s.met.outcomes["failed"].Inc()
 	}
+	s.recordOutcome(j, res, err)
 	j.finish(res, err)
+}
+
+// recordOutcome persists a durable job's terminal (or recoverable)
+// state. The disposition decides the checkpoint's fate:
+//
+//   - success, deadline, non-drain cancel, plain failure → terminal
+//     record; the checkpoint is deleted (nothing will resume it).
+//   - injected crash (guard.ErrCrash) or cancellation during drain →
+//     the record goes interrupted and the checkpoint stays: this is
+//     simulated/real process death, and the next server resumes it.
+//   - breaker-worthy failure → the record is parked with its checkpoint
+//     kept for inspection; it is not retried automatically, because the
+//     failure charged the model's breaker and retrying a parked job
+//     would hammer a suspect model from the recovery path.
+func (s *Server) recordOutcome(j *job, res *Result, err error) {
+	if s.store == nil || j.rec == nil {
+		return
+	}
+	rec := j.rec
+	if res != nil && res.Iterations > rec.Progress {
+		rec.Progress = res.Iterations
+	}
+	keepCheckpoint := false
+	switch {
+	case err == nil:
+		rec.Status = JobCompleted
+		rec.Result = res
+		rec.Error = ""
+	case errors.Is(err, guard.ErrCrash):
+		rec.Status = JobInterrupted
+		rec.Error = err.Error()
+		keepCheckpoint = true
+		s.met.interrupted.Inc()
+	case errors.Is(err, guard.ErrCanceled) && s.draining.Load():
+		rec.Status = JobInterrupted
+		rec.Error = err.Error()
+		keepCheckpoint = true
+		s.met.interrupted.Inc()
+	case errors.Is(err, guard.ErrCanceled):
+		rec.Status = JobCanceled
+		rec.Error = err.Error()
+	case errors.Is(err, guard.ErrDeadline):
+		rec.Status = JobDeadline
+		rec.Error = err.Error()
+	case breakerWorthy(err):
+		rec.Status = JobParked
+		rec.Error = err.Error()
+		keepCheckpoint = true
+		s.met.parked.Inc()
+	default:
+		rec.Status = JobFailed
+		rec.Error = err.Error()
+	}
+	if !keepCheckpoint {
+		s.store.removeCheckpoint(j.id)
+	}
+	// A failed record write loses durability, not correctness: the
+	// in-memory outcome still reaches the submitter.
+	//dqnlint:allow errdiscard record write failure loses durability only; the in-memory outcome still reaches the submitter
+	_ = s.store.put(rec)
 }
 
 // runWithRetry executes the job's runner call, retrying transient
@@ -493,6 +717,19 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.drainMu.Lock()
 	s.draining.Store(true)
 	s.drainMu.Unlock()
+	if s.store != nil {
+		// Durable mode: interrupt every admitted job now. Each running
+		// engine finishes its in-flight iteration, persists a final
+		// snapshot, and returns guard.ErrCanceled; recordOutcome sees
+		// draining and marks the record interrupted, so the next process
+		// resumes exactly where this one stopped — all inside the drain
+		// budget instead of waiting out long runs.
+		s.activeMu.Lock()
+		for _, cancel := range s.active {
+			cancel()
+		}
+		s.activeMu.Unlock()
+	}
 	done := make(chan struct{})
 	go func() {
 		defer func() {
@@ -515,6 +752,15 @@ func (s *Server) Drain(ctx context.Context) error {
 		for {
 			select {
 			case j := <-s.queue:
+				if s.store != nil && j.rec != nil {
+					// Never ran: the record stays recoverable for the
+					// next process.
+					j.rec.Status = JobInterrupted
+					//dqnlint:allow errdiscard a failed write leaves the last durable status, which is still recoverable
+					_ = s.store.put(j.rec)
+					s.met.interrupted.Inc()
+					s.unregisterActive(j)
+				}
 				j.finish(nil, ErrDraining)
 				s.jobWG.Done()
 			default:
@@ -529,22 +775,22 @@ func (s *Server) Drain(ctx context.Context) error {
 
 // Stats is the observable server state (/stats payload).
 type Stats struct {
-	Received  uint64 `json:"received"`
-	Accepted  uint64 `json:"accepted"`
-	Completed uint64 `json:"completed"`
-	Failed    uint64 `json:"failed"`
-	Shed      uint64 `json:"shed"`
-	Rejected  uint64 `json:"rejected"`
-	Retries   uint64 `json:"retries"`
-	Canceled  uint64 `json:"canceled"`
-	Deadline  uint64 `json:"deadline_exceeded"`
-	Degraded  uint64 `json:"degraded"`
-	Panics    uint64 `json:"panics"`
-	InFlight  int64  `json:"in_flight"`
-	Queued    int    `json:"queued"`
-	Workers   int    `json:"workers"`
-	Queue     int    `json:"queue_depth"`
-	Draining  bool   `json:"draining"`
+	Received  uint64         `json:"received"`
+	Accepted  uint64         `json:"accepted"`
+	Completed uint64         `json:"completed"`
+	Failed    uint64         `json:"failed"`
+	Shed      uint64         `json:"shed"`
+	Rejected  uint64         `json:"rejected"`
+	Retries   uint64         `json:"retries"`
+	Canceled  uint64         `json:"canceled"`
+	Deadline  uint64         `json:"deadline_exceeded"`
+	Degraded  uint64         `json:"degraded"`
+	Panics    uint64         `json:"panics"`
+	InFlight  int64          `json:"in_flight"`
+	Queued    int            `json:"queued"`
+	Workers   int            `json:"workers"`
+	Queue     int            `json:"queue_depth"`
+	Draining  bool           `json:"draining"`
 	AvgRunMs  float64        `json:"avg_run_ms"`
 	Breakers  []BreakerStats `json:"breakers,omitempty"`
 }
@@ -591,6 +837,21 @@ func sortStrings(a []string) {
 			a[j], a[j-1] = a[j-1], a[j]
 		}
 	}
+}
+
+// Durable reports whether the server persists job state (StateDir set).
+func (s *Server) Durable() bool { return s.store != nil }
+
+// Job loads a durable job's record by ID. It returns an error when the
+// server is not durable, the ID is malformed, or no such record exists.
+func (s *Server) Job(id string) (*JobRecord, error) {
+	if s.store == nil {
+		return nil, errors.New("serve: server has no state directory")
+	}
+	if !validJobID(id) {
+		return nil, fmt.Errorf("%w: malformed job id", ErrBadRequest)
+	}
+	return s.store.get(id)
 }
 
 // BreakerFor exposes the breaker of a model path for tests and

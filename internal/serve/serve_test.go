@@ -63,6 +63,16 @@ func (b *blockingRunner) Run(ctx context.Context, _ *Request, _ bool) (*Result, 
 	}
 }
 
+// mustNew builds a server, failing the test on a config/state error.
+func mustNew(t *testing.T, cfg Config, r Runner) *Server {
+	t.Helper()
+	s, err := New(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func drainServer(t *testing.T, s *Server) {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -90,7 +100,7 @@ func TestSubmitRunsJob(t *testing.T) {
 	r := &stubRunner{fn: func(context.Context, *Request, bool, int) (*Result, error) {
 		return okResult("model"), nil
 	}}
-	s := New(Config{Workers: 1, QueueDepth: 1, RetryMax: -1}, r)
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 1, RetryMax: -1}, r)
 	defer drainServer(t, s)
 	res, err := s.Submit(context.Background(), &Request{Topo: "line4"})
 	if err != nil {
@@ -107,7 +117,7 @@ func TestSubmitRunsJob(t *testing.T) {
 
 func TestShedWhenQueueFull(t *testing.T) {
 	b := newBlockingRunner()
-	s := New(Config{Workers: 1, QueueDepth: 1, RetryMax: -1}, b)
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 1, RetryMax: -1}, b)
 	defer drainServer(t, s)
 	defer b.Release() // runs before the drain defer (LIFO), unblocking it
 
@@ -151,7 +161,7 @@ func TestShedWhenQueueFull(t *testing.T) {
 
 func TestShedHTTP429WithRetryAfter(t *testing.T) {
 	b := newBlockingRunner()
-	s := New(Config{Workers: 1, QueueDepth: 1, RetryMax: -1}, b)
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 1, RetryMax: -1}, b)
 	defer drainServer(t, s)
 	defer b.Release()
 	h := s.Handler()
@@ -190,7 +200,7 @@ func TestShedHTTP429WithRetryAfter(t *testing.T) {
 
 func TestDeadlinePropagates(t *testing.T) {
 	b := newBlockingRunner()
-	s := New(Config{Workers: 1, QueueDepth: 1, RetryMax: -1}, b)
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 1, RetryMax: -1}, b)
 	defer drainServer(t, s)
 	defer b.Release()
 	_, err := s.Submit(context.Background(), &Request{TimeoutMs: 20})
@@ -214,7 +224,7 @@ func TestRetryTransientThenSucceed(t *testing.T) {
 		}
 		return okResult("model"), nil
 	}}
-	s := New(Config{Workers: 1, QueueDepth: 1, RetryMax: 2, RetryBase: time.Millisecond, RetryCap: 2 * time.Millisecond}, r)
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 1, RetryMax: 2, RetryBase: time.Millisecond, RetryCap: 2 * time.Millisecond}, r)
 	defer drainServer(t, s)
 	res, err := s.Submit(context.Background(), &Request{})
 	if err != nil {
@@ -232,7 +242,7 @@ func TestBadRequestNotRetriedNotBreakerCharged(t *testing.T) {
 	r := &stubRunner{fn: func(context.Context, *Request, bool, int) (*Result, error) {
 		return nil, badRequestf("no such topo")
 	}}
-	s := New(Config{Workers: 1, QueueDepth: 1, Breaker: BreakerConfig{Threshold: 1}}, r)
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 1, Breaker: BreakerConfig{Threshold: 1}}, r)
 	defer drainServer(t, s)
 	_, err := s.Submit(context.Background(), &Request{Topo: "nope"})
 	if !errors.Is(err, ErrBadRequest) {
@@ -276,7 +286,7 @@ func TestBreakerOpensDegradesAndRecovers(t *testing.T) {
 		}
 		return nil, guard.Recovered(0, 3, 1, "model keeps exploding")
 	}}
-	s := New(Config{
+	s := mustNew(t, Config{
 		Workers: 1, QueueDepth: 2, RetryMax: -1, Now: clk.Now,
 		Breaker: BreakerConfig{Threshold: 2, Cooldown: time.Minute, ProbeSuccesses: 1},
 	}, r)
@@ -330,7 +340,7 @@ func TestBreakerOpensDegradesAndRecovers(t *testing.T) {
 
 func TestDrainWaitsForInFlightAndRefusesNew(t *testing.T) {
 	b := newBlockingRunner()
-	s := New(Config{Workers: 1, QueueDepth: 2, RetryMax: -1}, b)
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 2, RetryMax: -1}, b)
 	defer b.Release()
 
 	var submitErr error
@@ -391,7 +401,7 @@ func TestWorkerSurvivesRunnerPanic(t *testing.T) {
 		}
 		return okResult("model"), nil
 	}}
-	s := New(Config{Workers: 1, QueueDepth: 1, RetryMax: -1, Breaker: BreakerConfig{Threshold: 100}}, r)
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 1, RetryMax: -1, Breaker: BreakerConfig{Threshold: 100}}, r)
 	defer drainServer(t, s)
 	_, err := s.Submit(context.Background(), &Request{})
 	if err == nil {
@@ -411,7 +421,7 @@ func TestWorkerSurvivesRunnerPanic(t *testing.T) {
 }
 
 func TestHealthzAlwaysOK(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 1}, &stubRunner{fn: func(context.Context, *Request, bool, int) (*Result, error) {
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 1}, &stubRunner{fn: func(context.Context, *Request, bool, int) (*Result, error) {
 		return okResult("model"), nil
 	}})
 	defer drainServer(t, s)
