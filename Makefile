@@ -20,18 +20,24 @@ race:
 vet:
 	$(GO) vet ./...
 
-# lint runs the repo-specific analyzers (float equality, determinism,
-# goroutine hygiene, error discards, cancellation polling). Exits
-# non-zero on any diagnostic not suppressed by a //dqnlint:allow
-# directive.
+# lint runs the repo-specific analyzers — the per-file checks (float
+# equality, determinism, goroutine hygiene, error discards, cancellation
+# polling) plus the flow-aware suite (hot-path allocations, lock
+# discipline, atomic field hygiene, checkpoint durability, metric label
+# cardinality) — over the tree including _test.go files. Exits non-zero
+# on any diagnostic not suppressed by a //dqnlint:allow directive.
 lint:
-	$(GO) run ./cmd/dqnlint .
+	$(GO) run ./cmd/dqnlint -tests .
 
 # lint-fix-report emits the machine-readable diagnostic list to
-# lint_report.json without failing the build — for triage tooling.
+# lint_report.json for triage tooling. Diagnostics (exit 1) are not a
+# failure here, but a broken driver or unloadable tree (exit >= 2) is —
+# a silent half-written report must not look like a clean run.
 lint-fix-report:
-	-$(GO) run ./cmd/dqnlint -json . > lint_report.json
-	@echo "wrote lint_report.json"
+	@$(GO) run ./cmd/dqnlint -tests -json . > lint_report.json; \
+	st=$$?; \
+	if [ $$st -ge 2 ]; then echo "dqnlint failed (exit $$st)"; exit $$st; fi; \
+	echo "wrote lint_report.json"
 
 # check is the CI gate: go vet, the repo's own analyzers, the full
 # suite under the race detector (the shard fan-out and DLib are the

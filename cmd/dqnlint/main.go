@@ -1,13 +1,20 @@
-// Command dqnlint runs the repository's static-analysis suite: five
+// Command dqnlint runs the repository's static-analysis suite: ten
 // analyzers enforcing the invariants DeepQueueNet's correctness rests
-// on but the compiler cannot check (IRSA bit-determinism, float-safe
-// numeric kernels, goroutine panic isolation, intact error chains, and
-// bounded cancellation latency). It is stdlib-only and wired into
-// `make lint` / `make check`.
+// on but the compiler cannot check — the five per-file checks from
+// PR 2 (IRSA bit-determinism, float-safe numeric kernels, goroutine
+// panic isolation, intact error chains, bounded cancellation latency)
+// and five cross-package flow-aware checks (zero-alloc hot path, lock
+// discipline, atomic field hygiene, checkpoint durability, metric
+// label cardinality). It is stdlib-only and wired into `make lint` /
+// `make check`.
 //
 // Usage:
 //
 //	dqnlint [flags] [module-root]
+//
+// -sarif emits SARIF 2.1.0 for GitHub code scanning; -baseline filters
+// findings recorded in a committed baseline file (incremental
+// adoption); -write-baseline records the current findings as that file.
 //
 // Exit status: 0 when no diagnostics, 1 when any non-allowlisted
 // diagnostic fires, 2 on usage or load errors.
@@ -32,11 +39,14 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("dqnlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		jsonOut = fs.Bool("json", false, "emit diagnostics as a JSON array")
-		enable  = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
-		disable = fs.String("disable", "", "comma-separated analyzers to skip")
-		tests   = fs.Bool("tests", false, "also lint in-package _test.go files")
-		list    = fs.Bool("list", false, "list analyzers and exit")
+		jsonOut   = fs.Bool("json", false, "emit diagnostics as a JSON array")
+		sarifOut  = fs.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0 (GitHub code scanning)")
+		enable    = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable   = fs.String("disable", "", "comma-separated analyzers to skip")
+		tests     = fs.Bool("tests", false, "also lint in-package _test.go files")
+		list      = fs.Bool("list", false, "list analyzers and exit")
+		baseline  = fs.String("baseline", "", "filter findings recorded in this baseline file")
+		writeBase = fs.String("write-baseline", "", "record current findings to this baseline file and exit 0")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: dqnlint [flags] [module-root]\n")
@@ -70,6 +80,11 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "dqnlint: -json and -sarif are mutually exclusive")
+		return 2
+	}
+
 	mod, err := lint.Load(root, *tests)
 	if err != nil {
 		fmt.Fprintln(stderr, "dqnlint:", err)
@@ -77,7 +92,30 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	diags := lint.Lint(mod, analyzers)
 
-	if *jsonOut {
+	if *writeBase != "" {
+		if err := lint.WriteBaseline(*writeBase, mod.Dir, diags); err != nil {
+			fmt.Fprintln(stderr, "dqnlint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "dqnlint: recorded %d finding(s) to %s\n", len(diags), *writeBase)
+		return 0
+	}
+	if *baseline != "" {
+		base, err := lint.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "dqnlint:", err)
+			return 2
+		}
+		diags = base.Filter(mod.Dir, diags)
+	}
+
+	switch {
+	case *sarifOut:
+		if err := lint.WriteSARIF(stdout, mod.Dir, analyzers, diags); err != nil {
+			fmt.Fprintln(stderr, "dqnlint:", err)
+			return 2
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -87,7 +125,7 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintln(stderr, "dqnlint:", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}

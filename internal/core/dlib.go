@@ -69,12 +69,18 @@ func (l *DLib) BestFor(degree int) (*ptm.PTM, bool) {
 
 // SaveDir writes every model to dir as <name>.ptm.json.
 func (l *DLib) SaveDir(dir string) error {
+	// Snapshot the model set under the read lock, then do filesystem IO
+	// after RUnlock so a slow disk never stalls concurrent Lookup calls.
 	l.mu.RLock()
-	defer l.mu.RUnlock()
+	models := make(map[string]*ptm.PTM, len(l.models))
+	for name, m := range l.models {
+		models[name] = m
+	}
+	l.mu.RUnlock()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	for name, m := range l.models {
+	for name, m := range models {
 		if err := m.Save(filepath.Join(dir, name+".ptm.json")); err != nil {
 			return fmt.Errorf("dlib: saving %s: %w", name, err)
 		}

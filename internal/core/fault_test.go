@@ -153,6 +153,7 @@ func TestCancellationStopsWithinOneIteration(t *testing.T) {
 }
 
 func TestDeadlineBeforeStart(t *testing.T) {
+	//dqnlint:allow detguard test fixture: an already-expired wall-clock deadline; simulated time is untouched
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
 	sim, hosts := lineSim(t, Config{Sched: des.SchedConfig{Kind: des.FIFO}})

@@ -5,7 +5,10 @@ import (
 	"go/types"
 )
 
-// Analyzers returns every dqnlint analyzer in stable order.
+// Analyzers returns every dqnlint analyzer in stable order: the five
+// per-file syntactic checks from PR 2 and the five cross-package,
+// flow-aware checks (hot-path allocations, lock discipline, atomic
+// field hygiene, checkpoint durability, metric label cardinality).
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		FloatEq,
@@ -13,6 +16,11 @@ func Analyzers() []*Analyzer {
 		GoGuard,
 		ErrDiscard,
 		CtxCheck,
+		HotAlloc,
+		LockSafe,
+		AtomicSafe,
+		CrashSafe,
+		ObsLabel,
 	}
 }
 

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicSafe flags mixed atomic/plain access to the same struct field:
+// once any code path touches a field through the legacy sync/atomic
+// free functions (atomic.AddUint64(&s.n, 1)), every other access must
+// go through the atomic API too — a plain read races with the atomic
+// writers, and a plain write tears. The typed atomics (atomic.Uint64
+// and friends, the serve/obs convention) are immune by construction and
+// never flagged. The atomic-access fact is collected module-wide so a
+// field made atomic in obs is protected against plain access in serve.
+var AtomicSafe = &Analyzer{
+	Name:     "atomicsafe",
+	Doc:      "flags plain reads/writes of struct fields that are elsewhere accessed via sync/atomic",
+	Packages: []string{"internal/serve", "internal/obs", "internal/chaos", "internal/core", "internal/checkpoint"},
+	Run:      runAtomicSafe,
+}
+
+// atomicFields scans every loaded package for sync/atomic free-function
+// calls on struct-field addresses and maps each such field to one
+// atomic-access site (for the diagnostic's cross-reference).
+func (c *Context) atomicFields() map[*types.Var]token.Position {
+	c.atomicOnce.Do(func() {
+		c.atomics = map[*types.Var]token.Position{}
+		for _, p := range c.All {
+			if p.Info == nil {
+				continue
+			}
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if fld := atomicFieldArg(p.Info, call); fld != nil {
+						if _, seen := c.atomics[fld]; !seen {
+							c.atomics[fld] = p.Fset.Position(call.Pos())
+						}
+					}
+					return true
+				})
+			}
+		}
+	})
+	return c.atomics
+}
+
+// atomicFieldArg returns the struct field whose address is passed to a
+// sync/atomic free function in call, or nil.
+func atomicFieldArg(info *types.Info, call *ast.CallExpr) *types.Var {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil // typed-atomic method: safe by construction
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	un, ok := unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	sel, ok := unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return selectedField(info, sel)
+}
+
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+func runAtomicSafe(pass *Pass) {
+	fields := pass.Ctx.atomicFields()
+	if len(fields) == 0 {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && atomicFieldArg(info, call) != nil {
+				// Skip the atomic call's own &s.f argument; still
+				// descend into the remaining arguments.
+				for _, a := range call.Args[1:] {
+					ast.Inspect(a, func(m ast.Node) bool { return reportPlain(pass, fields, m) })
+				}
+				return false
+			}
+			return reportPlain(pass, fields, n)
+		})
+	}
+}
+
+// reportPlain flags a selector access to a field in the atomic set.
+func reportPlain(pass *Pass, fields map[*types.Var]token.Position, n ast.Node) bool {
+	sel, ok := n.(*ast.SelectorExpr)
+	if !ok {
+		return true
+	}
+	fld := selectedField(pass.Pkg.Info, sel)
+	if fld == nil {
+		return true
+	}
+	if at, hot := fields[fld]; hot {
+		pass.Reportf(sel.Sel.Pos(),
+			"plain access to field %s, which is accessed atomically at %s:%d — use the atomic API everywhere or a typed atomic",
+			fld.Name(), at.Filename, at.Line)
+	}
+	return true
+}

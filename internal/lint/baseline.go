@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Baselines support incremental analyzer adoption: a committed findings
+// file records known diagnostics, and a run filters out any finding
+// already in it (matched by analyzer, repo-relative file, and message —
+// line numbers shift too easily to key on). Each baseline entry can
+// absorb as many live findings as its count, so a fix genuinely shrinks
+// the suppressed set instead of re-hiding a new duplicate.
+
+// BaselineEntry is one recorded finding class.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// Baseline is a committed set of known findings.
+type Baseline struct {
+	entries map[string]int
+}
+
+func baselineKey(analyzer, relFile, message string) string {
+	return analyzer + "\x00" + relFile + "\x00" + message
+}
+
+// LoadBaseline reads a baseline file written by WriteBaseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading baseline: %w", err)
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	b := &Baseline{entries: make(map[string]int, len(entries))}
+	for _, e := range entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		b.entries[baselineKey(e.Analyzer, e.File, e.Message)] += n
+	}
+	return b, nil
+}
+
+// Filter removes diagnostics recorded in the baseline, consuming each
+// entry's count, and returns the survivors.
+func (b *Baseline) Filter(root string, diags []Diagnostic) []Diagnostic {
+	if b == nil {
+		return diags
+	}
+	budget := make(map[string]int, len(b.entries))
+	for k, n := range b.entries {
+		budget[k] = n
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		k := baselineKey(d.Analyzer, relPath(root, d.File), d.Message)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// WriteBaseline records diags (with repo-relative paths) at path,
+// aggregating identical findings into counted entries.
+func WriteBaseline(path, root string, diags []Diagnostic) error {
+	counts := map[string]*BaselineEntry{}
+	var order []string
+	for _, d := range diags {
+		rel := relPath(root, d.File)
+		k := baselineKey(d.Analyzer, rel, d.Message)
+		if e := counts[k]; e != nil {
+			e.Count++
+			continue
+		}
+		counts[k] = &BaselineEntry{Analyzer: d.Analyzer, File: rel, Message: d.Message, Count: 1}
+		order = append(order, k)
+	}
+	entries := make([]BaselineEntry, 0, len(order))
+	for _, k := range order {
+		entries = append(entries, *counts[k])
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// relPath makes file repo-relative with forward slashes when possible.
+func relPath(root, file string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CrashSafe guards the PR 6 durability contract in checkpoint-adjacent
+// code: persisted state must be written to a temp file in the
+// destination directory, fsynced, and atomically renamed into place.
+// It flags os.CreateTemp calls whose directory is the system temp dir
+// (a cross-filesystem rename is not atomic), os.Rename calls with no
+// preceding File.Sync on the path (a crash can publish an empty or
+// torn file), and os.WriteFile (non-atomic, unsynced). Test files are
+// exempt by design: scratch-file writes in tests are not durability
+// paths.
+var CrashSafe = &Analyzer{
+	Name:     "crashsafe",
+	Doc:      "flags non-durable persistence: temp files outside the destination dir, rename without fsync, raw WriteFile",
+	Packages: []string{"internal/checkpoint", "internal/serve", "internal/ptm", "internal/nn"},
+	Run:      runCrashSafe,
+}
+
+func runCrashSafe(pass *Pass) {
+	g := pass.Ctx.Graph()
+	for _, file := range pass.Pkg.Files {
+		pos := pass.Pkg.Fset.Position(file.Pos())
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCrashFunc(pass, g, fd)
+		}
+	}
+}
+
+func checkCrashFunc(pass *Pass, g *CallGraph, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+			return true
+		}
+		switch fn.Name() {
+		case "CreateTemp":
+			if len(call.Args) >= 1 && tempDirArg(info, call.Args[0]) {
+				pass.Reportf(call.Pos(),
+					"temp file created outside the destination directory: rename across filesystems is not atomic — use os.CreateTemp(filepath.Dir(dst), ...)")
+			}
+		case "WriteFile":
+			pass.Reportf(call.Pos(),
+				"os.WriteFile is neither atomic nor synced: a crash mid-write leaves a torn file — write a temp file in the destination dir, Sync, then Rename")
+		case "Rename":
+			if !syncBefore(pass, g, fd, call.Pos(), 2, map[*types.Func]bool{}) {
+				pass.Reportf(call.Pos(),
+					"os.Rename without a preceding File.Sync: a crash after rename can publish an empty or torn file — fsync the temp file first")
+			}
+		}
+		return true
+	})
+}
+
+// tempDirArg reports whether the directory argument of os.CreateTemp
+// is the system temp dir: the empty string or os.TempDir().
+func tempDirArg(info *types.Info, arg ast.Expr) bool {
+	if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+		return strings.Trim(tv.Value.String(), `"`) == ""
+	}
+	if call, ok := unparen(arg).(*ast.CallExpr); ok {
+		if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "os" && fn.Name() == "TempDir" {
+			return true
+		}
+	}
+	return false
+}
+
+// syncBefore reports whether fd contains a (*os.File).Sync call before
+// pos, directly or inside a helper it calls before pos (depth frames).
+// The check is syntactic by position: a Sync behind a noSync flag still
+// counts — the analyzer verifies the path exists, the tests verify it
+// runs.
+func syncBefore(pass *Pass, g *CallGraph, fd *ast.FuncDecl, pos token.Pos, depth int, seen map[*types.Func]bool) bool {
+	info := pass.Pkg.Info
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		if isFileSync(info, call) {
+			found = true
+			return false
+		}
+		if depth > 0 {
+			for _, callee := range g.Callees(pass.Pkg, call) {
+				if seen[callee] {
+					continue
+				}
+				seen[callee] = true
+				decl := g.Decl[callee]
+				cp := g.PkgOf[callee]
+				if decl == nil || cp == nil {
+					continue
+				}
+				if bodyCallsFileSync(cp.Info, decl.Body) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isFileSync(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "Sync" || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+func bodyCallsFileSync(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isFileSync(info, call) {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // FloatEq flags == and != comparisons with floating-point operands in
@@ -12,6 +13,11 @@ import (
 // min-max scaler are only stable when degenerate cases are handled with
 // explicit tolerances (or a justified //dqnlint:allow for genuine
 // exact-representation checks such as sentinel zeros).
+//
+// _test.go files are exempt by design: in this repo exact comparison in
+// tests usually IS the assertion — the IRSA bit-determinism suite pins
+// byte-identical results, and a tolerance there would hide the very
+// drift the test exists to catch.
 var FloatEq = &Analyzer{
 	Name:     "floateq",
 	Doc:      "flags ==/!= on floating-point operands in numeric kernel packages",
@@ -22,6 +28,9 @@ var FloatEq = &Analyzer{
 func runFloatEq(pass *Pass) {
 	info := pass.Pkg.Info
 	for _, file := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Pkg.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			be, ok := n.(*ast.BinaryExpr)
 			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {

@@ -24,7 +24,7 @@ var GoGuard = &Analyzer{
 const goGuardDepth = 4
 
 func runGoGuard(pass *Pass) {
-	idx := buildFuncIndex(pass.All)
+	idx := pass.Ctx.Graph()
 	for _, file := range pass.Pkg.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			gs, ok := n.(*ast.GoStmt)
@@ -40,7 +40,8 @@ func runGoGuard(pass *Pass) {
 	}
 }
 
-// funcIndex maps declared functions to their bodies across every loaded
+// funcIndex is the declared-function index shared with the call graph:
+// it maps declared functions to their bodies across every loaded
 // package, so call chains can be followed cross-package.
 type funcIndex struct {
 	decl map[*types.Func]*ast.FuncDecl
@@ -71,7 +72,7 @@ func buildFuncIndex(all []*Package) *funcIndex {
 
 // goroutineGuarded reports whether the goroutine entered through call
 // reaches a deferred recover within depth call frames.
-func goroutineGuarded(pkg *Package, idx *funcIndex, call *ast.CallExpr, depth int, seen map[*types.Func]bool) bool {
+func goroutineGuarded(pkg *Package, idx *CallGraph, call *ast.CallExpr, depth int, seen map[*types.Func]bool) bool {
 	if lit, ok := unparen(call.Fun).(*ast.FuncLit); ok {
 		return bodyGuarded(pkg, idx, lit.Body, depth, seen)
 	}
@@ -82,21 +83,21 @@ func goroutineGuarded(pkg *Package, idx *funcIndex, call *ast.CallExpr, depth in
 	return funcGuarded(idx, fn, depth, seen)
 }
 
-func funcGuarded(idx *funcIndex, fn *types.Func, depth int, seen map[*types.Func]bool) bool {
+func funcGuarded(idx *CallGraph, fn *types.Func, depth int, seen map[*types.Func]bool) bool {
 	if depth <= 0 || seen[fn] {
 		return false
 	}
 	seen[fn] = true
-	decl := idx.decl[fn]
+	decl := idx.Decl[fn]
 	if decl == nil {
 		return false
 	}
-	return bodyGuarded(idx.pkg[fn], idx, decl.Body, depth, seen)
+	return bodyGuarded(idx.PkgOf[fn], idx, decl.Body, depth, seen)
 }
 
 // bodyGuarded reports whether body defers a recover itself, or calls a
 // function that does (within the remaining depth budget).
-func bodyGuarded(pkg *Package, idx *funcIndex, body *ast.BlockStmt, depth int, seen map[*types.Func]bool) bool {
+func bodyGuarded(pkg *Package, idx *CallGraph, body *ast.BlockStmt, depth int, seen map[*types.Func]bool) bool {
 	if hasDeferredRecover(pkg, idx, body) {
 		return true
 	}
@@ -125,7 +126,7 @@ func bodyGuarded(pkg *Package, idx *funcIndex, body *ast.BlockStmt, depth int, s
 // to a direct recover() call: either a deferred function literal whose
 // body calls recover, or a deferred named function that calls recover
 // directly in its own body.
-func hasDeferredRecover(pkg *Package, idx *funcIndex, body *ast.BlockStmt) bool {
+func hasDeferredRecover(pkg *Package, idx *CallGraph, body *ast.BlockStmt) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if found {
@@ -145,7 +146,7 @@ func hasDeferredRecover(pkg *Package, idx *funcIndex, body *ast.BlockStmt) bool 
 			}
 		default:
 			if fn := calleeFunc(pkg.Info, ds.Call); fn != nil {
-				if decl := idx.decl[fn]; decl != nil && callsRecover(idx.pkg[fn].Info, decl.Body) {
+				if decl := idx.Decl[fn]; decl != nil && callsRecover(idx.PkgOf[fn].Info, decl.Body) {
 					found = true
 				}
 			}

@@ -13,8 +13,11 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Diagnostic is one analyzer finding at a source position.
@@ -65,6 +68,9 @@ type Pass struct {
 	// All is every loaded module package, for cross-package resolution
 	// (goguard follows call chains into other packages).
 	All []*Package
+	// Ctx holds the shared cross-package facts (call graph, atomic
+	// fields, hot-path closure) built once per Lint run.
+	Ctx *Context
 
 	analyzer *Analyzer
 	diags    []Diagnostic
@@ -84,17 +90,57 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Lint runs the given analyzers over every package, honoring each
 // analyzer's package filter and the //dqnlint:allow directives in the
-// source. Diagnostics come back sorted by file, line, column, analyzer.
+// source. Packages are analyzed in parallel (the shared fact layer is
+// built once up front so the fan-out only reads); diagnostics come back
+// sorted by file, line, column, analyzer.
 func Lint(mod *Module, analyzers []*Analyzer) []Diagnostic {
-	var out []Diagnostic
-	for _, pkg := range mod.Pkgs {
-		rel := mod.Rel(pkg.Path)
-		for _, an := range analyzers {
-			if !an.Watches(rel) {
-				continue
+	ctx := NewContext(mod.Pkgs)
+	results := make([][]Diagnostic, len(mod.Pkgs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(mod.Pkgs) {
+		workers = len(mod.Pkgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var panicked atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Recover analyzer panics and rethrow them on the caller's
+			// goroutine so a crashing analyzer still fails loudly (and
+			// satisfies the repo's own goguard contract).
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, fmt.Sprintf("lint: analyzer panic: %v", r))
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(mod.Pkgs) {
+					return
+				}
+				pkg := mod.Pkgs[i]
+				rel := mod.Rel(pkg.Path)
+				for _, an := range analyzers {
+					if !an.Watches(rel) {
+						continue
+					}
+					results[i] = append(results[i], lintPackage(ctx, pkg, an)...)
+				}
 			}
-			out = append(out, LintPackage(pkg, mod.Pkgs, an)...)
-		}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p)
+	}
+	var out []Diagnostic
+	for _, r := range results {
+		out = append(out, r...)
 	}
 	sortDiagnostics(out)
 	return out
@@ -104,7 +150,11 @@ func Lint(mod *Module, analyzers []*Analyzer) []Diagnostic {
 // directives but not the analyzer's package filter. It is the entry
 // point used by the golden-file self-tests and by targeted runs.
 func LintPackage(pkg *Package, all []*Package, an *Analyzer) []Diagnostic {
-	pass := &Pass{Pkg: pkg, All: all, analyzer: an}
+	return lintPackage(NewContext(all), pkg, an)
+}
+
+func lintPackage(ctx *Context, pkg *Package, an *Analyzer) []Diagnostic {
+	pass := &Pass{Pkg: pkg, All: ctx.All, Ctx: ctx, analyzer: an}
 	an.Run(pass)
 	out := pass.diags[:0]
 	for _, d := range pass.diags {

@@ -1,0 +1,489 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ObsLabel enforces the PR 5 metric-cardinality rule: a label value
+// that derives from request input (an http.Request field, a JSON-tagged
+// request struct, an error string) must pass through a bounding
+// construct — a membership check against a known-value map or a switch
+// with a literal default — before it reaches a metric label. Unbounded
+// label values grow the registry without limit and leak request data
+// into /metrics. The taint walk follows assignments in the enclosing
+// function and, for parameters, the arguments at every call site of the
+// enclosing function (depth-limited).
+var ObsLabel = &Analyzer{
+	Name:     "obslabel",
+	Doc:      "flags metric label values derived from request input without a bounding map/switch",
+	Packages: []string{"internal/serve", "internal/obs", "cmd/dqnserve"},
+	Run:      runObsLabel,
+}
+
+const obsLabelDepth = 4
+
+func runObsLabel(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "L" {
+				continue // the Label constructor is the boundary, not a use
+			}
+			ast.Inspect(d, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if fn := calleeFunc(pass.Pkg.Info, n); fn != nil && isLabelCtor(fn) && len(n.Args) >= 2 {
+						checkLabelValue(pass, file, n.Args[1])
+					}
+				case *ast.CompositeLit:
+					if v := labelLitValue(pass.Pkg.Info, n); v != nil {
+						checkLabelValue(pass, file, v)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isLabelCtor matches the obs.L convention: a function named L whose
+// single result is a type named Label.
+func isLabelCtor(fn *types.Func) bool {
+	if fn.Name() != "L" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && named.Obj().Name() == "Label"
+}
+
+// labelLitValue returns the Value field expression of a Label composite
+// literal, or nil.
+func labelLitValue(info *types.Info, lit *ast.CompositeLit) ast.Expr {
+	tv, ok := info.Types[lit]
+	if !ok {
+		return nil
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Name() != "Label" {
+		return nil
+	}
+	for i, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Value" {
+				return kv.Value
+			}
+			continue
+		}
+		if i == 1 {
+			return el
+		}
+	}
+	return nil
+}
+
+func checkLabelValue(pass *Pass, file *ast.File, value ast.Expr) {
+	t := &tainter{pass: pass}
+	if reason := t.tainted(pass.Pkg, file, value, obsLabelDepth); reason != "" {
+		pass.Reportf(value.Pos(),
+			"metric label value derives from %s without a bounding map/switch: unbounded cardinality (PR 5 rule) — map unknown values to a literal fallback", reason)
+	}
+}
+
+type tainter struct {
+	pass *Pass
+}
+
+// tainted returns a non-empty description of the request-input source
+// when expr can carry unbounded request-derived data, or "" when the
+// value is bounded (literals, constants, stringers, strconv of bounded
+// ints, sanitized locals).
+func (t *tainter) tainted(pkg *Package, file *ast.File, expr ast.Expr, depth int) string {
+	if depth <= 0 {
+		return ""
+	}
+	info := pkg.Info
+	expr = unparen(expr)
+	if tv, ok := info.Types[expr]; ok && tv.Value != nil {
+		return "" // constant
+	}
+	switch e := expr.(type) {
+	case *ast.BasicLit:
+		return ""
+	case *ast.BinaryExpr:
+		if r := t.tainted(pkg, file, e.X, depth); r != "" {
+			return r
+		}
+		return t.tainted(pkg, file, e.Y, depth)
+	case *ast.SelectorExpr:
+		// Walk the selector chain toward its root: r.URL.Path taints
+		// because the chain passes through http.Request.URL.
+		sel := e
+		for {
+			if r := selectorTaint(info, sel); r != "" {
+				return r
+			}
+			switch x := unparen(sel.X).(type) {
+			case *ast.SelectorExpr:
+				sel = x
+			case *ast.Ident:
+				return t.identTaint(pkg, file, x, depth-1)
+			default:
+				return ""
+			}
+		}
+	case *ast.CallExpr:
+		return t.callTaint(pkg, file, e, depth)
+	case *ast.Ident:
+		return t.identTaint(pkg, file, e, depth)
+	}
+	return ""
+}
+
+// selectorTaint flags field reads of request-shaped types: net/http's
+// Request and any module struct with JSON field tags (the wire-decoded
+// request/record types).
+func selectorTaint(info *types.Info, sel *ast.SelectorExpr) string {
+	fld := selectedField(info, sel)
+	if fld == nil {
+		return ""
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return ""
+	}
+	base := tv.Type
+	if p, ok := base.Underlying().(*types.Pointer); ok {
+		base = p.Elem()
+	}
+	named, ok := base.(*types.Named)
+	if !ok {
+		return ""
+	}
+	if named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "Request" {
+		return "http.Request." + fld.Name()
+	}
+	if st, ok := named.Underlying().(*types.Struct); ok && hasJSONTags(st) {
+		return named.Obj().Name() + "." + fld.Name() + " (wire-decoded request field)"
+	}
+	return ""
+}
+
+func hasJSONTags(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if strings.Contains(st.Tag(i), "json:") {
+			return true
+		}
+	}
+	return false
+}
+
+// callTaint classifies call results: strconv formatting and String()
+// stringers are bounded; error.Error() is tainted; static module calls
+// propagate taint from their return expressions.
+func (t *tainter) callTaint(pkg *Package, file *ast.File, call *ast.CallExpr, depth int) string {
+	info := pkg.Info
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "strconv" {
+		return "" // numeric formatting: bounded by the int domain
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if fn.Name() == "Error" && sig != nil && sig.Recv() != nil {
+		return "error text (err.Error())"
+	}
+	if fn.Name() == "String" && sig != nil && sig.Recv() != nil && len(call.Args) == 0 {
+		return "" // stringer over an enum domain
+	}
+	// Follow a static module call into its return expressions.
+	g := t.pass.Ctx.Graph()
+	for _, callee := range g.Callees(pkg, call) {
+		decl := g.Decl[callee]
+		cpkg := g.PkgOf[callee]
+		if decl == nil || cpkg == nil || decl.Body == nil {
+			continue
+		}
+		cfile := fileOf(cpkg, decl.Pos())
+		reason := ""
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if reason != "" {
+				return false
+			}
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				if r := t.tainted(cpkg, cfile, res, depth-1); r != "" {
+					reason = r
+					break
+				}
+			}
+			return true
+		})
+		if reason != "" {
+			return reason + " via " + callee.Name()
+		}
+	}
+	return ""
+}
+
+// identTaint follows a local variable or parameter: a local is tainted
+// if any assignment to it is tainted and no bounding construct
+// sanitizes it; a parameter is tainted if any caller passes a tainted
+// argument (and the local function does not bound it).
+func (t *tainter) identTaint(pkg *Package, file *ast.File, id *ast.Ident, depth int) string {
+	v, ok := pkg.Info.Uses[id].(*types.Var)
+	if !ok || v.IsField() {
+		return ""
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return "" // package-level: initialized once, not request data
+	}
+	body := enclosingFuncBody(file, id)
+	if body == nil {
+		return ""
+	}
+	if sanitizedInBody(pkg.Info, body, v) {
+		return ""
+	}
+	// Assignments to v inside the enclosing function.
+	reason := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := unparen(lhs).(*ast.Ident)
+			if !ok || identObj(pkg.Info, lid) != v {
+				continue
+			}
+			if r := t.tainted(pkg, file, as.Rhs[i], depth-1); r != "" {
+				reason = r
+			}
+		}
+		return true
+	})
+	if reason != "" {
+		return reason
+	}
+	if isParamOf(pkg.Info, body, file, v) {
+		return t.callerTaint(pkg, file, body, v, depth)
+	}
+	return ""
+}
+
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// isParamOf reports whether v is a parameter of the function whose body
+// encloses it.
+func isParamOf(info *types.Info, body *ast.BlockStmt, file *ast.File, v *types.Var) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		var ft *ast.FuncType
+		var b *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			ft, b = fn.Type, fn.Body
+		case *ast.FuncLit:
+			ft, b = fn.Type, fn.Body
+		default:
+			return true
+		}
+		if b != body || ft.Params == nil {
+			return true
+		}
+		for _, f := range ft.Params.List {
+			for _, name := range f.Names {
+				if info.Defs[name] == v {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// callerTaint checks every call site of the function owning body across
+// the module: the parameter is tainted if any caller passes a tainted
+// argument for it.
+func (t *tainter) callerTaint(pkg *Package, file *ast.File, body *ast.BlockStmt, param *types.Var, depth int) string {
+	fn := funcOwning(pkg, file, body)
+	if fn == nil {
+		return ""
+	}
+	idx := paramIndex(fn, param)
+	if idx < 0 {
+		return ""
+	}
+	for _, cp := range t.pass.Ctx.All {
+		if cp.Info == nil {
+			continue
+		}
+		for _, cf := range cp.Files {
+			reason := ""
+			ast.Inspect(cf, func(n ast.Node) bool {
+				if reason != "" {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok || calleeFunc(cp.Info, call) != fn || idx >= len(call.Args) {
+					return true
+				}
+				if r := t.tainted(cp, cf, call.Args[idx], depth-1); r != "" {
+					pos := cp.Fset.Position(call.Pos())
+					reason = r + " (passed by caller at " + pos.Filename + ":" + strconv.Itoa(pos.Line) + ")"
+				}
+				return true
+			})
+			if reason != "" {
+				return reason
+			}
+		}
+	}
+	return ""
+}
+
+// funcOwning finds the declared function whose body is body.
+func funcOwning(pkg *Package, file *ast.File, body *ast.BlockStmt) *types.Func {
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body == body {
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+func paramIndex(fn *types.Func, v *types.Var) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// sanitizedInBody recognizes the two bounding constructs: a membership
+// test of v against a map with a literal fallback assignment
+// (if !known[v] { v = "other" }), and a switch on v whose default
+// assigns a literal.
+func sanitizedInBody(info *types.Info, body *ast.BlockStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if condTestsMapMembership(info, n.Cond, v) && assignsLiteralTo(info, n.Body, v) {
+				found = true
+			}
+		case *ast.SwitchStmt:
+			tag, ok := unparen(n.Tag).(*ast.Ident)
+			if !ok || identObj(info, tag) != v {
+				return true
+			}
+			for _, c := range n.Body.List {
+				cc, ok := c.(*ast.CaseClause)
+				if !ok || cc.List != nil {
+					continue
+				}
+				blk := &ast.BlockStmt{List: cc.Body}
+				if assignsLiteralTo(info, blk, v) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// condTestsMapMembership reports whether cond contains known[v] (under
+// any negation/comma-ok wrapping) where known is map-typed.
+func condTestsMapMembership(info *types.Info, cond ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[ix.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+		}
+		if id, ok := unparen(ix.Index).(*ast.Ident); ok && identObj(info, id) == v {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// assignsLiteralTo reports whether blk assigns a constant to v.
+func assignsLiteralTo(info *types.Info, blk *ast.BlockStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(blk, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := unparen(lhs).(*ast.Ident)
+			if !ok || identObj(info, id) != v {
+				continue
+			}
+			if tv, ok := info.Types[as.Rhs[i]]; ok && tv.Value != nil {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// fileOf returns the package file containing pos.
+func fileOf(pkg *Package, pos token.Pos) *ast.File {
+	for _, f := range pkg.Files {
+		if f.Pos() <= pos && pos <= f.End() {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+// Package atomicsafe is the golden fixture for the mixed atomic/plain
+// field-access analyzer: a field touched through the legacy sync/atomic
+// free functions must be accessed atomically everywhere; typed atomics
+// are immune by construction.
+package atomicsafe
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64
+	safe  atomic.Uint64
+	other int
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+	c.safe.Add(1)
+}
+
+func (c *counters) read() uint64 {
+	return c.hits // want "plain access to field hits"
+}
+
+func (c *counters) write() {
+	c.hits = 0 // want "plain access to field hits"
+	c.other++
+	_ = c.safe.Load()
+}
+
+func (c *counters) atomicRead() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func (c *counters) swap(v uint64) uint64 {
+	return atomic.SwapUint64(&c.hits, v)
+}

@@ -1,0 +1,80 @@
+// Package crashsafe is the golden fixture for the durability analyzer:
+// persisted state must go through temp-file-in-destination-dir, fsync,
+// then atomic rename.
+package crashsafe
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// saveGood is the PR 6 pattern: temp in the destination dir, synced,
+// renamed. No diagnostics.
+func saveGood(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path)
+}
+
+func saveTempDir(path string, data []byte) error {
+	f, err := os.CreateTemp("", "ckpt-*") // want "temp file created outside the destination directory"
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path) // want "os.Rename without a preceding File.Sync"
+}
+
+func saveOsTempDir(path string, data []byte) error {
+	f, err := os.CreateTemp(os.TempDir(), "ckpt-*") // want "temp file created outside the destination directory"
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path)
+}
+
+func saveRaw(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "os.WriteFile is neither atomic nor synced"
+}
+
+// saveViaHelper syncs inside a helper called before the rename: the
+// analyzer follows one call level and accepts it.
+func saveViaHelper(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if err := flushClose(f, data); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path)
+}
+
+func flushClose(f *os.File, data []byte) error {
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,73 @@
+// Package obslabel is the golden fixture for the metric-label
+// cardinality analyzer: request-derived label values must pass through
+// a bounding map membership check or a switch with a literal default.
+package obslabel
+
+import (
+	"net/http"
+	"strconv"
+)
+
+type Label struct {
+	Key   string
+	Value string
+}
+
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+type counterReg struct{}
+
+func (c *counterReg) count(name string, labels ...Label) {}
+
+var reg counterReg
+
+type apiRequest struct {
+	Model string `json:"model"`
+	Mode  string `json:"mode"`
+}
+
+var knownRoutes = map[string]bool{"/predict": true, "/stats": true}
+
+func handle(w http.ResponseWriter, r *http.Request, req apiRequest) {
+	reg.count("req", L("path", r.URL.Path)) // want "derives from http.Request"
+	reg.count("req", L("model", req.Model)) // want "wire-decoded request field"
+
+	route := r.URL.Path
+	if !knownRoutes[route] {
+		route = "other"
+	}
+	reg.count("req", L("route", route)) // bounded by the map: ok
+
+	mode := req.Mode
+	switch mode {
+	case "fast", "full":
+	default:
+		mode = "unknown"
+	}
+	reg.count("req", L("mode", mode)) // bounded by the switch: ok
+
+	reg.count("req", L("code", strconv.Itoa(200)))        // strconv: ok
+	reg.count("req", Label{Key: "lit", Value: req.Model}) // want "wire-decoded request field"
+	reg.count("req", Label{"pos", req.Mode})              // want "wire-decoded request field"
+}
+
+func report(err error) {
+	reg.count("err", L("cause", err.Error())) // want "error text"
+}
+
+func viaParam(r *http.Request) {
+	labelPath(r.URL.Path)
+}
+
+// labelPath's parameter is tainted by its caller above.
+func labelPath(p string) {
+	reg.count("req", L("path", p)) // want "passed by caller"
+}
+
+type mode int
+
+func (m mode) String() string { return "m" }
+
+func stringer(m mode) {
+	reg.count("req", L("mode", m.String())) // stringer over an enum: ok
+}

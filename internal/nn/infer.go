@@ -48,6 +48,7 @@ func (s *Sequential) Infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
 			x = il.infer(x, a)
 			continue
 		}
+		//dqnlint:allow hotalloc custom-Layer fallback: every built-in layer takes the arena infer path above; Forward's caches only run for user layer types, which the zero-alloc pins never ship
 		x = s.Layers[i].Forward(x)
 	}
 	return x

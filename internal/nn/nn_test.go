@@ -151,6 +151,7 @@ func TestUnmarshalRejectsOversizedSpecs(t *testing.T) {
 	}
 	for _, c := range cases {
 		done := make(chan error, 1)
+		//dqnlint:allow goguard test goroutine: a panic crashes the test binary, which is exactly the loud failure this budget test wants
 		go func() {
 			_, err := Unmarshal([]byte(c))
 			done <- err

@@ -80,6 +80,7 @@ func TestEngineObserverConcurrent(t *testing.T) {
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
+		//dqnlint:allow goguard concurrency hammer: a worker panic crashes the test binary, the failure signal this race test wants
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {

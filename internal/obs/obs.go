@@ -230,22 +230,29 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 // is false when the series does not exist — the test-facing read path
 // for reconciliation assertions.
 func (r *Registry) Value(name string, labels ...Label) (float64, bool) {
+	// Snapshot the series under the lock, then read it after Unlock:
+	// gaugeFn is a user callback and must not run while r.mu is held
+	// (it may itself touch the registry — the PR 5 deadlock rule).
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	f, ok := r.families[name]
 	if !ok {
+		r.mu.Unlock()
 		return 0, false
 	}
 	s, ok := f.series[renderLabels(labels)]
 	if !ok {
+		r.mu.Unlock()
 		return 0, false
 	}
-	switch f.kind {
+	kind := f.kind
+	gaugeFn := s.gaugeFn
+	r.mu.Unlock()
+	switch kind {
 	case kindCounter:
 		return float64(s.counter.Value()), true
 	case kindGauge:
-		if s.gaugeFn != nil {
-			return s.gaugeFn(), true
+		if gaugeFn != nil {
+			return gaugeFn(), true
 		}
 		return s.gauge.Value(), true
 	default:

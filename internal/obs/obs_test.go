@@ -14,6 +14,7 @@ func TestCounterConcurrent(t *testing.T) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//dqnlint:allow goguard concurrency hammer: a worker panic crashes the test binary, the failure signal this race test wants
 		go func() {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
@@ -37,6 +38,7 @@ func TestGaugeConcurrentAdd(t *testing.T) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//dqnlint:allow goguard concurrency hammer: a worker panic crashes the test binary, the failure signal this race test wants
 		go func() {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
@@ -57,6 +59,7 @@ func TestHistogramConcurrentObserve(t *testing.T) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//dqnlint:allow goguard concurrency hammer: a worker panic crashes the test binary, the failure signal this race test wants
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
@@ -272,6 +275,7 @@ func TestConcurrentRegistrationAndExposition(t *testing.T) {
 	stop := make(chan struct{})
 	for w := 0; w < 4; w++ {
 		wg.Add(1)
+		//dqnlint:allow goguard concurrency hammer: a worker panic crashes the test binary, the failure signal this race test wants
 		go func(w int) {
 			defer wg.Done()
 			names := []string{"test_a_total", "test_b_total", "test_c_total"}

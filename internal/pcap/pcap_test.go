@@ -105,7 +105,9 @@ func TestTruncatedHeader(t *testing.T) {
 func TestTruncatedBody(t *testing.T) {
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf)
-	_ = w.Write(Record{Time: 1, Data: []byte{1, 2, 3, 4}})
+	if err := w.Write(Record{Time: 1, Data: []byte{1, 2, 3, 4}}); err != nil {
+		t.Fatalf("writing fixture record: %v", err)
+	}
 	raw := buf.Bytes()
 	_, err := ReadAll(bytes.NewReader(raw[:len(raw)-2]))
 	if err == nil || err == io.EOF {

@@ -32,6 +32,7 @@ func newSession(timeSteps int) *session {
 // large enough.
 func growFloats(buf []float64, n int) []float64 {
 	if cap(buf) < n {
+		//dqnlint:allow hotalloc grow-only: reallocates only when a stream outgrows every prior one; steady state reuses the backing array (pinned by TestPredictStreamIntoZeroAllocs)
 		return make([]float64, n)
 	}
 	return buf[:n]
@@ -47,6 +48,7 @@ func (p *PTM) predictInto(s *session, dst []float64, stream []PacketIn, kind des
 	s.tx = growFloats(s.tx, n)
 	s.backlog = growFloats(s.backlog, n)
 	featurizeFlat(s.feats, s.tx, s.backlog, stream, kind, p.NumPorts, rateBps)
+	//dqnlint:allow hotalloc grow-only: appends into the session's reused chunk slice; it grows only until the largest stream has been seen
 	s.chunks = chunksAppend(s.chunks[:0], n, p.TimeSteps, p.Margin)
 	for _, ck := range s.chunks {
 		ck.materializeInto(s.x, s.feats, n, p.Feat)
@@ -84,6 +86,7 @@ func (p *PTM) consumeChunk(dst []float64, y *tensor.Matrix, ck Chunk, n int, tx,
 // getSession returns the model's lazily-created inference session.
 func (p *PTM) getSession() *session {
 	if p.sess == nil {
+		//dqnlint:allow hotalloc one-time lazy init: the session (arena + window matrix) is built on the first prediction and reused for the model's lifetime
 		p.sess = newSession(p.TimeSteps)
 	}
 	return p.sess

@@ -43,7 +43,15 @@ type serverMetrics struct {
 
 	httpMu   sync.Mutex
 	httpReqs map[string]*obs.Counter // keyed path + "\x00" + code
+
+	pathMu     sync.Mutex
+	labelPaths map[string]bool // breaker paths granted their own label series
 }
+
+// maxBreakerPathLabels caps the per-model breaker label cardinality:
+// the model key comes off the wire, so without a bound a client could
+// mint one metric series per junk model name (the PR 5 rule).
+const maxBreakerPathLabels = 64
 
 // jobBuckets cover the serve job latency range: sub-millisecond cache
 // hits through multi-second saturated runs.
@@ -109,6 +117,22 @@ func (m *serverMetrics) httpRequest(path string, code int) {
 // hook — which runs under the breaker's mutex — never touches the
 // registry lock.
 func (m *serverMetrics) breakerMetrics(path string, b *Breaker) func(from, to BreakerState) {
+	// Bound the label value: the first maxBreakerPathLabels distinct
+	// model keys get their own series; the rest collapse to "other"
+	// (transition counters sum across collapsed breakers; the state
+	// gauge reflects the most recently registered one).
+	m.pathMu.Lock()
+	if m.labelPaths == nil {
+		m.labelPaths = make(map[string]bool)
+	}
+	if !m.labelPaths[path] {
+		if len(m.labelPaths) >= maxBreakerPathLabels {
+			path = "other"
+		} else {
+			m.labelPaths[path] = true
+		}
+	}
+	m.pathMu.Unlock()
 	trans := map[BreakerState]*obs.Counter{}
 	for _, st := range []BreakerState{BreakerClosed, BreakerOpen, BreakerHalfOpen} {
 		trans[st] = m.reg.Counter("dqn_breaker_transitions_total",

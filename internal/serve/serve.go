@@ -725,10 +725,14 @@ func (s *Server) Drain(ctx context.Context) error {
 		// resumes exactly where this one stopped — all inside the drain
 		// budget instead of waiting out long runs.
 		s.activeMu.Lock()
+		cancels := make([]context.CancelFunc, 0, len(s.active))
 		for _, cancel := range s.active {
-			cancel()
+			cancels = append(cancels, cancel)
 		}
 		s.activeMu.Unlock()
+		for _, cancel := range cancels {
+			cancel()
+		}
 	}
 	done := make(chan struct{})
 	go func() {
