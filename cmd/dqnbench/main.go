@@ -45,6 +45,7 @@ import (
 	"deepqueuenet/internal/ptm"
 	"deepqueuenet/internal/rng"
 	"deepqueuenet/internal/serve"
+	"deepqueuenet/internal/tensor"
 	"deepqueuenet/internal/topo"
 	"deepqueuenet/internal/traffic"
 )
@@ -277,6 +278,11 @@ func benchDefs() []benchDef {
 	return []benchDef{
 		{"ptm_window", benchWindow},
 		{"ptm_predict_stream", benchPredictStream},
+		{"ptm_predict_stream_quant", benchPredictStreamQuant},
+		{"gemm_embed_32x14x12", func() (Bench, error) { return benchGEMM("gemm_embed_32x14x12", 32, 14, 12) }},
+		{"gemm_blstm1_32x12x64", func() (Bench, error) { return benchGEMM("gemm_blstm1_32x12x64", 32, 12, 64) }},
+		{"gemm_blstm2_32x32x40", func() (Bench, error) { return benchGEMM("gemm_blstm2_32x32x40", 32, 32, 40) }},
+		{"gemm_qkv_32x20x48", func() (Bench, error) { return benchGEMM("gemm_qkv_32x20x48", 32, 20, 48) }},
 		{"e2e_fattree16", func() (Bench, error) {
 			return benchE2E("e2e_fattree16", topo.FatTree(topo.FatTree16, topo.DefaultLAN), traffic.ModelMAP, 0.5, 0.0002, 11)
 		}},
@@ -352,6 +358,56 @@ func benchPredictStream() (Bench, error) {
 	out.WindowsPerOp = windows
 	out.AllocsPerWindow = out.AllocsPerOp / float64(windows)
 	return out, nil
+}
+
+// benchPredictStreamQuant measures the same 2000-packet stream as
+// ptm_predict_stream on the int8 quantized backend — the pair is the
+// exact-vs-quant speed comparison EXPERIMENTS.md reports.
+func benchPredictStreamQuant() (Bench, error) {
+	p, err := ptm.Synthetic(benchArch, 8, 1)
+	if err != nil {
+		return Bench{}, err
+	}
+	if err := p.WithQuantized(); err != nil {
+		return Bench{}, err
+	}
+	const n = 2000
+	stream := synthStream(n, 2)
+	windows := len(ptm.Chunks(n, p.TimeSteps, p.Margin))
+	r := measure(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.PredictStream(stream, des.FIFO, 10e9, 1)
+		}
+	})
+	out := record("ptm_predict_stream_quant", r)
+	out.WindowsPerOp = windows
+	out.AllocsPerWindow = out.AllocsPerOp / float64(windows)
+	return out, nil
+}
+
+// benchGEMM measures one packed blocked matmul at a production PTM
+// layer shape (named m×k×n), isolating the kernel from the surrounding
+// forward pass.
+func benchGEMM(name string, m, k, n int) (Bench, error) {
+	r := rng.New(9)
+	a := tensor.New(m, k)
+	w := tensor.New(k, n)
+	for i := range a.Data {
+		a.Data[i] = r.Uniform(-1, 1)
+	}
+	for i := range w.Data {
+		w.Data[i] = r.Uniform(-1, 1)
+	}
+	p := tensor.Pack(w)
+	dst := tensor.New(m, n)
+	res := measure(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulPackedInto(dst, a, p)
+		}
+	})
+	return record(name, res), nil
 }
 
 // synthStream builds a deterministic packet stream.

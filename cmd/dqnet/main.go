@@ -138,7 +138,7 @@ func describeRunErr(err error) error {
 }
 
 // scenarioFlags builds a Scenario from common CLI flags.
-func scenarioFlags(fs *flag.FlagSet) (mk func() (*experiments.Scenario, error), modelPath *string, shards *int) {
+func scenarioFlags(fs *flag.FlagSet) (mk func() (*experiments.Scenario, error), modelPath *string, shards *int, quant *bool) {
 	topoName := fs.String("topo", "line4", "topology (lineN, torusRxC, fattree16/64/128, abilene, geant)")
 	schedName := fs.String("sched", "fifo", "scheduler (fifo, spN, wfq:w1,w2, wrr:…, drr:…)")
 	trafficName := fs.String("traffic", "poisson", "traffic model (poisson, onoff, map, bc, anarchy)")
@@ -147,6 +147,7 @@ func scenarioFlags(fs *flag.FlagSet) (mk func() (*experiments.Scenario, error), 
 	seed := fs.Uint64("seed", 42, "seed")
 	modelPath = fs.String("model", "", "trained device model (required for sim/eval)")
 	shards = fs.Int("shards", 4, "parallel inference shards")
+	quant = fs.Bool("quant", false, "use the int8-weight quantized inference backend (faster, accuracy-gated; default is the bit-exact float path)")
 	mk = func() (*experiments.Scenario, error) {
 		g, err := experiments.TopoByName(*topoName)
 		if err != nil {
@@ -162,7 +163,7 @@ func scenarioFlags(fs *flag.FlagSet) (mk func() (*experiments.Scenario, error), 
 		}
 		return experiments.NewScenario(*topoName, g, sched, tm, *load, *dur, *seed)
 	}
-	return mk, modelPath, shards
+	return mk, modelPath, shards, quant
 }
 
 // loadModel resolves the -model flag: a trained model file, or the
@@ -180,7 +181,7 @@ var synthArch = ptm.Arch{TimeSteps: 32, Margin: 8, Embed: 12, BLSTM1: 16, BLSTM2
 
 func cmdSim(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sim", flag.ExitOnError)
-	mk, modelPath, shards := scenarioFlags(fs)
+	mk, modelPath, shards, quant := scenarioFlags(fs)
 	tracePath := fs.String("trace", "", "write per-device packet traces (CSV)")
 	timeout := fs.Duration("timeout", 0, "wall-clock run deadline (0 = none; ^C always cancels)")
 	obsSummary := fs.Bool("obs-summary", false, "print engine telemetry (delta trace, shard work, metrics) after the run")
@@ -198,6 +199,11 @@ func cmdSim(ctx context.Context, args []string) error {
 	model, err := loadModel(*modelPath)
 	if err != nil {
 		return err
+	}
+	if *quant {
+		if err := model.WithQuantized(); err != nil {
+			return fmt.Errorf("-quant: %w", err)
+		}
 	}
 	sc, err := mk()
 	if err != nil {
@@ -286,7 +292,7 @@ func cmdSim(ctx context.Context, args []string) error {
 
 func cmdEval(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
-	mk, modelPath, shards := scenarioFlags(fs)
+	mk, modelPath, shards, quant := scenarioFlags(fs)
 	perDevice := fs.Bool("perdevice", false, "print per-switch sojourn comparison")
 	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the DQN run (0 = none; ^C always cancels)")
 	obsSummary := fs.Bool("obs-summary", false, "print engine telemetry (delta trace, shard work, metrics) after the run")
@@ -299,6 +305,11 @@ func cmdEval(ctx context.Context, args []string) error {
 	model, err := ptm.Load(*modelPath)
 	if err != nil {
 		return err
+	}
+	if *quant {
+		if err := model.WithQuantized(); err != nil {
+			return fmt.Errorf("-quant: %w", err)
+		}
 	}
 	sc, err := mk()
 	if err != nil {

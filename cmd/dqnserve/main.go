@@ -50,6 +50,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("dqnserve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	modelPath := fs.String("model", "", "default trained device model (empty: synthetic smoke-test model)")
+	quant := fs.Bool("quant", false, "serve every model on the int8-weight quantized inference backend (faster, accuracy-gated; default is the bit-exact float path)")
 	workers := fs.Int("workers", 2, "concurrent simulation jobs")
 	queueDepth := fs.Int("queue", 8, "admission queue depth beyond in-flight jobs")
 	timeout := fs.Duration("timeout", 30*time.Second, "default per-job deadline")
@@ -93,9 +94,18 @@ func run(args []string) error {
 		}
 		fmt.Println("no -model given: serving a synthetic (untrained) 8-port model for smoke testing")
 	}
+	if *quant {
+		// Quantize the default model eagerly, before the runner can serve
+		// a request, so no goroutine ever observes it mid-switch. Request
+		// models quantize on their cache-miss load via runner.Quantize.
+		if err := model.WithQuantized(); err != nil {
+			return fmt.Errorf("-quant: %w", err)
+		}
+		fmt.Println("quantized inference backend enabled (int8 weights, float32 activations)")
+	}
 
 	reg := obs.NewRegistry()
-	runner := &serve.ScenarioRunner{DefaultModel: model, MaxShards: *maxShards, MaxDuration: *maxDur}
+	runner := &serve.ScenarioRunner{DefaultModel: model, MaxShards: *maxShards, MaxDuration: *maxDur, Quantize: *quant}
 	if *stateDir != "" {
 		runner.Checkpoints = obs.NewCheckpointMetrics(reg)
 	}

@@ -95,6 +95,11 @@ func runGoldenCaseCfg(t *testing.T, gc goldenCase, cfg core.Config) *core.Result
 	if err != nil {
 		t.Fatal(err)
 	}
+	return runGoldenCaseModel(t, gc, cfg, model)
+}
+
+func runGoldenCaseModel(t *testing.T, gc goldenCase, cfg core.Config, model *ptm.PTM) *core.Result {
+	t.Helper()
 	sc, err := experiments.NewScenario(gc.name, gc.graph(), des.SchedConfig{Kind: des.FIFO},
 		gc.traffic, gc.load, gc.dur, gc.seed)
 	if err != nil {

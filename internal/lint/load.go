@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -164,9 +166,15 @@ func (ld *loader) parseDir(importPath, dir string) (*Package, error) {
 		if strings.HasSuffix(name, "_test.go") && !ld.tests {
 			continue
 		}
+		if !buildableName(name) {
+			continue
+		}
 		f, err := parser.ParseFile(ld.mod.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
+		}
+		if !buildableConstraints(f) {
+			continue
 		}
 		files = append(files, parsed{name: name, file: f})
 	}
@@ -257,6 +265,86 @@ func (ld *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pa
 		ld.stdCache[path] = p
 	}
 	return p, err
+}
+
+// lintOS/lintArch are the platform the lint universe is built for: the
+// host running the linter, matching what `go build` would select there.
+var (
+	lintOS   = runtime.GOOS
+	lintArch = runtime.GOARCH
+)
+
+// knownArches/knownOSes are the GOOS/GOARCH values recognized in file
+// name suffixes and build tags (a subset is enough: only names on the
+// lists constrain a file).
+var knownArches = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true, "loong64": true,
+	"mips": true, "mips64": true, "mips64le": true, "mipsle": true,
+	"ppc64": true, "ppc64le": true, "riscv64": true, "s390x": true, "wasm": true,
+}
+
+var knownOSes = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true, "linux": true,
+	"netbsd": true, "openbsd": true, "plan9": true, "solaris": true,
+	"wasip1": true, "windows": true,
+}
+
+// buildableName applies the implicit _GOOS / _GOARCH / _GOOS_GOARCH
+// file name constraints against the lint platform.
+func buildableName(name string) bool {
+	base := strings.TrimSuffix(strings.TrimSuffix(name, ".go"), "_test")
+	parts := strings.Split(base, "_")
+	if len(parts) < 2 {
+		return true
+	}
+	last := parts[len(parts)-1]
+	if knownArches[last] {
+		if last != lintArch {
+			return false
+		}
+		if len(parts) >= 3 && knownOSes[parts[len(parts)-2]] {
+			return parts[len(parts)-2] == lintOS
+		}
+		return true
+	}
+	if knownOSes[last] {
+		return last == lintOS
+	}
+	return true
+}
+
+// buildableConstraints evaluates the file's //go:build line (if any)
+// against the lint platform. Unknown tags — release tags, cgo, custom
+// tags like purego — evaluate false, matching a default `go build`.
+func buildableConstraints(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true // malformed: let the type checker report it
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == lintOS || tag == lintArch || tag == "gc" || tag == "unix" && unixOS(lintOS)
+			})
+		}
+	}
+	return true
+}
+
+// unixOS mirrors go/build's unix tag set for the OSes in knownOSes.
+func unixOS(os string) bool {
+	switch os {
+	case "aix", "android", "darwin", "dragonfly", "freebsd", "illumos", "ios", "linux", "netbsd", "openbsd", "solaris":
+		return true
+	}
+	return false
 }
 
 // modulePath reads the module path from dir/go.mod.

@@ -10,18 +10,25 @@ import (
 // forward pass that (a) writes no layer caches, so a model can be
 // shared read-only across goroutines, and (b) takes every intermediate
 // from a tensor.Arena, so a warmed arena runs a whole window with zero
-// heap allocations. The arithmetic — operation kinds, accumulation
-// order, sparsity skips — is copied from each layer's Forward, so
-// Infer results are bit-identical to Forward results; the golden-trace
-// and infer-equivalence tests enforce that.
+// heap allocations. The arithmetic — operation kinds and per-element
+// accumulation order — matches each layer's Forward, so Infer results
+// are bit-identical to Forward results; the golden-trace and
+// infer-equivalence tests enforce that.
+//
+// With a non-nil Packs the dense, LSTM, and attention matmuls run on
+// the packed blocked-GEMM kernels (weights repacked once per session,
+// AVX2 microkernels on amd64). Packed and unpacked paths are
+// bit-identical; only speed differs.
 
-// inferLayer is the allocation-free, cache-free forward pass.
+// inferLayer is the allocation-free, cache-free forward pass. pk may be
+// nil (no weight-pack cache: the unpacked kernels are used).
 type inferLayer interface {
-	infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix
+	infer(x *tensor.Matrix, a *tensor.Arena, pk *Packs) *tensor.Matrix
 }
 
-// Infer runs a forward pass for inference only. The returned matrix is
-// backed by a and valid until a.Reset; copy it out to keep it.
+// Infer runs a forward pass for inference only, without a weight-pack
+// cache. The returned matrix is backed by a and valid until a.Reset;
+// copy it out to keep it.
 //
 // Unlike Forward, Infer does not touch layer caches: when every layer
 // is one of the built-in kinds, a single *Sequential may be shared by
@@ -29,6 +36,14 @@ type inferLayer interface {
 // type falls back to its Forward (correct, but cache-writing — such a
 // model must not be shared).
 func (s *Sequential) Infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
+	return s.InferPacks(x, a, nil)
+}
+
+// InferPacks is Infer with a session-owned weight-pack cache: matmul
+// weights are served from pk (packed on first use) and the blocked
+// kernels run on the packed panels. Results are bit-identical to Infer;
+// pk must not be shared across goroutines.
+func (s *Sequential) InferPacks(x *tensor.Matrix, a *tensor.Arena, pk *Packs) *tensor.Matrix {
 	for i := 0; i < len(s.Layers); i++ {
 		if d, ok := s.Layers[i].(*Dense); ok {
 			// Fused dense+activation: one pass over the output rows.
@@ -40,12 +55,16 @@ func (s *Sequential) Infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
 				}
 			}
 			y := a.NewMatrix(x.Rows, d.Out)
-			tensor.MatMulBiasActInto(y, x, d.w.W, d.b.W, act)
+			if pk != nil {
+				tensor.MatMulPackedBiasActInto(y, x, pk.of(d.w), d.b.W, act)
+			} else {
+				tensor.MatMulBiasActInto(y, x, d.w.W, d.b.W, act)
+			}
 			x = y
 			continue
 		}
 		if il, ok := s.Layers[i].(inferLayer); ok {
-			x = il.infer(x, a)
+			x = il.infer(x, a, pk)
 			continue
 		}
 		//dqnlint:allow hotalloc custom-Layer fallback: every built-in layer takes the arena infer path above; Forward's caches only run for user layer types, which the zero-alloc pins never ship
@@ -67,13 +86,17 @@ func (a *Activation) actKind() tensor.ActKind {
 	return tensor.ActNone
 }
 
-func (d *Dense) infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
+func (d *Dense) infer(x *tensor.Matrix, a *tensor.Arena, pk *Packs) *tensor.Matrix {
 	y := a.NewMatrix(x.Rows, d.Out)
-	tensor.MatMulBiasActInto(y, x, d.w.W, d.b.W, tensor.ActNone)
+	if pk != nil {
+		tensor.MatMulPackedBiasActInto(y, x, pk.of(d.w), d.b.W, tensor.ActNone)
+	} else {
+		tensor.MatMulBiasActInto(y, x, d.w.W, d.b.W, tensor.ActNone)
+	}
 	return y
 }
 
-func (a *Activation) infer(x *tensor.Matrix, ar *tensor.Arena) *tensor.Matrix {
+func (a *Activation) infer(x *tensor.Matrix, ar *tensor.Arena, _ *Packs) *tensor.Matrix {
 	y := ar.NewMatrix(x.Rows, x.Cols)
 	switch a.Kind {
 	case "tanh":
@@ -91,50 +114,35 @@ func (a *Activation) infer(x *tensor.Matrix, ar *tensor.Arena) *tensor.Matrix {
 	return y
 }
 
-func (l *LSTM) infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
+func (l *LSTM) infer(x *tensor.Matrix, a *tensor.Arena, pk *Packs) *tensor.Matrix {
 	T, H := x.Rows, l.Hidden
 	z := a.NewMatrix(T, 4*H)
-	tensor.MatMulInto(z, x, l.wx.W)
+	// All four gate pre-activations for every timestep in one wide GEMM
+	// (the i|f|o|g blocks are columns of the same 4H-wide weight).
+	if wxp := pk.of(l.wx); wxp != nil {
+		tensor.MatMulPackedInto(z, x, wxp)
+	} else {
+		tensor.MatMulInto(z, x, l.wx.W)
+	}
 	hs := a.NewMatrix(T, H)
 	hPrev := a.AllocZero(H)
 	cPrev := a.AllocZero(H)
-	whr := l.wh.W
+	bias := l.b.W.Data
 	for t := 0; t < T; t++ {
 		zr := z.Row(t)
-		for k := 0; k < H; k++ {
-			hv := hPrev[k]
-			//dqnlint:allow floateq exact-zero sparsity skip: zero activations (t=0 state) contribute exactly nothing
-			if hv == 0 {
-				continue
-			}
-			wrow := whr.Row(k)
-			for j := 0; j < 4*H; j++ {
-				zr[j] += hv * wrow[j]
-			}
-		}
-		for j := 0; j < 4*H; j++ {
-			zr[j] += l.b.W.Data[j]
-		}
+		tensor.AddVecMatInto(zr, hPrev, l.wh.W)
 		hr := hs.Row(t)
-		for k := 0; k < H; k++ {
-			gi := sigmoid(zr[k])
-			gf := sigmoid(zr[H+k])
-			go_ := sigmoid(zr[2*H+k])
-			gg := math.Tanh(zr[3*H+k])
-			cv := gf*cPrev[k] + gi*gg
-			cPrev[k] = cv
-			hr[k] = go_ * math.Tanh(cv)
-		}
+		GatesInto(zr, bias, cPrev, hr)
 		hPrev = hr
 	}
 	return hs
 }
 
-func (b *BLSTM) infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
+func (b *BLSTM) infer(x *tensor.Matrix, a *tensor.Arena, pk *Packs) *tensor.Matrix {
 	rx := a.NewMatrix(x.Rows, x.Cols)
 	tensor.ReverseRowsInto(rx, x)
-	yf := b.fwd.infer(x, a)
-	yb := b.bwd.infer(rx, a)
+	yf := b.fwd.infer(x, a, pk)
+	yb := b.bwd.infer(rx, a, pk)
 	ryb := a.NewMatrix(yb.Rows, yb.Cols)
 	tensor.ReverseRowsInto(ryb, yb)
 	out := a.NewMatrix(yf.Rows, yf.Cols+ryb.Cols)
@@ -142,14 +150,28 @@ func (b *BLSTM) infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
 	return out
 }
 
-func (m *MultiHeadSelfAttention) infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
+func (m *MultiHeadSelfAttention) infer(x *tensor.Matrix, a *tensor.Arena, pk *Packs) *tensor.Matrix {
 	T := x.Rows
-	q := a.NewMatrix(T, m.Heads*m.DK)
-	k := a.NewMatrix(T, m.Heads*m.DK)
-	v := a.NewMatrix(T, m.Heads*m.DV)
-	tensor.MatMulInto(q, x, m.wq.W)
-	tensor.MatMulInto(k, x, m.wk.W)
-	tensor.MatMulInto(v, x, m.wv.W)
+	var q, k, v *tensor.Matrix
+	if qkvp := pk.qkvOf(m); qkvp != nil {
+		// One wide GEMM computes the Q, K, and V projections against the
+		// fused [wq|wk|wv] pack; the three views are column ranges.
+		qkv := a.NewMatrix(T, 2*m.Heads*m.DK+m.Heads*m.DV)
+		tensor.MatMulPackedInto(qkv, x, qkvp)
+		q = a.NewMatrix(T, m.Heads*m.DK)
+		k = a.NewMatrix(T, m.Heads*m.DK)
+		v = a.NewMatrix(T, m.Heads*m.DV)
+		tensor.ColSliceInto(q, qkv, 0, m.Heads*m.DK)
+		tensor.ColSliceInto(k, qkv, m.Heads*m.DK, 2*m.Heads*m.DK)
+		tensor.ColSliceInto(v, qkv, 2*m.Heads*m.DK, 2*m.Heads*m.DK+m.Heads*m.DV)
+	} else {
+		q = a.NewMatrix(T, m.Heads*m.DK)
+		k = a.NewMatrix(T, m.Heads*m.DK)
+		v = a.NewMatrix(T, m.Heads*m.DV)
+		tensor.MatMulInto(q, x, m.wq.W)
+		tensor.MatMulInto(k, x, m.wk.W)
+		tensor.MatMulInto(v, x, m.wv.W)
+	}
 	concat := a.NewMatrixZero(T, m.Heads*m.DV)
 	scale := 1 / math.Sqrt(float64(m.DK))
 	qh := a.NewMatrix(T, m.DK)
@@ -168,17 +190,21 @@ func (m *MultiHeadSelfAttention) infer(x *tensor.Matrix, a *tensor.Arena) *tenso
 		headScatter(concat, oh, h, m.DV)
 	}
 	y := a.NewMatrix(T, m.Out)
-	tensor.MatMulBiasActInto(y, concat, m.wo.W, m.bo.W, tensor.ActNone)
+	if wop := pk.of(m.wo); wop != nil {
+		tensor.MatMulPackedBiasActInto(y, concat, wop, m.bo.W, tensor.ActNone)
+	} else {
+		tensor.MatMulBiasActInto(y, concat, m.wo.W, m.bo.W, tensor.ActNone)
+	}
 	return y
 }
 
-func (t *TakeLast) infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
+func (t *TakeLast) infer(x *tensor.Matrix, a *tensor.Arena, _ *Packs) *tensor.Matrix {
 	out := a.NewMatrix(1, x.Cols)
 	copy(out.Row(0), x.Row(x.Rows-1))
 	return out
 }
 
-func (t *TakeAt) infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
+func (t *TakeAt) infer(x *tensor.Matrix, a *tensor.Arena, _ *Packs) *tensor.Matrix {
 	i := t.Index
 	if i < 0 {
 		i = 0
@@ -191,7 +217,7 @@ func (t *TakeAt) infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
 	return out
 }
 
-func (p *MeanPool) infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
+func (p *MeanPool) infer(x *tensor.Matrix, a *tensor.Arena, _ *Packs) *tensor.Matrix {
 	out := a.NewMatrixZero(1, x.Cols)
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
@@ -203,7 +229,7 @@ func (p *MeanPool) infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
 	return out
 }
 
-func (l *LayerNorm) infer(x *tensor.Matrix, a *tensor.Arena) *tensor.Matrix {
+func (l *LayerNorm) infer(x *tensor.Matrix, a *tensor.Arena, _ *Packs) *tensor.Matrix {
 	y := a.NewMatrix(x.Rows, x.Cols)
 	for t := 0; t < x.Rows; t++ {
 		row := x.Row(t)

@@ -1,0 +1,57 @@
+package nn
+
+import "deepqueuenet/internal/tensor"
+
+// Packs is a per-inference-session cache of weight matrices repacked
+// into the blocked-GEMM panel layout (tensor.Packed). Packing costs one
+// copy of each weight matrix; a session pays it on its first window and
+// reuses the panels for every window after.
+//
+// A Packs is keyed by parameter identity, so it caches derived layout
+// only — if the underlying weights are mutated (training), the packs go
+// stale. That cannot happen through the supported flow: training always
+// runs on a PTM before its inference session (and packs) exist, and
+// Clone/WithoutSEC drop the session. A Packs is not goroutine-safe; it
+// is owned by one session, like the tensor.Arena next to it.
+type Packs struct {
+	m map[any]*tensor.Packed
+}
+
+// NewPacks returns an empty pack cache.
+func NewPacks() *Packs {
+	return &Packs{m: make(map[any]*tensor.Packed)}
+}
+
+// of returns the packed form of p.W, building it on first use. A nil
+// receiver returns nil (callers fall back to the unpacked kernels).
+func (pk *Packs) of(p *Param) *tensor.Packed {
+	if pk == nil {
+		return nil
+	}
+	if got := pk.m[p]; got != nil {
+		return got
+	}
+	//dqnlint:allow hotalloc pack warm-up: each weight matrix is packed once per session on its first window, then served from the cache
+	pp := tensor.Pack(p.W)
+	pk.m[p] = pp
+	return pp
+}
+
+// qkvOf returns the fused [wq | wk | wv] pack of an attention layer:
+// one In×(2·H·DK + H·DV) panel buffer so the Q, K, and V projections
+// run as a single wide GEMM. Column-concatenating the weights changes
+// nothing numerically — every output element keeps its own dot product.
+func (pk *Packs) qkvOf(m *MultiHeadSelfAttention) *tensor.Packed {
+	if pk == nil {
+		return nil
+	}
+	if got := pk.m[m]; got != nil {
+		return got
+	}
+	//dqnlint:allow hotalloc pack warm-up: the fused QKV weight concat is built once per session on its first window, then served from the cache
+	cat := tensor.ConcatCols(tensor.ConcatCols(m.wq.W, m.wk.W), m.wv.W)
+	//dqnlint:allow hotalloc pack warm-up: same one-time session warm-up as the concat above
+	pp := tensor.Pack(cat)
+	pk.m[m] = pp
+	return pp
+}

@@ -1,0 +1,279 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"deepqueuenet/internal/tensor"
+)
+
+// Quantized inference backend: int8 weights (per-input-row absmax
+// scales, tensor.QuantMat), float32 activations, and fast float32
+// transcendentals. Built once from a trained Sequential by Quantize;
+// the result is immutable and safe to share across goroutines (all
+// per-inference scratch comes from the caller's ArenaF32). The exact
+// float64 path stays the default — this backend is opt-in
+// (ptm.WithQuantized / dqnet -quant / dqnserve -quant) and its accuracy
+// is gated by the committed golden-scenario thresholds rather than
+// bit-identity.
+
+// qLayer is one quantized layer's forward pass.
+type qLayer interface {
+	qinfer(x *tensor.MatrixF32, a *tensor.ArenaF32) *tensor.MatrixF32
+}
+
+// QuantSequential is an immutable quantized model.
+type QuantSequential struct {
+	layers []qLayer
+}
+
+// Quantize builds the quantized form of s. It fails on custom layer
+// types (only the built-in PTM layer kinds have quantized
+// counterparts).
+func Quantize(s *Sequential) (*QuantSequential, error) {
+	qs := &QuantSequential{}
+	for i := 0; i < len(s.Layers); i++ {
+		switch l := s.Layers[i].(type) {
+		case *Dense:
+			q := &qDense{out: l.Out, w: tensor.QuantizeMat(l.w.W), b: f32Row(l.b.W), act: tensor.ActNone}
+			// Fold a following activation into the dense kernel, like the
+			// exact path's Dense+Activation peephole.
+			if i+1 < len(s.Layers) {
+				if av, ok := s.Layers[i+1].(*Activation); ok {
+					q.act = av.actKind()
+					i++
+				}
+			}
+			qs.layers = append(qs.layers, q)
+		case *Activation:
+			qs.layers = append(qs.layers, &qAct{act: l.actKind()})
+		case *LSTM:
+			qs.layers = append(qs.layers, quantLSTM(l))
+		case *BLSTM:
+			qs.layers = append(qs.layers, &qBLSTM{fwd: quantLSTM(l.fwd), bwd: quantLSTM(l.bwd)})
+		case *MultiHeadSelfAttention:
+			cat := tensor.ConcatCols(tensor.ConcatCols(l.wq.W, l.wk.W), l.wv.W)
+			q := &qMHA{
+				heads: l.Heads, dk: l.DK, dv: l.DV, out: l.Out,
+				wqkv: tensor.QuantizeMat(cat),
+				wo:   tensor.QuantizeMat(l.wo.W),
+				bo:   f32Row(l.bo.W),
+			}
+			qs.layers = append(qs.layers, q)
+		case *TakeLast:
+			qs.layers = append(qs.layers, &qTakeAt{index: -1})
+		case *TakeAt:
+			qs.layers = append(qs.layers, &qTakeAt{index: l.Index})
+		case *MeanPool:
+			qs.layers = append(qs.layers, &qMeanPool{})
+		case *LayerNorm:
+			qs.layers = append(qs.layers, &qLayerNorm{gamma: f32Row(l.gamma.W), beta: f32Row(l.beta.W)})
+		default:
+			return nil, fmt.Errorf("nn: Quantize: no quantized form for layer type %T", l)
+		}
+	}
+	return qs, nil
+}
+
+// f32Row converts a 1×N parameter matrix to a float32 slice.
+func f32Row(m *tensor.Matrix) []float32 {
+	out := make([]float32, len(m.Data))
+	for i, v := range m.Data {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+func quantLSTM(l *LSTM) *qLSTM {
+	return &qLSTM{
+		hidden: l.Hidden,
+		wx:     tensor.QuantizeMat(l.wx.W),
+		wh:     tensor.QuantizeMat(l.wh.W),
+		b:      f32Row(l.b.W),
+	}
+}
+
+// Infer runs the quantized forward pass. The returned matrix is backed
+// by a and valid until a.Reset. qs is immutable: concurrent callers
+// each bring their own arena.
+func (qs *QuantSequential) Infer(x *tensor.MatrixF32, a *tensor.ArenaF32) *tensor.MatrixF32 {
+	for _, l := range qs.layers {
+		x = l.qinfer(x, a)
+	}
+	return x
+}
+
+type qDense struct {
+	out int
+	w   *tensor.QuantMat
+	b   []float32
+	act tensor.ActKind
+}
+
+func (d *qDense) qinfer(x *tensor.MatrixF32, a *tensor.ArenaF32) *tensor.MatrixF32 {
+	y := a.NewMatrix(x.Rows, d.out)
+	tensor.QMatMulBiasActInto(y, x, d.w, d.b, d.act)
+	return y
+}
+
+type qAct struct{ act tensor.ActKind }
+
+func (q *qAct) qinfer(x *tensor.MatrixF32, a *tensor.ArenaF32) *tensor.MatrixF32 {
+	y := a.NewMatrix(x.Rows, x.Cols)
+	copy(y.Data, x.Data)
+	for i := 0; i < y.Rows; i++ {
+		tensor.ApplyActF32(y.Row(i), q.act)
+	}
+	return y
+}
+
+type qLSTM struct {
+	hidden int
+	wx, wh *tensor.QuantMat
+	b      []float32
+}
+
+func (l *qLSTM) qinfer(x *tensor.MatrixF32, a *tensor.ArenaF32) *tensor.MatrixF32 {
+	T, H := x.Rows, l.hidden
+	z := a.NewMatrix(T, 4*H)
+	tensor.QMatMulInto(z, x, l.wx)
+	hs := a.NewMatrix(T, H)
+	hPrev := a.AllocZero(H)
+	cPrev := a.AllocZero(H)
+	for t := 0; t < T; t++ {
+		zr := z.Row(t)
+		tensor.QAddVecMatInto(zr, hPrev, l.wh)
+		hr := hs.Row(t)
+		// Same structure as the exact path's GatesInto: bias add, the
+		// three sigmoid blocks and the candidate tanh block through the
+		// vectorized slice transcendentals, then the c/h combines.
+		for j, bv := range l.b {
+			zr[j] += bv
+		}
+		tensor.FastSigmoidSlice(zr[:3*H], zr[:3*H])
+		tensor.FastTanhSlice(zr[3*H:], zr[3*H:])
+		gi, gf, go_, gg := zr[:H], zr[H:2*H], zr[2*H:3*H], zr[3*H:]
+		for k := 0; k < H; k++ {
+			cPrev[k] = gf[k]*cPrev[k] + gi[k]*gg[k]
+		}
+		tensor.FastTanhSlice(hr, cPrev)
+		for k := 0; k < H; k++ {
+			hr[k] *= go_[k]
+		}
+		hPrev = hr
+	}
+	return hs
+}
+
+type qBLSTM struct{ fwd, bwd *qLSTM }
+
+func (b *qBLSTM) qinfer(x *tensor.MatrixF32, a *tensor.ArenaF32) *tensor.MatrixF32 {
+	rx := a.NewMatrix(x.Rows, x.Cols)
+	tensor.ReverseRowsF32Into(rx, x)
+	yf := b.fwd.qinfer(x, a)
+	yb := b.bwd.qinfer(rx, a)
+	ryb := a.NewMatrix(yb.Rows, yb.Cols)
+	tensor.ReverseRowsF32Into(ryb, yb)
+	out := a.NewMatrix(yf.Rows, yf.Cols+ryb.Cols)
+	tensor.ConcatColsF32Into(out, yf, ryb)
+	return out
+}
+
+type qMHA struct {
+	heads, dk, dv, out int
+	wqkv               *tensor.QuantMat
+	wo                 *tensor.QuantMat
+	bo                 []float32
+}
+
+func (m *qMHA) qinfer(x *tensor.MatrixF32, a *tensor.ArenaF32) *tensor.MatrixF32 {
+	T := x.Rows
+	hk, hv := m.heads*m.dk, m.heads*m.dv
+	qkv := a.NewMatrix(T, 2*hk+hv)
+	tensor.QMatMulInto(qkv, x, m.wqkv)
+	concat := a.NewMatrixZero(T, hv)
+	scale := float32(1 / math.Sqrt(float64(m.dk)))
+	qh := a.NewMatrix(T, m.dk)
+	kh := a.NewMatrix(T, m.dk)
+	vh := a.NewMatrix(T, m.dv)
+	s := a.NewMatrix(T, T)
+	oh := a.NewMatrix(T, m.dv)
+	for h := 0; h < m.heads; h++ {
+		tensor.ColSliceF32Into(qh, qkv, h*m.dk, (h+1)*m.dk)
+		tensor.ColSliceF32Into(kh, qkv, hk+h*m.dk, hk+(h+1)*m.dk)
+		tensor.ColSliceF32Into(vh, qkv, 2*hk+h*m.dv, 2*hk+(h+1)*m.dv)
+		tensor.MatMulTF32Into(s, qh, kh)
+		for i := range s.Data {
+			s.Data[i] *= scale
+		}
+		tensor.SoftmaxRowsF32(s)
+		tensor.MatMulF32Into(oh, s, vh)
+		for i := 0; i < T; i++ {
+			drow := concat.Row(i)
+			for j, v := range oh.Row(i) {
+				drow[h*m.dv+j] += v
+			}
+		}
+	}
+	y := a.NewMatrix(T, m.out)
+	tensor.QMatMulBiasActInto(y, concat, m.wo, m.bo, tensor.ActNone)
+	return y
+}
+
+// qTakeAt reads out one timestep; index -1 means the last (TakeLast).
+type qTakeAt struct{ index int }
+
+func (t *qTakeAt) qinfer(x *tensor.MatrixF32, a *tensor.ArenaF32) *tensor.MatrixF32 {
+	i := t.index
+	if i < 0 {
+		i = 0
+	}
+	if t.index == -1 || i >= x.Rows {
+		i = x.Rows - 1
+	}
+	out := a.NewMatrix(1, x.Cols)
+	copy(out.Row(0), x.Row(i))
+	return out
+}
+
+type qMeanPool struct{}
+
+func (p *qMeanPool) qinfer(x *tensor.MatrixF32, a *tensor.ArenaF32) *tensor.MatrixF32 {
+	out := a.NewMatrixZero(1, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		for j, v := range x.Row(i) {
+			out.Data[j] += v
+		}
+	}
+	inv := 1 / float32(x.Rows)
+	for j := range out.Data {
+		out.Data[j] *= inv
+	}
+	return out
+}
+
+type qLayerNorm struct{ gamma, beta []float32 }
+
+func (l *qLayerNorm) qinfer(x *tensor.MatrixF32, a *tensor.ArenaF32) *tensor.MatrixF32 {
+	y := a.NewMatrix(x.Rows, x.Cols)
+	for t := 0; t < x.Rows; t++ {
+		row := x.Row(t)
+		var mean float32
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float32(len(row))
+		var variance float32
+		for _, v := range row {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float32(len(row))
+		inv := 1 / float32(math.Sqrt(float64(variance)+lnEps))
+		yr := y.Row(t)
+		for j, v := range row {
+			yr[j] = (v-mean)*inv*l.gamma[j] + l.beta[j]
+		}
+	}
+	return y
+}

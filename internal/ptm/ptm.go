@@ -105,6 +105,11 @@ type PTM struct {
 	// paths allocation-free in steady state and — like the layer caches
 	// it replaces — non-goroutine-safe; parallel callers use Clone.
 	sess *session
+
+	// qnet is the opt-in int8/float32 inference backend, built by
+	// WithQuantized. It is immutable once built, so Clone shares it
+	// across replicas. nil means the exact float64 path (the default).
+	qnet *nn.QuantSequential
 }
 
 // New builds an untrained PTM with the given architecture and device
@@ -177,7 +182,7 @@ func (p *PTM) PredictStream(stream []PacketIn, kind des.SchedKind, rateBps float
 	if len(stream) == 0 {
 		return nil
 	}
-	if workers <= 1 {
+	if workers <= 1 || p.qnet != nil {
 		// Sequential path: the session reuses flat feature buffers and
 		// the arena behind the cache-free Infer, so steady-state windows
 		// allocate nothing. Bit-identical to the batch path below.
@@ -429,8 +434,30 @@ func Load(path string) (*PTM, error) {
 	return p, nil
 }
 
+// WithQuantized switches this model to the int8-weight / float32-
+// activation inference backend: weights are absmax-quantized per input
+// row at call time and every subsequent prediction runs through the
+// quantized network with fast float32 transcendentals. Opt-in because
+// results are no longer bit-identical to the exact float64 path —
+// accuracy is bounded by the committed golden-scenario gates instead.
+// Call after loading/training, never concurrently with predictions;
+// clones made afterwards share the immutable quantized network.
+func (p *PTM) WithQuantized() error {
+	qnet, err := nn.Quantize(p.Net)
+	if err != nil {
+		return err
+	}
+	p.qnet = qnet
+	p.sess = nil // sessions are backend-specific scratch
+	return nil
+}
+
+// Quantized reports whether the quantized inference backend is active.
+func (p *PTM) Quantized() bool { return p.qnet != nil }
+
 // Clone returns an independent copy sharing no mutable state (for
-// shard-parallel inference).
+// shard-parallel inference). The quantized network, when present, is
+// immutable and therefore shared.
 func (p *PTM) Clone() *PTM {
 	c := *p
 	c.Net = p.Net.Clone()

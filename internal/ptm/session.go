@@ -2,6 +2,7 @@ package ptm
 
 import (
 	"deepqueuenet/internal/des"
+	"deepqueuenet/internal/nn"
 	"deepqueuenet/internal/tensor"
 )
 
@@ -17,15 +18,29 @@ import (
 // each shard its own model clone (CloneModel), hence its own session.
 type session struct {
 	arena   *tensor.Arena
+	packs   *nn.Packs // weight matrices repacked for the blocked GEMM kernels
 	feats   []float64 // n × NumFeatures, row-major
 	tx      []float64
 	backlog []float64
 	chunks  []Chunk
 	x       *tensor.Matrix // TimeSteps × NumFeatures window
+
+	// Quantized-backend scratch (allocated only when the model runs
+	// with WithQuantized): the float32 window, its arena, and a reused
+	// column for reading predictions back out.
+	fx     *tensor.MatrixF32
+	farena *tensor.ArenaF32
+	ycol   []float64
 }
 
-func newSession(timeSteps int) *session {
-	return &session{arena: tensor.NewArena(), x: tensor.New(timeSteps, NumFeatures)}
+func newSession(timeSteps int, quant bool) *session {
+	s := &session{arena: tensor.NewArena(), packs: nn.NewPacks(), x: tensor.New(timeSteps, NumFeatures)}
+	if quant {
+		s.fx = tensor.NewF32(timeSteps, NumFeatures)
+		s.farena = tensor.NewArenaF32()
+		s.ycol = make([]float64, timeSteps)
+	}
+	return s
 }
 
 // growFloats returns buf resized to n, reusing its backing array when
@@ -52,8 +67,20 @@ func (p *PTM) predictInto(s *session, dst []float64, stream []PacketIn, kind des
 	s.chunks = chunksAppend(s.chunks[:0], n, p.TimeSteps, p.Margin)
 	for _, ck := range s.chunks {
 		ck.materializeInto(s.x, s.feats, n, p.Feat)
+		if p.qnet != nil {
+			// Opt-in quantized backend: same windows, same consume
+			// logic, int8/float32 network in between.
+			s.fx.CopyFromF64(s.x)
+			s.farena.Reset()
+			y := p.qnet.Infer(s.fx, s.farena)
+			for t := 0; t < y.Rows; t++ {
+				s.ycol[t] = y.At(t, 0)
+			}
+			p.consumeChunkVals(dst, s.ycol, ck, n, s.tx, s.backlog)
+			continue
+		}
 		s.arena.Reset()
-		y := p.Net.Infer(s.x, s.arena)
+		y := p.Net.InferPacks(s.x, s.arena, s.packs)
 		p.consumeChunk(dst, y, ck, n, s.tx, s.backlog)
 	}
 }
@@ -68,26 +95,43 @@ func (p *PTM) consumeChunk(dst []float64, y *tensor.Matrix, ck Chunk, n int, tx,
 		if pos >= n {
 			break
 		}
-		v := y.At(t, 0)
-		// Bound extrapolation modestly beyond the trained target
-		// range (unseen-load generalization, Fig. 9) without
-		// runaway tails.
-		if v < -0.1 {
-			v = -0.1
-		}
-		if v > 1.1 {
-			v = 1.1
-		}
-		resid := p.applySEC(p.unscaleTarget(v)) // residual space
-		dst[pos] = TargetInverse(resid, backlog[pos], tx[pos])
+		p.consumePred(dst, y.At(t, 0), pos, tx, backlog)
 	}
+}
+
+// consumeChunkVals is consumeChunk over a pre-extracted prediction
+// column (the quantized path's output, already widened to float64).
+func (p *PTM) consumeChunkVals(dst, col []float64, ck Chunk, n int, tx, backlog []float64) {
+	for t := ck.Lo; t < ck.Hi; t++ {
+		pos := ck.Start + t
+		if pos >= n {
+			break
+		}
+		p.consumePred(dst, col[t], pos, tx, backlog)
+	}
+}
+
+// consumePred maps one raw network output to a sojourn time: clamp to
+// the modest extrapolation range (unseen-load generalization, Fig. 9,
+// without runaway tails), SEC-correct in residual space, unscale, and
+// invert the target transform against the packet's deterministic
+// backlog and transmission time.
+func (p *PTM) consumePred(dst []float64, v float64, pos int, tx, backlog []float64) {
+	if v < -0.1 {
+		v = -0.1
+	}
+	if v > 1.1 {
+		v = 1.1
+	}
+	resid := p.applySEC(p.unscaleTarget(v)) // residual space
+	dst[pos] = TargetInverse(resid, backlog[pos], tx[pos])
 }
 
 // getSession returns the model's lazily-created inference session.
 func (p *PTM) getSession() *session {
 	if p.sess == nil {
 		//dqnlint:allow hotalloc one-time lazy init: the session (arena + window matrix) is built on the first prediction and reused for the model's lifetime
-		p.sess = newSession(p.TimeSteps)
+		p.sess = newSession(p.TimeSteps, p.qnet != nil)
 	}
 	return p.sess
 }

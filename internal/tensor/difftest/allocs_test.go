@@ -1,0 +1,70 @@
+package difftest
+
+import (
+	"testing"
+
+	"deepqueuenet/internal/nn"
+	"deepqueuenet/internal/rng"
+	"deepqueuenet/internal/tensor"
+)
+
+// TestKernelsZeroSteadyStateAllocs pins the steady-state allocation
+// count of every hot-path kernel at exactly zero: once destinations,
+// packs, and quantized panels exist, a forward window must not touch
+// the heap. A single stray alloc here multiplies by windows × devices ×
+// IRSA iterations in a real run, so the pin is 0, not "small".
+func TestKernelsZeroSteadyStateAllocs(t *testing.T) {
+	r := rng.New(707)
+	a := tensor.New(32, 20)
+	b := tensor.New(20, 48)
+	fillRand(r, a, false)
+	fillRand(r, b, false)
+	p := tensor.Pack(b)
+	dst := tensor.New(32, 48)
+	bias := tensor.New(1, 48)
+	q := tensor.QuantizeMat(b)
+	af := tensor.NewF32(32, 20)
+	af.CopyFromF64(a)
+	dstf := tensor.NewF32(32, 48)
+	h := make([]float64, 20)
+	acc := make([]float64, 48)
+	hf := make([]float32, 20)
+	accf := make([]float32, 48)
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = r.Uniform(-5, 5)
+	}
+	ys := make([]float64, 4096)
+	zr := make([]float64, 64)
+	gb := make([]float64, 64)
+	gc := make([]float64, 16)
+	gh := make([]float64, 16)
+	dstT := tensor.New(32, 32)
+
+	pins := []struct {
+		name string
+		fn   func()
+	}{
+		{"MatMulInto", func() { tensor.MatMulInto(dst, a, b) }},
+		{"MatMulPackedInto", func() { tensor.MatMulPackedInto(dst, a, p) }},
+		{"MatMulPackedBiasActInto", func() { tensor.MatMulPackedBiasActInto(dst, a, p, bias, tensor.ActTanh) }},
+		{"MatMulTInto", func() { tensor.MatMulTInto(dstT, a, a) }},
+		{"AddVecMatInto", func() { tensor.AddVecMatInto(acc, h, b) }},
+		{"PackFrom reuse", func() { p.PackFrom(b) }},
+		{"ExpSlice", func() { tensor.ExpSlice(ys, xs) }},
+		{"SigmoidSlice", func() { tensor.SigmoidSlice(ys, xs) }},
+		{"TanhSlice", func() { tensor.TanhSlice(ys, xs) }},
+		{"GatesInto", func() { nn.GatesInto(zr, gb, gc, gh) }},
+		{"QMatMulInto", func() { tensor.QMatMulInto(dstf, af, q) }},
+		{"QMatMulBiasActInto", func() { tensor.QMatMulBiasActInto(dstf, af, q, nil, tensor.ActTanh) }},
+		{"QAddVecMatInto", func() { tensor.QAddVecMatInto(accf, hf, q) }},
+	}
+	for _, pin := range pins {
+		pin := pin
+		t.Run(pin.name, func(t *testing.T) {
+			if allocs := testing.AllocsPerRun(20, pin.fn); allocs != 0 {
+				t.Fatalf("%s allocated %.1f times per run; want 0", pin.name, allocs)
+			}
+		})
+	}
+}

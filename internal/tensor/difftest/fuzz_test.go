@@ -1,0 +1,143 @@
+package difftest
+
+import (
+	"math"
+	"testing"
+
+	"deepqueuenet/internal/rng"
+	"deepqueuenet/internal/tensor"
+)
+
+// FuzzMatMulKernels fuzzes shapes and value mixes through the blocked
+// kernels with the naive references as the oracle, under both asm
+// settings. The spice byte gates special values (NaN/±Inf/denormals)
+// into the operands; every kernel must stay bit-identical to the
+// reference regardless. Seed corpus in testdata/fuzz/FuzzMatMulKernels;
+// nightly.yml runs an extended campaign.
+func FuzzMatMulKernels(f *testing.F) {
+	f.Add(byte(1), byte(1), byte(1), uint64(1), byte(0))
+	f.Add(byte(4), byte(3), byte(9), uint64(7), byte(0))
+	f.Add(byte(5), byte(8), byte(16), uint64(11), byte(1))
+	f.Add(byte(32), byte(20), byte(48), uint64(3), byte(0))
+	f.Add(byte(7), byte(2), byte(17), uint64(99), byte(3))
+	f.Fuzz(func(t *testing.T, mb, kb, nb byte, seed uint64, spice byte) {
+		m := int(mb % 33)
+		k := int(kb % 33)
+		n := int(nb % 65)
+		r := rng.New(seed)
+
+		a := tensor.New(m, k)
+		b := tensor.New(k, n)
+		fillRand(r, a, spice&1 != 0)
+		fillRand(r, b, spice&2 != 0)
+
+		want := tensor.New(m, n)
+		RefMatMul(want, a, b)
+		wantT := tensor.New(m, m)
+		RefMatMulT(wantT, a, a)
+
+		for _, asm := range []bool{false, true} {
+			prev := tensor.SetAsmKernels(asm)
+			got := tensor.New(m, n)
+			tensor.MatMulInto(got, a, b)
+			p := tensor.Pack(b)
+			gotP := tensor.New(m, n)
+			tensor.MatMulPackedInto(gotP, a, p)
+			gotT := tensor.New(m, m)
+			tensor.MatMulTInto(gotT, a, a)
+			tensor.SetAsmKernels(prev)
+
+			for i := range want.Data {
+				if !sameBits(got.Data[i], want.Data[i]) {
+					t.Fatalf("asm=%v MatMulInto elem %d: got %v want %v (shape %dx%dx%d)", asm, i, got.Data[i], want.Data[i], m, k, n)
+				}
+				if !sameBits(gotP.Data[i], want.Data[i]) {
+					t.Fatalf("asm=%v MatMulPackedInto elem %d: got %v want %v (shape %dx%dx%d)", asm, i, gotP.Data[i], want.Data[i], m, k, n)
+				}
+			}
+			for i := range wantT.Data {
+				if !sameBits(gotT.Data[i], wantT.Data[i]) {
+					t.Fatalf("asm=%v MatMulTInto elem %d: got %v want %v", asm, i, gotT.Data[i], wantT.Data[i])
+				}
+			}
+		}
+	})
+}
+
+// FuzzQuantRoundTrip fuzzes weight matrices through QuantizeMat and
+// checks the int8 round-trip invariants: codes stay in [-127, 127], the
+// per-row absmax scale reconstructs every weight within half a
+// quantization step (plus float32 scale rounding), and the packed-panel
+// GEMM agrees with a float64 matmul over the dequantized weights within
+// float32 accumulation error. Seed corpus in
+// testdata/fuzz/FuzzQuantRoundTrip.
+func FuzzQuantRoundTrip(f *testing.F) {
+	f.Add(byte(1), byte(1), uint64(1), 1.0)
+	f.Add(byte(8), byte(12), uint64(5), 0.01)
+	f.Add(byte(20), byte(48), uint64(9), 100.0)
+	f.Add(byte(3), byte(17), uint64(42), 1e-6)
+	f.Fuzz(func(t *testing.T, kb, nb byte, seed uint64, mag float64) {
+		k := 1 + int(kb%48)
+		n := 1 + int(nb%64)
+		if !(mag > 1e-30 && mag < 1e30) { // keep weights finite and sane
+			mag = 1
+		}
+		r := rng.New(seed)
+		w := tensor.New(k, n)
+		for i := range w.Data {
+			w.Data[i] = r.Uniform(-mag, mag)
+			if r.Intn(9) == 0 {
+				w.Data[i] = 0
+			}
+		}
+
+		q := tensor.QuantizeMat(w)
+		for kk := 0; kk < k; kk++ {
+			row := w.Row(kk)
+			absmax := 0.0
+			for _, v := range row {
+				if av := math.Abs(v); av > absmax {
+					absmax = av
+				}
+			}
+			step := absmax / 127
+			for j, v := range row {
+				deq := q.DequantAt(kk, j)
+				// Half a step from round-to-nearest, plus the float32
+				// rounding of the stored scale amplified by |Q| ≤ 127.
+				tol := 0.5*step + 127*step*1.2e-7 + 1e-300
+				if math.Abs(v-deq) > tol {
+					t.Fatalf("row %d col %d: |%v - %v| > %v (absmax %v)", kk, j, v, deq, tol, absmax)
+				}
+			}
+		}
+
+		// GEMM over the packed dequantized panels vs a float64 reference
+		// over DequantAt values: bounded by float32 accumulation error.
+		m := 1 + int(seed%5)
+		a := tensor.NewF32(m, k)
+		for i := range a.Data {
+			a.Data[i] = float32(r.Uniform(-2, 2))
+		}
+		dst := tensor.NewF32(m, n)
+		for _, asm := range []bool{false, true} {
+			prev := tensor.SetAsmKernels(asm)
+			tensor.QMatMulInto(dst, a, q)
+			tensor.SetAsmKernels(prev)
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					var ref, magSum float64
+					for kk := 0; kk < k; kk++ {
+						term := float64(a.At(i, kk)) * q.DequantAt(kk, j)
+						ref += term
+						magSum += math.Abs(term)
+					}
+					tol := 2 * float64(k+2) * 1.2e-7 * magSum
+					if d := math.Abs(float64(dst.At(i, j)) - ref); d > tol+1e-30 {
+						t.Fatalf("asm=%v QMatMulInto (%d,%d): |%v - %v| = %v > %v", asm, i, j, dst.At(i, j), ref, d, tol)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package difftest
+
+import (
+	"math"
+	"testing"
+
+	"deepqueuenet/internal/nn"
+	"deepqueuenet/internal/rng"
+	"deepqueuenet/internal/tensor"
+)
+
+// TestGatesIntoMatchesReference gates the fused BLSTM gate kernel: for
+// random pre-activations (including saturating magnitudes), nn.GatesInto
+// must produce the same cell and hidden state bits as the scalar
+// reference, with the vector transcendentals both on and off. Bitwise
+// identity is the strictest possible ULP budget (0 ULP) — the fused
+// kernel reorders nothing per element, it only blocks the loops.
+func TestGatesIntoMatchesReference(t *testing.T) {
+	withBackends(t, func(t *testing.T) {
+		r := rng.New(404)
+		for _, H := range []int{1, 3, 8, 16, 10, 33} {
+			for trial := 0; trial < 20; trial++ {
+				zr := make([]float64, 4*H)
+				bias := make([]float64, 4*H)
+				c := make([]float64, H)
+				h := make([]float64, H)
+				for j := range zr {
+					zr[j] = r.Uniform(-8, 8)
+					bias[j] = r.Uniform(-2, 2)
+				}
+				if trial%4 == 0 {
+					// Saturation: push some gates far into the flat regions.
+					for j := range zr {
+						if r.Intn(3) == 0 {
+							zr[j] = r.Uniform(-60, 60)
+						}
+					}
+				}
+				for k := range c {
+					c[k] = r.Uniform(-3, 3)
+				}
+
+				zrRef := append([]float64(nil), zr...)
+				cRef := append([]float64(nil), c...)
+				hRef := make([]float64, H)
+				RefGates(zrRef, bias, cRef, hRef)
+
+				nn.GatesInto(zr, bias, c, h)
+				bitsEqualSlice(t, "GatesInto c", c, cRef)
+				bitsEqualSlice(t, "GatesInto h", h, hRef)
+			}
+		}
+	})
+}
+
+// TestQuantGateBudget bounds the quantized LSTM's gate math — the fast
+// float32 sigmoid/tanh over the same block structure — against the
+// float64 reference. This is the per-timestep error the end-to-end
+// quant accuracy gates integrate over a whole stream.
+func TestQuantGateBudget(t *testing.T) {
+	r := rng.New(505)
+	const H = 16
+	for trial := 0; trial < 50; trial++ {
+		zr := make([]float32, 4*H)
+		zr64 := make([]float64, 4*H)
+		for j := range zr {
+			v := r.Uniform(-8, 8)
+			zr[j] = float32(v)
+			zr64[j] = float64(zr[j])
+		}
+		tensor.FastSigmoidSlice(zr[:3*H], zr[:3*H])
+		tensor.FastTanhSlice(zr[3*H:], zr[3*H:])
+		for j, v := range zr64 {
+			var want float64
+			if j < 3*H {
+				want = 1 / (1 + math.Exp(-v))
+			} else {
+				want = math.Tanh(v)
+			}
+			if d := math.Abs(float64(zr[j]) - want); d > 1e-6 {
+				t.Fatalf("quant gate elem %d (x=%g): abs err %.3g > 1e-6", j, v, d)
+			}
+		}
+	}
+}

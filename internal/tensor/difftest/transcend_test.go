@@ -1,0 +1,175 @@
+package difftest
+
+import (
+	"math"
+	"testing"
+
+	"deepqueuenet/internal/rng"
+	"deepqueuenet/internal/tensor"
+)
+
+// transcendInputs builds the adversarial float64 input set for the
+// slice transcendentals: broad random magnitudes plus every boundary
+// the vector kernels branch on — the |x| ≤ 704 exp safety bound, the
+// tanh 0.625 polynomial/exp split and its ±1 saturation threshold,
+// signed zero, infinities, NaN, denormals, and overflow-region values.
+func transcendInputs() []float64 {
+	r := rng.New(1)
+	xs := make([]float64, 0, 100100)
+	for i := 0; i < 100000; i++ {
+		switch i % 5 {
+		case 0:
+			xs = append(xs, r.Uniform(-10, 10))
+		case 1:
+			xs = append(xs, r.Uniform(-750, 750))
+		case 2:
+			xs = append(xs, r.Uniform(-1, 1))
+		case 3:
+			xs = append(xs, r.Uniform(-5e-4, 5e-4))
+		default:
+			xs = append(xs, r.Uniform(-50, 50))
+		}
+	}
+	return append(xs, 0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.NaN(),
+		709.78, -745.1, 704.0001, -704.0001, 704.0, -704.0,
+		44.014845965556524, -44.014845965556524, 0.625, -0.625,
+		5e-324, -5e-324, 1e-310, 1e308, -1e308, 88.02, -88.02)
+}
+
+// TestSliceTranscendentalsBitIdentical proves ExpSlice, SigmoidSlice,
+// and TanhSlice are bit-identical to per-element math.Exp / Sigmoid /
+// math.Tanh on every input class, with the vector kernels both enabled
+// and disabled. This is the contract that lets the fused BLSTM gate
+// kernel and SoftmaxRows use the slice forms without perturbing the
+// golden traces.
+func TestSliceTranscendentalsBitIdentical(t *testing.T) {
+	xs := transcendInputs()
+	withBackends(t, func(t *testing.T) {
+		dst := make([]float64, len(xs))
+		tensor.ExpSlice(dst, xs)
+		for i, x := range xs {
+			if want := math.Exp(x); math.Float64bits(dst[i]) != math.Float64bits(want) {
+				t.Fatalf("ExpSlice(%g): got %#016x want %#016x", x, math.Float64bits(dst[i]), math.Float64bits(want))
+			}
+		}
+		tensor.SigmoidSlice(dst, xs)
+		for i, x := range xs {
+			if want := tensor.Sigmoid(x); math.Float64bits(dst[i]) != math.Float64bits(want) {
+				t.Fatalf("SigmoidSlice(%g): got %#016x want %#016x", x, math.Float64bits(dst[i]), math.Float64bits(want))
+			}
+		}
+		tensor.TanhSlice(dst, xs)
+		for i, x := range xs {
+			if want := math.Tanh(x); math.Float64bits(dst[i]) != math.Float64bits(want) {
+				t.Fatalf("TanhSlice(%g): got %#016x want %#016x", x, math.Float64bits(dst[i]), math.Float64bits(want))
+			}
+		}
+	})
+}
+
+// TestSliceTranscendentalsAliasInPlace: dst may alias x exactly; the
+// in-place form must produce the same bits as the out-of-place form.
+func TestSliceTranscendentalsAliasInPlace(t *testing.T) {
+	xs := transcendInputs()[:4096]
+	withBackends(t, func(t *testing.T) {
+		out := make([]float64, len(xs))
+		tensor.TanhSlice(out, xs)
+		inPlace := append([]float64(nil), xs...)
+		tensor.TanhSlice(inPlace, inPlace)
+		bitsEqualSlice(t, "TanhSlice in-place", inPlace, out)
+
+		tensor.ExpSlice(out, xs)
+		inPlace = append([]float64(nil), xs...)
+		tensor.ExpSlice(inPlace, inPlace)
+		bitsEqualSlice(t, "ExpSlice in-place", inPlace, out)
+	})
+}
+
+// relErr32 is |got-want|/|want| with want taken from float64 truth.
+func relErr32(got float32, want float64) float64 {
+	if want == 0 {
+		return math.Abs(float64(got))
+	}
+	return math.Abs(float64(got)-want) / math.Abs(want)
+}
+
+// TestFastF32Budgets bounds the quantized path's fast float32
+// transcendentals against float64 truth. These kernels are accuracy-
+// gated, not bit-gated: the budgets below are a few float32 ULP for
+// exp, and absolute 1e-6-scale for the saturating sigmoid/tanh —
+// comfortably inside the int8 weight-quantization error the golden
+// accuracy gates already allow for. Both the 8-lane vector form and the
+// scalar tail must meet the same budget (they may differ from each
+// other by low-order ULPs).
+func TestFastF32Budgets(t *testing.T) {
+	r := rng.New(5)
+	xs := make([]float32, 0, 50020)
+	for i := 0; i < 50000; i++ {
+		switch i % 3 {
+		case 0:
+			xs = append(xs, float32(r.Uniform(-10, 10)))
+		case 1:
+			xs = append(xs, float32(r.Uniform(-80, 80)))
+		default:
+			xs = append(xs, float32(r.Uniform(-0.5, 0.5)))
+		}
+	}
+	xs = append(xs, 0, 1, -1, 9.0001, -9.0001, 88.4, -86.9, 100, -100,
+		float32(math.Inf(1)), float32(math.Inf(-1)), float32(math.NaN()))
+	withBackends(t, func(t *testing.T) {
+		dst := make([]float32, len(xs))
+		tensor.FastExpSlice(dst, xs)
+		for i, x := range xs {
+			fx := float64(x)
+			got := dst[i]
+			switch {
+			case math.IsNaN(fx):
+				if got == got {
+					t.Fatalf("FastExp(NaN) = %v, want NaN", got)
+				}
+			case fx > 88.5:
+				if !math.IsInf(float64(got), 1) {
+					t.Fatalf("FastExp(%g) = %v, want +Inf", fx, got)
+				}
+			case fx < -87:
+				if got != 0 {
+					t.Fatalf("FastExp(%g) = %v, want 0", fx, got)
+				}
+			default:
+				// The range reduction computes 2^t for t = fl(x·log2e), so
+				// the relative error grows with |x|: |t|·eps32·ln2 from the
+				// rounding of t, plus a few ULP from the polynomial. Budget
+				// both terms explicitly.
+				budget := 5e-7 + 1e-7*math.Abs(fx)
+				if e := relErr32(got, math.Exp(fx)); e > budget {
+					t.Fatalf("FastExp(%g): rel err %.3g > %.3g (got %v)", fx, e, budget, got)
+				}
+			}
+		}
+		tensor.FastSigmoidSlice(dst, xs)
+		for i, x := range xs {
+			fx := float64(x)
+			if math.IsNaN(fx) {
+				continue // NaN propagates through the exp; sign handled there
+			}
+			want := 1 / (1 + math.Exp(-fx))
+			if d := math.Abs(float64(dst[i]) - want); d > 1e-6 {
+				t.Fatalf("FastSigmoid(%g): abs err %.3g > 1e-6 (got %v want %v)", fx, d, dst[i], want)
+			}
+		}
+		tensor.FastTanhSlice(dst, xs)
+		for i, x := range xs {
+			fx := float64(x)
+			if math.IsNaN(fx) {
+				if dst[i] == dst[i] {
+					t.Fatalf("FastTanh(NaN) = %v, want NaN", dst[i])
+				}
+				continue
+			}
+			want := math.Tanh(fx)
+			if d := math.Abs(float64(dst[i]) - want); d > 1e-6 {
+				t.Fatalf("FastTanh(%g): abs err %.3g > 1e-6 (got %v want %v)", fx, d, dst[i], want)
+			}
+		}
+	})
+}

@@ -4,9 +4,12 @@ import "math"
 
 // In-place kernel variants. Each *Into writes its full destination (no
 // stale bytes survive), so destinations may come straight from
-// Arena.NewMatrix without zeroing. The accumulation order is identical
-// to the allocating variant, making results bit-identical — the
-// golden-trace tests depend on that.
+// Arena.NewMatrix without zeroing. The matmul family runs on the
+// blocked kernels (blocked.go): each output element still accumulates
+// its k terms in ascending order, but zero multiplicands are no longer
+// skipped. For finite weights that is bit-identical to both the
+// historical skip kernels and the allocating variants — the golden-
+// trace and differential tests depend on that.
 //
 // Aliasing: destinations that share a backing array with an input are
 // rejected with a panic ("tensor: ... aliases ..."). The check compares
@@ -43,9 +46,7 @@ func Sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
 func applyAct(row []float64, act ActKind) {
 	switch act {
 	case ActTanh:
-		for j, v := range row {
-			row[j] = math.Tanh(v)
-		}
+		TanhSlice(row, row)
 	case ActRelu:
 		for j, v := range row {
 			if v < 0 {
@@ -53,9 +54,7 @@ func applyAct(row []float64, act ActKind) {
 			}
 		}
 	case ActSigmoid:
-		for j, v := range row {
-			row[j] = Sigmoid(v)
-		}
+		SigmoidSlice(row, row)
 	}
 }
 
@@ -69,22 +68,71 @@ func MatMulInto(dst, a, b *Matrix) {
 		panic(shapeErr("MatMulInto dst", dst, b))
 	}
 	checkNoAlias("MatMulInto", dst, a, b)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := dst.Row(i)
-		for j := range orow {
-			orow[j] = 0
-		}
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
+	matMulDirect(dst, a, b)
+}
+
+// MatMulPackedInto computes dst = a × b where b was repacked with Pack
+// (p.K must equal a.Cols). dst must be a.Rows×p.N and must not alias a
+// or the pack. This is the session hot path: the pack is built once per
+// weight matrix and reused across windows, and on amd64 the inner
+// kernel is AVX2 assembly. Bit-identical to MatMulInto.
+func MatMulPackedInto(dst, a *Matrix, p *Packed) {
+	if a.Cols != p.K {
+		panic("tensor: MatMulPackedInto shapes " + shapeStr(a) + " and packed " + dimStr(p.K, p.N))
 	}
+	if dst.Rows != a.Rows || dst.Cols != p.N {
+		panic("tensor: MatMulPackedInto dst " + shapeStr(dst) + " want " + dimStr(a.Rows, p.N))
+	}
+	if aliases(dst, a) || (len(dst.Data) > 0 && len(p.data) > 0 && &dst.Data[0] == &p.data[0]) {
+		panic("tensor: MatMulPackedInto destination aliases an input")
+	}
+	matMulPacked(dst, a, p)
+}
+
+// MatMulPackedBiasActInto is MatMulBiasActInto with a packed weight
+// matrix: dst = act(a × w + bias). bias may be nil.
+func MatMulPackedBiasActInto(dst, a *Matrix, p *Packed, bias *Matrix, act ActKind) {
+	if a.Cols != p.K {
+		panic("tensor: MatMulPackedBiasActInto shapes " + shapeStr(a) + " and packed " + dimStr(p.K, p.N))
+	}
+	if dst.Rows != a.Rows || dst.Cols != p.N {
+		panic("tensor: MatMulPackedBiasActInto dst " + shapeStr(dst) + " want " + dimStr(a.Rows, p.N))
+	}
+	if bias != nil && (bias.Rows != 1 || bias.Cols != p.N) {
+		panic("tensor: MatMulPackedBiasActInto bias " + shapeStr(bias) + " want " + dimStr(1, p.N))
+	}
+	if aliases(dst, a) || (len(dst.Data) > 0 && len(p.data) > 0 && &dst.Data[0] == &p.data[0]) {
+		panic("tensor: MatMulPackedBiasActInto destination aliases an input")
+	}
+	matMulPacked(dst, a, p)
+	for i := 0; i < dst.Rows; i++ {
+		orow := dst.Row(i)
+		if bias != nil {
+			for j, bv := range bias.Data {
+				orow[j] += bv
+			}
+		}
+		applyAct(orow, act)
+	}
+}
+
+// AddVecMatInto computes dst += h × w, a 1×H row vector times an H×N
+// matrix accumulated into an N-wide destination row — the per-timestep
+// LSTM recurrence update. dst must not alias h or w's storage.
+func AddVecMatInto(dst, h []float64, w *Matrix) {
+	if w.Rows != len(h) {
+		panic("tensor: AddVecMatInto h length " + dimStr(len(h), w.Rows))
+	}
+	if w.Cols != len(dst) {
+		panic("tensor: AddVecMatInto dst length " + dimStr(len(dst), w.Cols))
+	}
+	if len(dst) > 0 && len(w.Data) > 0 && &dst[0] == &w.Data[0] {
+		panic("tensor: AddVecMatInto destination aliases an input")
+	}
+	if len(dst) > 0 && len(h) > 0 && &dst[0] == &h[0] {
+		panic("tensor: AddVecMatInto destination aliases the input vector")
+	}
+	addVecMat(dst, h, w)
 }
 
 // MatMulTInto computes dst = a × bᵀ. dst must be a.Rows×b.Rows and must
@@ -97,10 +145,29 @@ func MatMulTInto(dst, a, b *Matrix) {
 		panic(shapeErr("MatMulTInto dst", dst, b))
 	}
 	checkNoAlias("MatMulTInto", dst, a, b)
+	K := a.Cols
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
 		orow := dst.Row(i)
-		for j := 0; j < b.Rows; j++ {
+		// Four b rows per pass share each arow load; every dot product
+		// still accumulates k ascending, so per-element rounding is
+		// unchanged.
+		j := 0
+		for ; j+4 <= b.Rows; j += 4 {
+			b0 := b.Data[j*K : j*K+K]
+			b1 := b.Data[(j+1)*K : (j+1)*K+K]
+			b2 := b.Data[(j+2)*K : (j+2)*K+K]
+			b3 := b.Data[(j+3)*K : (j+3)*K+K]
+			var s0, s1, s2, s3 float64
+			for k, av := range arow {
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
+			}
+			orow[j], orow[j+1], orow[j+2], orow[j+3] = s0, s1, s2, s3
+		}
+		for ; j < b.Rows; j++ {
 			brow := b.Row(j)
 			sum := 0.0
 			for k := range arow {
@@ -127,21 +194,9 @@ func MatMulBiasActInto(dst, a, w, bias *Matrix, act ActKind) {
 		panic(shapeErr("MatMulBiasActInto bias", bias, w))
 	}
 	checkNoAlias("MatMulBiasActInto", dst, a, w)
+	matMulDirect(dst, a, w)
 	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
 		orow := dst.Row(i)
-		for j := range orow {
-			orow[j] = 0
-		}
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			wrow := w.Row(k)
-			for j, wv := range wrow {
-				orow[j] += av * wv
-			}
-		}
 		if bias != nil {
 			for j, bv := range bias.Data {
 				orow[j] += bv

@@ -1,0 +1,49 @@
+//go:build amd64 && !purego
+
+package tensor
+
+// AVX2 microkernel bindings (kern_amd64.s). The `purego` build tag
+// forces the portable Go kernels — the differential tests build both
+// ways to compare them.
+
+//go:noescape
+func gemm4x8(dst *float64, dstStride int, a *float64, aStride int, panel *float64, k int)
+
+//go:noescape
+func gemm1x8(dst *float64, a *float64, panel *float64, k int)
+
+//go:noescape
+func axpyN8(dst *float64, h *float64, w *float64, wStride int, hn int, npanels int)
+
+//go:noescape
+func gemmf4x8(dst *float32, dstStride int, a *float32, aStride int, panel *float32, k int)
+
+//go:noescape
+func gemmf1x8(dst *float32, a *float32, panel *float32, k int)
+
+//go:noescape
+func axpyf8(dst *float32, h *float32, panels *float32, hn int, npanels int)
+
+func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv0() (eax, edx uint32)
+
+// asmSupported reports AVX2 with OS-enabled YMM state.
+var asmSupported = detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidex(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	if lo, _ := xgetbv0(); lo&6 != 6 { // XMM and YMM state saved by the OS
+		return false
+	}
+	_, b7, _, _ := cpuidex(7, 0)
+	return b7&(1<<5) != 0 // AVX2
+}

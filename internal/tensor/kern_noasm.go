@@ -1,0 +1,33 @@
+//go:build !amd64 || purego
+
+package tensor
+
+// Portable build: no assembly microkernels. The stubs are never called
+// (useAsmKernels stays false); they exist so the dispatch code compiles
+// on every architecture.
+
+var asmSupported = false
+
+func gemm4x8(dst *float64, dstStride int, a *float64, aStride int, panel *float64, k int) {
+	panic("tensor: asm kernel called on a build without assembly")
+}
+
+func gemm1x8(dst *float64, a *float64, panel *float64, k int) {
+	panic("tensor: asm kernel called on a build without assembly")
+}
+
+func axpyN8(dst *float64, h *float64, w *float64, wStride int, hn int, npanels int) {
+	panic("tensor: asm kernel called on a build without assembly")
+}
+
+func gemmf4x8(dst *float32, dstStride int, a *float32, aStride int, panel *float32, k int) {
+	panic("tensor: asm kernel called on a build without assembly")
+}
+
+func gemmf1x8(dst *float32, a *float32, panel *float32, k int) {
+	panic("tensor: asm kernel called on a build without assembly")
+}
+
+func axpyf8(dst *float32, h *float32, panels *float32, hn int, npanels int) {
+	panic("tensor: asm kernel called on a build without assembly")
+}

@@ -1,0 +1,61 @@
+package tensor
+
+// Packed is a weight matrix repacked into contiguous column panels for
+// the blocked GEMM kernels. The K×N source is split into ⌈N/8⌉ panels
+// of 8 columns; panel pi stores its K rows contiguously, so element
+// (k, pi*8+lane) lives at data[pi*K*8 + k*8 + lane]. Columns past N in
+// the last panel are zero-padded — the kernels compute those lanes but
+// never store them.
+//
+// Packing is a pure relayout: the blocked kernels read the same values
+// in the same per-output-element order (k ascending) as the direct
+// kernels, so packed and unpacked matmuls are bit-identical.
+//
+// A Packed is immutable after PackFrom and safe to share across
+// goroutines; it must be rebuilt if the source weights change.
+type Packed struct {
+	K, N int
+	data []float64
+}
+
+// Pack returns b repacked into 8-wide column panels.
+func Pack(b *Matrix) *Packed {
+	p := &Packed{}
+	p.PackFrom(b)
+	return p
+}
+
+// PackFrom repacks b into p, reusing p's backing storage when it is
+// large enough.
+func (p *Packed) PackFrom(b *Matrix) {
+	K, N := b.Rows, b.Cols
+	np := (N + 7) / 8
+	need := np * K * 8
+	if cap(p.data) < need {
+		//dqnlint:allow hotalloc pack warm-up: a panel buffer is minted once per session/weight shape and reused across every window after
+		p.data = make([]float64, need)
+	}
+	p.data = p.data[:need]
+	p.K, p.N = K, N
+	for pi := 0; pi < np; pi++ {
+		lo := pi * 8
+		hi := lo + 8
+		if hi > N {
+			hi = N
+		}
+		base := pi * K * 8
+		for k := 0; k < K; k++ {
+			row := b.Row(k)
+			dst := p.data[base+k*8 : base+k*8+8]
+			copy(dst, row[lo:hi])
+			for z := hi - lo; z < 8; z++ {
+				dst[z] = 0
+			}
+		}
+	}
+}
+
+// panel returns the pi-th packed panel (K rows × 8 lanes).
+func (p *Packed) panel(pi int) []float64 {
+	return p.data[pi*p.K*8 : (pi+1)*p.K*8]
+}

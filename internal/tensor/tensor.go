@@ -246,10 +246,12 @@ func SoftmaxRows(m *Matrix) {
 				maxv = v
 			}
 		}
-		sum := 0.0
 		for j, v := range row {
-			e := math.Exp(v - maxv)
-			row[j] = e
+			row[j] = v - maxv
+		}
+		ExpSlice(row, row) // bit-identical to per-element math.Exp
+		sum := 0.0
+		for _, e := range row {
 			sum += e
 		}
 		if sum > 0 {
@@ -309,3 +311,7 @@ func shapeErr(op string, a, b *Matrix) string {
 	return fmt.Sprintf("tensor: %s shape mismatch (%dx%d vs %dx%d)",
 		op, a.Rows, a.Cols, b.Rows, b.Cols)
 }
+
+func shapeStr(m *Matrix) string { return fmt.Sprintf("%dx%d", m.Rows, m.Cols) }
+
+func dimStr(a, b int) string { return fmt.Sprintf("%d vs %d", a, b) }

@@ -1,0 +1,86 @@
+package tensor
+
+import "math"
+
+// Slice transcendentals. ExpSlice, SigmoidSlice and TanhSlice compute
+// math.Exp, 1/(1+math.Exp(-v)) and math.Tanh element-wise with results
+// bit-identical to the scalar calls on every platform: on amd64 CPUs
+// with AVX2+FMA they run the 4-lane replicas of the scalar algorithms
+// (vecmath_amd64.s), everywhere else they call the scalar functions.
+// They are the hot-path form used by the fused activation kernels, the
+// LSTM gate kernel and SoftmaxRows — after the blocked GEMM work, the
+// exact inference path spends most of its time in exp/tanh, and these
+// recover most of it without giving up bit-identity.
+//
+// dst and x must have equal length; dst may alias x exactly (each
+// 4-lane group is read in full before it is written).
+
+// VecKernelsSupported reports whether this binary and CPU can run the
+// vector transcendental kernels.
+func VecKernelsSupported() bool { return vecSupported }
+
+// SetVecKernels enables or disables the vector transcendentals and
+// returns the previous setting. Enabling is a no-op on builds or CPUs
+// without them. Testing and diagnostics hook — not safe to call
+// concurrently with running kernels.
+func SetVecKernels(enable bool) bool {
+	prev := useVecKernels
+	useVecKernels = enable && vecSupported
+	return prev
+}
+
+func checkSliceLens(op string, dst, x []float64) {
+	if len(dst) != len(x) {
+		panic("tensor: " + op + " length mismatch " + dimStr(len(dst), len(x)))
+	}
+}
+
+// ExpSlice computes dst[i] = math.Exp(x[i]).
+func ExpSlice(dst, x []float64) {
+	checkSliceLens("ExpSlice", dst, x)
+	i := 0
+	for useVecKernels {
+		i += vexpblk(dst[i:], x[i:])
+		if len(x)-i < 4 {
+			break
+		}
+		// The kernel stopped on a group with a lane outside its safe
+		// range: take those four scalar, then resume the vector loop.
+		for e := i + 4; i < e; i++ {
+			dst[i] = math.Exp(x[i])
+		}
+	}
+	for ; i < len(x); i++ {
+		dst[i] = math.Exp(x[i])
+	}
+}
+
+// SigmoidSlice computes dst[i] = Sigmoid(x[i]).
+func SigmoidSlice(dst, x []float64) {
+	checkSliceLens("SigmoidSlice", dst, x)
+	i := 0
+	for useVecKernels {
+		i += vsigmoidblk(dst[i:], x[i:])
+		if len(x)-i < 4 {
+			break
+		}
+		for e := i + 4; i < e; i++ {
+			dst[i] = Sigmoid(x[i])
+		}
+	}
+	for ; i < len(x); i++ {
+		dst[i] = Sigmoid(x[i])
+	}
+}
+
+// TanhSlice computes dst[i] = math.Tanh(x[i]).
+func TanhSlice(dst, x []float64) {
+	checkSliceLens("TanhSlice", dst, x)
+	i := 0
+	if useVecKernels {
+		i = vtanhblk(dst, x)
+	}
+	for ; i < len(x); i++ {
+		dst[i] = math.Tanh(x[i])
+	}
+}

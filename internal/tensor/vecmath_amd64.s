@@ -1,0 +1,626 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// 4-lane AVX2+FMA transcendental kernels, bit-identical to the scalar
+// math package on this hardware class.
+//
+// Go's math.Exp on amd64 (archExp, exp_amd64.s) takes its FMA path
+// whenever the CPU has AVX and FMA (math's private useFMA). That path
+// is straight-line SLEEF code: round x/ln2 to an int32 n with the
+// current rounding mode, subtract n·ln2 in two FMA steps (hi/lo split),
+// scale by 1/16, evaluate a degree-8 Taylor polynomial with FMA, square
+// back up four times, and multiply by 2^n built in the exponent field.
+// Every step maps 1:1 onto a packed instruction (VFNMADD231SD →
+// VFNMADD231PD, CVTSD2SL → VCVTPD2DQ, ...), and each packed lane rounds
+// exactly like its scalar twin, so EXPCORE below reproduces archExp
+// bit-for-bit on every lane whose input stays clear of the entry
+// special cases (non-finite, overflow) and of the ldexp denormal/
+// overflow branches. The Go wrappers only feed lanes with |x| ≤ 704
+// (biased exponent then stays inside [7, 2040]) and fall back to
+// math.Exp for the rest, so the special branches never need vector
+// code. The rodata constants are copied verbatim from exp_amd64.s.
+//
+// math.Tanh on amd64 is the portable Cephes code (tanh.go): a rational
+// polynomial below |x| = 0.625, 1 - 2/(e^{2|x|}+1) up to 0.5·MAXLOG,
+// ±1 beyond. The Go compiler never fuses mul+add on amd64, so the
+// polynomial's float expression tree maps onto discrete VMULPD/VADDPD/
+// VDIVPD with identical per-op rounding, and the branches become lane
+// blends: both sides are computed for every lane and VBLENDVPD picks
+// the one the scalar code would have taken (garbage in a lane that is
+// blended away is harmless — SIMD FP faults are masked). tanh is total,
+// so vtanhblk handles every input and only the length tail returns to
+// Go.
+//
+// The differential suite (internal/tensor/difftest) pins all of this
+// against math.Exp/math.Tanh exhaustively and on adversarial inputs.
+
+// Constants of archExp (exp_amd64.s), replicated across 4 lanes.
+DATA expc05<>+0(SB)/8, $0.5
+DATA expc05<>+8(SB)/8, $0.5
+DATA expc05<>+16(SB)/8, $0.5
+DATA expc05<>+24(SB)/8, $0.5
+GLOBL expc05<>(SB), RODATA|NOPTR, $32
+
+DATA expone<>+0(SB)/8, $1.0
+DATA expone<>+8(SB)/8, $1.0
+DATA expone<>+16(SB)/8, $1.0
+DATA expone<>+24(SB)/8, $1.0
+GLOBL expone<>(SB), RODATA|NOPTR, $32
+
+DATA exptwo<>+0(SB)/8, $2.0
+DATA exptwo<>+8(SB)/8, $2.0
+DATA exptwo<>+16(SB)/8, $2.0
+DATA exptwo<>+24(SB)/8, $2.0
+GLOBL exptwo<>(SB), RODATA|NOPTR, $32
+
+DATA expc24<>+0(SB)/8, $1.6666666666666666667e-1
+DATA expc24<>+8(SB)/8, $1.6666666666666666667e-1
+DATA expc24<>+16(SB)/8, $1.6666666666666666667e-1
+DATA expc24<>+24(SB)/8, $1.6666666666666666667e-1
+GLOBL expc24<>(SB), RODATA|NOPTR, $32
+
+DATA expc32<>+0(SB)/8, $4.1666666666666666667e-2
+DATA expc32<>+8(SB)/8, $4.1666666666666666667e-2
+DATA expc32<>+16(SB)/8, $4.1666666666666666667e-2
+DATA expc32<>+24(SB)/8, $4.1666666666666666667e-2
+GLOBL expc32<>(SB), RODATA|NOPTR, $32
+
+DATA expc40<>+0(SB)/8, $8.3333333333333333333e-3
+DATA expc40<>+8(SB)/8, $8.3333333333333333333e-3
+DATA expc40<>+16(SB)/8, $8.3333333333333333333e-3
+DATA expc40<>+24(SB)/8, $8.3333333333333333333e-3
+GLOBL expc40<>(SB), RODATA|NOPTR, $32
+
+DATA expc48<>+0(SB)/8, $1.3888888888888888889e-3
+DATA expc48<>+8(SB)/8, $1.3888888888888888889e-3
+DATA expc48<>+16(SB)/8, $1.3888888888888888889e-3
+DATA expc48<>+24(SB)/8, $1.3888888888888888889e-3
+GLOBL expc48<>(SB), RODATA|NOPTR, $32
+
+DATA expc56<>+0(SB)/8, $1.9841269841269841270e-4
+DATA expc56<>+8(SB)/8, $1.9841269841269841270e-4
+DATA expc56<>+16(SB)/8, $1.9841269841269841270e-4
+DATA expc56<>+24(SB)/8, $1.9841269841269841270e-4
+GLOBL expc56<>(SB), RODATA|NOPTR, $32
+
+DATA expc64<>+0(SB)/8, $2.4801587301587301587e-5
+DATA expc64<>+8(SB)/8, $2.4801587301587301587e-5
+DATA expc64<>+16(SB)/8, $2.4801587301587301587e-5
+DATA expc64<>+24(SB)/8, $2.4801587301587301587e-5
+GLOBL expc64<>(SB), RODATA|NOPTR, $32
+
+DATA explog2e<>+0(SB)/8, $1.4426950408889634073599246810018920
+DATA explog2e<>+8(SB)/8, $1.4426950408889634073599246810018920
+DATA explog2e<>+16(SB)/8, $1.4426950408889634073599246810018920
+DATA explog2e<>+24(SB)/8, $1.4426950408889634073599246810018920
+GLOBL explog2e<>(SB), RODATA|NOPTR, $32
+
+DATA expln2u<>+0(SB)/8, $0.69314718055966295651160180568695068359375
+DATA expln2u<>+8(SB)/8, $0.69314718055966295651160180568695068359375
+DATA expln2u<>+16(SB)/8, $0.69314718055966295651160180568695068359375
+DATA expln2u<>+24(SB)/8, $0.69314718055966295651160180568695068359375
+GLOBL expln2u<>(SB), RODATA|NOPTR, $32
+
+DATA expln2l<>+0(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+DATA expln2l<>+8(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+DATA expln2l<>+16(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+DATA expln2l<>+24(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+GLOBL expln2l<>(SB), RODATA|NOPTR, $32
+
+DATA expc0625<>+0(SB)/8, $0.0625
+DATA expc0625<>+8(SB)/8, $0.0625
+DATA expc0625<>+16(SB)/8, $0.0625
+DATA expc0625<>+24(SB)/8, $0.0625
+GLOBL expc0625<>(SB), RODATA|NOPTR, $32
+
+// |x| ≤ 704 keeps archExp's ldexp exponent in [7, 2040]: no denormal,
+// no overflow, no entry special case — the vector path is exact there.
+DATA expsafe<>+0(SB)/8, $704.0
+DATA expsafe<>+8(SB)/8, $704.0
+DATA expsafe<>+16(SB)/8, $704.0
+DATA expsafe<>+24(SB)/8, $704.0
+GLOBL expsafe<>(SB), RODATA|NOPTR, $32
+
+// Exponent bias 1023 as 4 × int32 for the ldexp step.
+DATA expbias<>+0(SB)/4, $1023
+DATA expbias<>+4(SB)/4, $1023
+DATA expbias<>+8(SB)/4, $1023
+DATA expbias<>+12(SB)/4, $1023
+GLOBL expbias<>(SB), RODATA|NOPTR, $16
+
+DATA absmask<>+0(SB)/8, $0x7FFFFFFFFFFFFFFF
+DATA absmask<>+8(SB)/8, $0x7FFFFFFFFFFFFFFF
+DATA absmask<>+16(SB)/8, $0x7FFFFFFFFFFFFFFF
+DATA absmask<>+24(SB)/8, $0x7FFFFFFFFFFFFFFF
+GLOBL absmask<>(SB), RODATA|NOPTR, $32
+
+DATA signmask<>+0(SB)/8, $0x8000000000000000
+DATA signmask<>+8(SB)/8, $0x8000000000000000
+DATA signmask<>+16(SB)/8, $0x8000000000000000
+DATA signmask<>+24(SB)/8, $0x8000000000000000
+GLOBL signmask<>(SB), RODATA|NOPTR, $32
+
+// Cephes tanh constants (math/tanh.go). tanhbig is 0.5*MAXLOG with the
+// exact bits the Go compiler produces for that constant expression.
+DATA tanhp0<>+0(SB)/8, $-9.64399179425052238628e-1
+DATA tanhp0<>+8(SB)/8, $-9.64399179425052238628e-1
+DATA tanhp0<>+16(SB)/8, $-9.64399179425052238628e-1
+DATA tanhp0<>+24(SB)/8, $-9.64399179425052238628e-1
+GLOBL tanhp0<>(SB), RODATA|NOPTR, $32
+
+DATA tanhp1<>+0(SB)/8, $-9.92877231001918586564e1
+DATA tanhp1<>+8(SB)/8, $-9.92877231001918586564e1
+DATA tanhp1<>+16(SB)/8, $-9.92877231001918586564e1
+DATA tanhp1<>+24(SB)/8, $-9.92877231001918586564e1
+GLOBL tanhp1<>(SB), RODATA|NOPTR, $32
+
+DATA tanhp2<>+0(SB)/8, $-1.61468768441708447952e3
+DATA tanhp2<>+8(SB)/8, $-1.61468768441708447952e3
+DATA tanhp2<>+16(SB)/8, $-1.61468768441708447952e3
+DATA tanhp2<>+24(SB)/8, $-1.61468768441708447952e3
+GLOBL tanhp2<>(SB), RODATA|NOPTR, $32
+
+DATA tanhq0<>+0(SB)/8, $1.12811678491632931402e2
+DATA tanhq0<>+8(SB)/8, $1.12811678491632931402e2
+DATA tanhq0<>+16(SB)/8, $1.12811678491632931402e2
+DATA tanhq0<>+24(SB)/8, $1.12811678491632931402e2
+GLOBL tanhq0<>(SB), RODATA|NOPTR, $32
+
+DATA tanhq1<>+0(SB)/8, $2.23548839060100448583e3
+DATA tanhq1<>+8(SB)/8, $2.23548839060100448583e3
+DATA tanhq1<>+16(SB)/8, $2.23548839060100448583e3
+DATA tanhq1<>+24(SB)/8, $2.23548839060100448583e3
+GLOBL tanhq1<>(SB), RODATA|NOPTR, $32
+
+DATA tanhq2<>+0(SB)/8, $4.84406305325125486048e3
+DATA tanhq2<>+8(SB)/8, $4.84406305325125486048e3
+DATA tanhq2<>+16(SB)/8, $4.84406305325125486048e3
+DATA tanhq2<>+24(SB)/8, $4.84406305325125486048e3
+GLOBL tanhq2<>(SB), RODATA|NOPTR, $32
+
+DATA tanh625<>+0(SB)/8, $0.625
+DATA tanh625<>+8(SB)/8, $0.625
+DATA tanh625<>+16(SB)/8, $0.625
+DATA tanh625<>+24(SB)/8, $0.625
+GLOBL tanh625<>(SB), RODATA|NOPTR, $32
+
+DATA tanhbig<>+0(SB)/8, $0x404601E678FC457B
+DATA tanhbig<>+8(SB)/8, $0x404601E678FC457B
+DATA tanhbig<>+16(SB)/8, $0x404601E678FC457B
+DATA tanhbig<>+24(SB)/8, $0x404601E678FC457B
+GLOBL tanhbig<>(SB), RODATA|NOPTR, $32
+
+// EXPCORE: Y0 = exp(Y0) per lane, archExp's FMA path packed 4-wide.
+// Requires Y12=LOG2E, Y11=LN2U, Y10=LN2L, Y9=0.0625 preloaded; clobbers
+// Y1, Y2, Y4, X4. Lanes must satisfy |x| ≤ 704 for exactness.
+#define EXPCORE \
+	VMULPD Y12, Y0, Y1        \ // t = x·log2(e)
+	VCVTPD2DQY Y1, X4         \ // n = rint(t), 4 × int32
+	VCVTDQ2PD X4, Y1          \
+	VFNMADD231PD Y11, Y1, Y0  \ // x -= n·LN2U
+	VFNMADD231PD Y10, Y1, Y0  \ // x -= n·LN2L
+	VMULPD Y9, Y0, Y0         \ // x /= 16
+	VMOVUPD expc64<>(SB), Y2  \
+	VFMADD213PD expc56<>(SB), Y0, Y2 \
+	VFMADD213PD expc48<>(SB), Y0, Y2 \
+	VFMADD213PD expc40<>(SB), Y0, Y2 \
+	VFMADD213PD expc32<>(SB), Y0, Y2 \
+	VFMADD213PD expc24<>(SB), Y0, Y2 \
+	VFMADD213PD expc05<>(SB), Y0, Y2 \
+	VFMADD213PD expone<>(SB), Y0, Y2 \
+	VMULPD Y2, Y0, Y0         \ // u = x·p
+	VADDPD exptwo<>(SB), Y0, Y2 \
+	VMULPD Y2, Y0, Y0         \ // u = u·(u+2), 1st squaring
+	VADDPD exptwo<>(SB), Y0, Y2 \
+	VMULPD Y2, Y0, Y0         \
+	VADDPD exptwo<>(SB), Y0, Y2 \
+	VMULPD Y2, Y0, Y0         \
+	VADDPD exptwo<>(SB), Y0, Y2 \
+	VFMADD213PD expone<>(SB), Y2, Y0 \ // u = u·(u+2) + 1
+	VPADDD expbias<>(SB), X4, X4 \ // biased exponent
+	VPMOVSXDQ X4, Y4          \
+	VPSLLQ $52, Y4, Y4        \
+	VMULPD Y4, Y0, Y0         // · 2^n
+
+// func vexpblk(dst, x []float64) int
+// Writes dst[i] = exp(x[i]) for leading groups of 4 lanes while every
+// lane in the group has |x| ≤ 704; returns the number of elements
+// processed (a multiple of 4). Stops early at the first group with an
+// out-of-range (or NaN) lane — the Go wrapper finishes it with
+// math.Exp. dst may alias x exactly.
+TEXT ·vexpblk(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ x_base+24(FP), SI
+	MOVQ x_len+32(FP), CX
+
+	VMOVUPD absmask<>(SB), Y15
+	VMOVUPD expsafe<>(SB), Y14
+	VMOVUPD explog2e<>(SB), Y12
+	VMOVUPD expln2u<>(SB), Y11
+	VMOVUPD expln2l<>(SB), Y10
+	VMOVUPD expc0625<>(SB), Y9
+
+	XORQ AX, AX
+exploop:
+	LEAQ 4(AX), R9
+	CMPQ R9, CX
+	JGT  expdone
+	VMOVUPD (SI)(AX*8), Y0
+	VANDPD Y15, Y0, Y1
+	VCMPPD $0x12, Y14, Y1, Y2 // |x| ≤ 704, LE_OQ (false for NaN)
+	VMOVMSKPD Y2, DX
+	CMPL DX, $0xF
+	JNE  expdone
+	EXPCORE
+	VMOVUPD Y0, (DI)(AX*8)
+	MOVQ R9, AX
+	JMP  exploop
+expdone:
+	MOVQ AX, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func vsigmoidblk(dst, x []float64) int
+// dst[i] = 1/(1+exp(-x[i])), same group contract as vexpblk. The
+// negation, the add and the divide are all exact or correctly rounded
+// single ops, matching scalar Sigmoid.
+TEXT ·vsigmoidblk(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ x_base+24(FP), SI
+	MOVQ x_len+32(FP), CX
+
+	VMOVUPD absmask<>(SB), Y15
+	VMOVUPD expsafe<>(SB), Y14
+	VMOVUPD explog2e<>(SB), Y12
+	VMOVUPD expln2u<>(SB), Y11
+	VMOVUPD expln2l<>(SB), Y10
+	VMOVUPD expc0625<>(SB), Y9
+
+	XORQ AX, AX
+sigloop:
+	LEAQ 4(AX), R9
+	CMPQ R9, CX
+	JGT  sigdone
+	VMOVUPD (SI)(AX*8), Y0
+	VANDPD Y15, Y0, Y1
+	VCMPPD $0x12, Y14, Y1, Y2
+	VMOVMSKPD Y2, DX
+	CMPL DX, $0xF
+	JNE  sigdone
+	VXORPD signmask<>(SB), Y0, Y0 // -x
+	EXPCORE
+	VADDPD expone<>(SB), Y0, Y1   // 1 + e
+	VMOVUPD expone<>(SB), Y2
+	VDIVPD Y1, Y2, Y0             // 1 / (1 + e)
+	VMOVUPD Y0, (DI)(AX*8)
+	MOVQ R9, AX
+	JMP  sigloop
+sigdone:
+	MOVQ AX, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func vtanhblk(dst, x []float64) int
+// dst[i] = tanh(x[i]) for the leading 4·⌊n/4⌋ elements; returns that
+// count (the Go wrapper does the tail). Handles every input: both the
+// rational-polynomial and the exp-based branch are computed for all
+// lanes and VBLENDVPD picks per lane what the scalar branch ladder
+// would have returned (x for ±0, ±1 beyond 0.5·MAXLOG, NaN for NaN).
+TEXT ·vtanhblk(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ x_base+24(FP), SI
+	MOVQ x_len+32(FP), CX
+
+	VMOVUPD absmask<>(SB), Y15
+	VMOVUPD explog2e<>(SB), Y12
+	VMOVUPD expln2u<>(SB), Y11
+	VMOVUPD expln2l<>(SB), Y10
+	VMOVUPD expc0625<>(SB), Y9
+
+	XORQ AX, AX
+tanhloop:
+	LEAQ 4(AX), R9
+	CMPQ R9, CX
+	JGT  tanhdone
+	VMOVUPD (SI)(AX*8), Y8  // x
+	VANDPD Y15, Y8, Y7      // z = |x|
+	VANDNPD Y8, Y15, Y5     // sign bit of x
+
+	// exp branch: 1 - 2/(e^{2z}+1), sign restored from x.
+	VMULPD exptwo<>(SB), Y7, Y0
+	EXPCORE
+	VADDPD expone<>(SB), Y0, Y1
+	VMOVUPD exptwo<>(SB), Y2
+	VDIVPD Y1, Y2, Y2       // 2/(s+1)
+	VMOVUPD expone<>(SB), Y1
+	VSUBPD Y2, Y1, Y6       // 1 - 2/(s+1)
+	VXORPD Y5, Y6, Y6
+
+	// polynomial branch, ops in the scalar evaluation order:
+	// x + x·s·((P0·s+P1)·s+P2) / (((s+Q0)·s+Q1)·s+Q2)
+	VMULPD Y8, Y8, Y1       // s = x²
+	VMOVUPD tanhp0<>(SB), Y2
+	VMULPD Y1, Y2, Y2
+	VADDPD tanhp1<>(SB), Y2, Y2
+	VMULPD Y1, Y2, Y2
+	VADDPD tanhp2<>(SB), Y2, Y2 // numerator
+	VADDPD tanhq0<>(SB), Y1, Y3
+	VMULPD Y1, Y3, Y3
+	VADDPD tanhq1<>(SB), Y3, Y3
+	VMULPD Y1, Y3, Y3
+	VADDPD tanhq2<>(SB), Y3, Y3 // denominator
+	VMULPD Y1, Y8, Y4       // x·s
+	VMULPD Y2, Y4, Y4       // (x·s)·num
+	VDIVPD Y3, Y4, Y4       // /den
+	VADDPD Y8, Y4, Y4       // + x
+
+	// Blend ladder, least to most specific.
+	VCMPPD $0x1D, tanh625<>(SB), Y7, Y1 // z ≥ 0.625, GE_OQ
+	VBLENDVPD Y1, Y6, Y4, Y4
+	VCMPPD $0x1E, tanhbig<>(SB), Y7, Y1 // z > 0.5·MAXLOG, GT_OQ
+	VMOVUPD expone<>(SB), Y2
+	VXORPD Y5, Y2, Y2                   // ±1
+	VBLENDVPD Y1, Y2, Y4, Y4
+	VXORPD Y1, Y1, Y1
+	VCMPPD $0x00, Y1, Y8, Y1            // x == ±0, EQ_OQ
+	VBLENDVPD Y1, Y8, Y4, Y4
+
+	VMOVUPD Y4, (DI)(AX*8)
+	MOVQ R9, AX
+	JMP  tanhloop
+tanhdone:
+	MOVQ AX, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// --- float32 fast transcendentals (quant path) ---
+//
+// 8-lane versions of FastExp32/FastSigmoid32/FastTanh32. These carry no
+// bit-identity contract — the quant path is accuracy-gated — so FMA and
+// round-to-nearest-even integer conversion are used freely; the scalar
+// Go fallbacks differ in a couple of low-order ULPs. Algorithm is
+// FastExp32's: n = rint(x/ln2), z = (x/ln2 - n)·ln2, degree-6 Taylor in
+// z by Horner, scale by 2^n via an integer add to the exponent field.
+// Out-of-range and NaN lanes are fixed up with compare/blend.
+
+DATA f32log2e<>+0(SB)/4, $1.4426950408889634
+DATA f32log2e<>+4(SB)/4, $1.4426950408889634
+DATA f32log2e<>+8(SB)/4, $1.4426950408889634
+DATA f32log2e<>+12(SB)/4, $1.4426950408889634
+DATA f32log2e<>+16(SB)/4, $1.4426950408889634
+DATA f32log2e<>+20(SB)/4, $1.4426950408889634
+DATA f32log2e<>+24(SB)/4, $1.4426950408889634
+DATA f32log2e<>+28(SB)/4, $1.4426950408889634
+GLOBL f32log2e<>(SB), RODATA|NOPTR, $32
+
+DATA f32ln2<>+0(SB)/4, $0.6931471805599453
+DATA f32ln2<>+4(SB)/4, $0.6931471805599453
+DATA f32ln2<>+8(SB)/4, $0.6931471805599453
+DATA f32ln2<>+12(SB)/4, $0.6931471805599453
+DATA f32ln2<>+16(SB)/4, $0.6931471805599453
+DATA f32ln2<>+20(SB)/4, $0.6931471805599453
+DATA f32ln2<>+24(SB)/4, $0.6931471805599453
+DATA f32ln2<>+28(SB)/4, $0.6931471805599453
+GLOBL f32ln2<>(SB), RODATA|NOPTR, $32
+
+DATA f32c6<>+0(SB)/4, $0.001388888888888889
+DATA f32c6<>+4(SB)/4, $0.001388888888888889
+DATA f32c6<>+8(SB)/4, $0.001388888888888889
+DATA f32c6<>+12(SB)/4, $0.001388888888888889
+DATA f32c6<>+16(SB)/4, $0.001388888888888889
+DATA f32c6<>+20(SB)/4, $0.001388888888888889
+DATA f32c6<>+24(SB)/4, $0.001388888888888889
+DATA f32c6<>+28(SB)/4, $0.001388888888888889
+GLOBL f32c6<>(SB), RODATA|NOPTR, $32
+
+DATA f32c5<>+0(SB)/4, $0.008333333333333333
+DATA f32c5<>+4(SB)/4, $0.008333333333333333
+DATA f32c5<>+8(SB)/4, $0.008333333333333333
+DATA f32c5<>+12(SB)/4, $0.008333333333333333
+DATA f32c5<>+16(SB)/4, $0.008333333333333333
+DATA f32c5<>+20(SB)/4, $0.008333333333333333
+DATA f32c5<>+24(SB)/4, $0.008333333333333333
+DATA f32c5<>+28(SB)/4, $0.008333333333333333
+GLOBL f32c5<>(SB), RODATA|NOPTR, $32
+
+DATA f32c4<>+0(SB)/4, $0.041666666666666664
+DATA f32c4<>+4(SB)/4, $0.041666666666666664
+DATA f32c4<>+8(SB)/4, $0.041666666666666664
+DATA f32c4<>+12(SB)/4, $0.041666666666666664
+DATA f32c4<>+16(SB)/4, $0.041666666666666664
+DATA f32c4<>+20(SB)/4, $0.041666666666666664
+DATA f32c4<>+24(SB)/4, $0.041666666666666664
+DATA f32c4<>+28(SB)/4, $0.041666666666666664
+GLOBL f32c4<>(SB), RODATA|NOPTR, $32
+
+DATA f32c3<>+0(SB)/4, $0.16666666666666666
+DATA f32c3<>+4(SB)/4, $0.16666666666666666
+DATA f32c3<>+8(SB)/4, $0.16666666666666666
+DATA f32c3<>+12(SB)/4, $0.16666666666666666
+DATA f32c3<>+16(SB)/4, $0.16666666666666666
+DATA f32c3<>+20(SB)/4, $0.16666666666666666
+DATA f32c3<>+24(SB)/4, $0.16666666666666666
+DATA f32c3<>+28(SB)/4, $0.16666666666666666
+GLOBL f32c3<>(SB), RODATA|NOPTR, $32
+
+DATA f32half<>+0(SB)/4, $0.5
+DATA f32half<>+4(SB)/4, $0.5
+DATA f32half<>+8(SB)/4, $0.5
+DATA f32half<>+12(SB)/4, $0.5
+DATA f32half<>+16(SB)/4, $0.5
+DATA f32half<>+20(SB)/4, $0.5
+DATA f32half<>+24(SB)/4, $0.5
+DATA f32half<>+28(SB)/4, $0.5
+GLOBL f32half<>(SB), RODATA|NOPTR, $32
+
+DATA f32one<>+0(SB)/4, $1.0
+DATA f32one<>+4(SB)/4, $1.0
+DATA f32one<>+8(SB)/4, $1.0
+DATA f32one<>+12(SB)/4, $1.0
+DATA f32one<>+16(SB)/4, $1.0
+DATA f32one<>+20(SB)/4, $1.0
+DATA f32one<>+24(SB)/4, $1.0
+DATA f32one<>+28(SB)/4, $1.0
+GLOBL f32one<>(SB), RODATA|NOPTR, $32
+
+DATA f32hi<>+0(SB)/4, $88.5
+DATA f32hi<>+4(SB)/4, $88.5
+DATA f32hi<>+8(SB)/4, $88.5
+DATA f32hi<>+12(SB)/4, $88.5
+DATA f32hi<>+16(SB)/4, $88.5
+DATA f32hi<>+20(SB)/4, $88.5
+DATA f32hi<>+24(SB)/4, $88.5
+DATA f32hi<>+28(SB)/4, $88.5
+GLOBL f32hi<>(SB), RODATA|NOPTR, $32
+
+DATA f32lo<>+0(SB)/4, $-87.0
+DATA f32lo<>+4(SB)/4, $-87.0
+DATA f32lo<>+8(SB)/4, $-87.0
+DATA f32lo<>+12(SB)/4, $-87.0
+DATA f32lo<>+16(SB)/4, $-87.0
+DATA f32lo<>+20(SB)/4, $-87.0
+DATA f32lo<>+24(SB)/4, $-87.0
+DATA f32lo<>+28(SB)/4, $-87.0
+GLOBL f32lo<>(SB), RODATA|NOPTR, $32
+
+DATA f32inf<>+0(SB)/4, $0x7F800000
+DATA f32inf<>+4(SB)/4, $0x7F800000
+DATA f32inf<>+8(SB)/4, $0x7F800000
+DATA f32inf<>+12(SB)/4, $0x7F800000
+DATA f32inf<>+16(SB)/4, $0x7F800000
+DATA f32inf<>+20(SB)/4, $0x7F800000
+DATA f32inf<>+24(SB)/4, $0x7F800000
+DATA f32inf<>+28(SB)/4, $0x7F800000
+GLOBL f32inf<>(SB), RODATA|NOPTR, $32
+
+DATA f32nine<>+0(SB)/4, $9.0
+DATA f32nine<>+4(SB)/4, $9.0
+DATA f32nine<>+8(SB)/4, $9.0
+DATA f32nine<>+12(SB)/4, $9.0
+DATA f32nine<>+16(SB)/4, $9.0
+DATA f32nine<>+20(SB)/4, $9.0
+DATA f32nine<>+24(SB)/4, $9.0
+DATA f32nine<>+28(SB)/4, $9.0
+GLOBL f32nine<>(SB), RODATA|NOPTR, $32
+
+DATA f32sign<>+0(SB)/4, $0x80000000
+DATA f32sign<>+4(SB)/4, $0x80000000
+DATA f32sign<>+8(SB)/4, $0x80000000
+DATA f32sign<>+12(SB)/4, $0x80000000
+DATA f32sign<>+16(SB)/4, $0x80000000
+DATA f32sign<>+20(SB)/4, $0x80000000
+DATA f32sign<>+24(SB)/4, $0x80000000
+DATA f32sign<>+28(SB)/4, $0x80000000
+GLOBL f32sign<>(SB), RODATA|NOPTR, $32
+
+// EXPF32CORE: Y1 = fastexp(Y0) per lane with range clamps; preserves
+// Y0; clobbers Y2, Y3. Y0 must be the (possibly negated) exp argument.
+#define EXPF32CORE \
+	VMULPS f32log2e<>(SB), Y0, Y1 \
+	VCVTPS2DQ Y1, Y2              \ // n
+	VCVTDQ2PS Y2, Y3              \
+	VSUBPS Y3, Y1, Y1             \ // t - n
+	VMULPS f32ln2<>(SB), Y1, Y1   \ // z
+	VMOVUPS f32c6<>(SB), Y3       \
+	VFMADD213PS f32c5<>(SB), Y1, Y3 \
+	VFMADD213PS f32c4<>(SB), Y1, Y3 \
+	VFMADD213PS f32c3<>(SB), Y1, Y3 \
+	VFMADD213PS f32half<>(SB), Y1, Y3 \
+	VFMADD213PS f32one<>(SB), Y1, Y3 \
+	VFMADD213PS f32one<>(SB), Y1, Y3 \ // p ≈ e^z
+	VPSLLD $23, Y2, Y2            \
+	VPADDD Y2, Y3, Y3             \ // p · 2^n via exponent-field add
+	VCMPPS $0x1E, f32hi<>(SB), Y0, Y1 \ // x > 88.5 → +Inf
+	VBLENDVPS Y1, f32inf<>(SB), Y3, Y3 \
+	VCMPPS $0x11, f32lo<>(SB), Y0, Y1 \ // x < -87 → 0
+	VXORPS Y2, Y2, Y2             \
+	VBLENDVPS Y1, Y2, Y3, Y3      \
+	VCMPPS $0x03, Y0, Y0, Y1      \ // NaN → x
+	VBLENDVPS Y1, Y0, Y3, Y1      // result in Y1
+
+// func vexpf8(dst, x []float32) int
+// dst[i] = FastExp32-style e^x for the leading 8·⌊n/8⌋ elements;
+// returns that count. Total (all inputs handled).
+TEXT ·vexpf8(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ x_base+24(FP), SI
+	MOVQ x_len+32(FP), CX
+
+	XORQ AX, AX
+fexploop:
+	LEAQ 8(AX), R9
+	CMPQ R9, CX
+	JGT  fexpdone
+	VMOVUPS (SI)(AX*4), Y0
+	EXPF32CORE
+	VMOVUPS Y1, (DI)(AX*4)
+	MOVQ R9, AX
+	JMP  fexploop
+fexpdone:
+	MOVQ AX, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func vsigmoidf8(dst, x []float32) int
+// dst[i] = 1/(1+e^-x), fast-f32 flavor, leading 8·⌊n/8⌋ elements.
+TEXT ·vsigmoidf8(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ x_base+24(FP), SI
+	MOVQ x_len+32(FP), CX
+
+	XORQ AX, AX
+fsigloop:
+	LEAQ 8(AX), R9
+	CMPQ R9, CX
+	JGT  fsigdone
+	VMOVUPS (SI)(AX*4), Y0
+	VXORPS f32sign<>(SB), Y0, Y0 // -x
+	EXPF32CORE
+	VADDPS f32one<>(SB), Y1, Y2  // 1 + e
+	VMOVUPS f32one<>(SB), Y3
+	VDIVPS Y2, Y3, Y1            // 1/(1+e)
+	VMOVUPS Y1, (DI)(AX*4)
+	MOVQ R9, AX
+	JMP  fsigloop
+fsigdone:
+	MOVQ AX, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func vtanhf8(dst, x []float32) int
+// dst[i] = (e^{2x}-1)/(e^{2x}+1) with ±1 saturation beyond |x| = 9,
+// leading 8·⌊n/8⌋ elements.
+TEXT ·vtanhf8(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ x_base+24(FP), SI
+	MOVQ x_len+32(FP), CX
+
+	XORQ AX, AX
+ftanhloop:
+	LEAQ 8(AX), R9
+	CMPQ R9, CX
+	JGT  ftanhdone
+	VMOVUPS (SI)(AX*4), Y8       // x
+	VADDPS Y8, Y8, Y0            // 2x
+	EXPF32CORE
+	VSUBPS f32one<>(SB), Y1, Y2  // e - 1
+	VADDPS f32one<>(SB), Y1, Y3  // e + 1
+	VDIVPS Y3, Y2, Y4
+	VCMPPS $0x1E, f32nine<>(SB), Y8, Y1 // x > 9 → 1
+	VBLENDVPS Y1, f32one<>(SB), Y4, Y4
+	VMOVUPS f32nine<>(SB), Y2
+	VXORPS f32sign<>(SB), Y2, Y2        // -9
+	VCMPPS $0x11, Y2, Y8, Y1            // x < -9 → -1
+	VMOVUPS f32one<>(SB), Y3
+	VXORPS f32sign<>(SB), Y3, Y3        // -1
+	VBLENDVPS Y1, Y3, Y4, Y4
+	VCMPPS $0x03, Y8, Y8, Y1            // NaN → x
+	VBLENDVPS Y1, Y8, Y4, Y4
+	VMOVUPS Y4, (DI)(AX*4)
+	MOVQ R9, AX
+	JMP  ftanhloop
+ftanhdone:
+	MOVQ AX, ret+48(FP)
+	VZEROUPPER
+	RET

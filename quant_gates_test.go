@@ -1,0 +1,170 @@
+package deepqueuenet
+
+// Quantized-inference accuracy gates: each golden scenario runs twice
+// with the same synthetic model — once on the exact float path, once on
+// a quantized clone — and the per-packet sojourn traces are compared.
+// Two statistics are gated against thresholds committed under
+// testdata/golden/quant_gates.json:
+//
+//   - w1_seconds: the Wasserstein-1 distance between the exact and
+//     quantized sojourn distributions (mean |difference| after sorting
+//     both), in seconds. This bounds the aggregate delay-distribution
+//     drift the paper's metrics (W1 on sojourn CDFs) would see.
+//   - max_rel: the worst per-packet relative sojourn error, matched by
+//     (PktID, IsRTT). This bounds pointwise damage no distributional
+//     statistic can hide.
+//
+// The committed thresholds carry ~3x headroom over measured values, so
+// the gates fail on real regressions (a quantization scheme change, a
+// scale-rounding bug) without flaking on benign kernel reordering.
+// Regenerate after an intentional quantization change with:
+//
+//	go test -run TestQuantAccuracyGates -update-golden .
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"deepqueuenet/internal/core"
+	"deepqueuenet/internal/ptm"
+)
+
+type quantGate struct {
+	W1Seconds float64 `json:"w1_seconds"`
+	MaxRel    float64 `json:"max_rel"`
+}
+
+func quantGatesPath() string {
+	return filepath.Join("testdata", "golden", "quant_gates.json")
+}
+
+// sojournKey matches deliveries across the exact and quantized runs:
+// packet identity plus direction (one-way vs RTT rows share a PktID).
+type sojournKey struct {
+	pktID uint64
+	isRTT bool
+}
+
+func sojournsByKey(t *testing.T, res *core.Result) map[sojournKey]float64 {
+	t.Helper()
+	m := make(map[sojournKey]float64, len(res.Deliveries))
+	for _, d := range res.Deliveries {
+		k := sojournKey{pktID: d.PktID, isRTT: d.IsRTT}
+		if _, dup := m[k]; dup {
+			t.Fatalf("duplicate delivery key %+v", k)
+		}
+		m[k] = d.RecvTime - d.SendTime
+	}
+	return m
+}
+
+// quantAccuracy runs one golden case on the exact and quantized paths
+// and returns the two gated statistics.
+func quantAccuracy(t *testing.T, gc goldenCase) quantGate {
+	t.Helper()
+	exactModel, err := ptm.Synthetic(goldenArch, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantModel := exactModel.Clone()
+	if err := quantModel.WithQuantized(); err != nil {
+		t.Fatal(err)
+	}
+	if !quantModel.Quantized() || exactModel.Quantized() {
+		t.Fatal("quantization flag leaked between the clone and the original")
+	}
+
+	exact := sojournsByKey(t, runGoldenCaseModel(t, gc, core.Config{Shards: 1}, exactModel))
+	quant := sojournsByKey(t, runGoldenCaseModel(t, gc, core.Config{Shards: 1}, quantModel))
+	if len(exact) != len(quant) {
+		t.Fatalf("delivery count differs: exact %d quant %d — quantization changed which packets were delivered",
+			len(exact), len(quant))
+	}
+
+	exactSorted := make([]float64, 0, len(exact))
+	quantSorted := make([]float64, 0, len(quant))
+	var maxRel float64
+	// Relative error floor: sojourns below a microsecond are compared
+	// against 1µs so a nanosecond-scale absolute wobble on a near-zero
+	// delay cannot dominate the gate.
+	const relFloor = 1e-6
+	for k, es := range exact {
+		qs, ok := quant[k]
+		if !ok {
+			t.Fatalf("packet %+v delivered on the exact path but not the quantized path", k)
+		}
+		exactSorted = append(exactSorted, es)
+		quantSorted = append(quantSorted, qs)
+		if rel := math.Abs(qs-es) / math.Max(es, relFloor); rel > maxRel {
+			maxRel = rel
+		}
+	}
+	sort.Float64s(exactSorted)
+	sort.Float64s(quantSorted)
+	var w1 float64
+	for i := range exactSorted {
+		w1 += math.Abs(exactSorted[i] - quantSorted[i])
+	}
+	w1 /= float64(len(exactSorted))
+	return quantGate{W1Seconds: w1, MaxRel: maxRel}
+}
+
+func TestQuantAccuracyGates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quant accuracy gates run full golden scenarios")
+	}
+	measured := make(map[string]quantGate)
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			measured[gc.name] = quantAccuracy(t, gc)
+			t.Logf("%s: w1=%.3e s, maxRel=%.3e", gc.name, measured[gc.name].W1Seconds, measured[gc.name].MaxRel)
+		})
+	}
+
+	if *updateGolden {
+		// Commit thresholds with 3x headroom over what was measured.
+		gates := make(map[string]quantGate, len(measured))
+		for name, m := range measured {
+			gates[name] = quantGate{W1Seconds: 3 * m.W1Seconds, MaxRel: 3 * m.MaxRel}
+		}
+		buf, err := json.MarshalIndent(gates, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(quantGatesPath(), append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", quantGatesPath())
+		return
+	}
+
+	raw, err := os.ReadFile(quantGatesPath())
+	if err != nil {
+		t.Fatalf("missing quant gates %s (run with -update-golden to create): %v", quantGatesPath(), err)
+	}
+	var gates map[string]quantGate
+	if err := json.Unmarshal(raw, &gates); err != nil {
+		t.Fatalf("parse %s: %v", quantGatesPath(), err)
+	}
+	for _, gc := range goldenCases() {
+		gate, ok := gates[gc.name]
+		if !ok {
+			t.Errorf("%s: no committed gate in %s", gc.name, quantGatesPath())
+			continue
+		}
+		m := measured[gc.name]
+		if m.W1Seconds > gate.W1Seconds {
+			t.Errorf("%s: sojourn W1 %.3e s exceeds gate %.3e s — quantized path drifted from exact",
+				gc.name, m.W1Seconds, gate.W1Seconds)
+		}
+		if m.MaxRel > gate.MaxRel {
+			t.Errorf("%s: max relative sojourn error %.3e exceeds gate %.3e — quantized path drifted from exact",
+				gc.name, m.MaxRel, gate.MaxRel)
+		}
+	}
+}
