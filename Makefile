@@ -3,7 +3,7 @@ GO ?= go
 # Per-target budget for `make fuzz`; raise for longer local campaigns.
 FUZZTIME ?= 15s
 
-.PHONY: build test race vet lint lint-fix-report check golden resume-golden bench bench-check metrics-smoke fuzz
+.PHONY: build test race vet lint lint-fix-report check golden resume-golden analytic-gates bench bench-check metrics-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -42,9 +42,9 @@ lint-fix-report:
 # check is the CI gate: go vet, the repo's own analyzers, the full
 # suite under the race detector (the shard fan-out and DLib are the
 # concurrency-bearing paths it watches), the golden-trace determinism
-# digests, the /metrics consistency smoke, and the benchmark
-# regression gate.
-check: vet lint race golden resume-golden metrics-smoke bench-check
+# digests, the analytic-tier accuracy gates, the /metrics consistency
+# smoke, and the benchmark regression gate.
+check: vet lint race golden resume-golden analytic-gates metrics-smoke bench-check
 
 # metrics-smoke drives a request through the full dqnserve handler
 # stack and asserts /metrics exposes counters consistent with /stats.
@@ -65,23 +65,32 @@ golden:
 resume-golden:
 	$(GO) test -run 'TestResume' -count=1 .
 
+# analytic-gates bounds the degradation ladder's analytic tier against
+# the DES ground truth on every golden scenario (thresholds committed
+# under testdata/golden/analytic_gates.json). Regenerate after an
+# intentional analytic-model change with:
+#   go test -run TestAnalyticAccuracyGates -update-golden .
+analytic-gates:
+	$(GO) test -run TestAnalyticAccuracyGates -count=1 .
+
 # bench runs the reproducible perf harness (cmd/dqnbench) and refreshes
-# BENCH_pr8.json in place, preserving its recorded "before" baseline.
+# BENCH_pr9.json in place, preserving its recorded "before" baseline.
 # Since PR 5 the e2e benchmarks run with an EngineObserver attached;
 # since PR 6 an e2e_fattree16_ckpt variant prices epoch checkpointing
 # and serve_saturation reports p50/p99 request latency; since PR 8 a
 # quantized predict-stream variant and per-layer GEMM microbenches
-# price the blocked/quantized kernels.
+# price the blocked/quantized kernels; since PR 9 a
+# serve_saturation_brownout variant prices the graceful-degradation
+# ladder's overload brownout (tier breakdown included).
 bench:
-	$(GO) run ./cmd/dqnbench -out BENCH_pr8.json
+	$(GO) run ./cmd/dqnbench -out BENCH_pr9.json
 
 # bench-check reruns the harness and fails on a >15% ns/op or any
-# allocs/op regression against the committed BENCH_pr8.json. (The
-# baseline moved from BENCH_pr6: the blocked-GEMM rewrite adds ~100
-# intentional one-time panel-packing allocs to each e2e run's setup —
-# priced into the PR 8 baseline, which the gate now holds the line on.)
+# allocs/op regression against the committed BENCH_pr9.json (carried
+# forward from BENCH_pr8; the PR 9 ladder adds no allocations to the
+# exact serve path, which the gate now holds the line on).
 bench-check:
-	$(GO) run ./cmd/dqnbench -check BENCH_pr8.json
+	$(GO) run ./cmd/dqnbench -check BENCH_pr9.json
 
 # microbench runs the plain go test benchmarks (no regression gate).
 microbench:
@@ -97,3 +106,4 @@ fuzz:
 	$(GO) test ./internal/checkpoint -fuzz FuzzCheckpointLoad -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/tensor/difftest -fuzz FuzzMatMulKernels -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/tensor/difftest -fuzz FuzzQuantRoundTrip -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/analytic -fuzz FuzzAnalyticScenario -fuzztime $(FUZZTIME) -run '^$$'

@@ -62,9 +62,14 @@ type Bench struct {
 	RequestsPerSec  float64 `json:"requests_per_sec,omitempty"`
 	ShedRate        float64 `json:"shed_rate,omitempty"`
 	// P50/P99LatencyMs are per-request wall latencies of completed
-	// (non-shed) requests, serve_saturation only.
+	// (non-shed) requests, serve_saturation* only.
 	P50LatencyMs float64 `json:"p50_latency_ms,omitempty"`
 	P99LatencyMs float64 `json:"p99_latency_ms,omitempty"`
+	// Tiers counts completed requests by degradation-ladder tier across
+	// all measured episodes, serve_saturation* only: the brownout
+	// variant shows how much of its extra throughput the analytic tier
+	// carried.
+	Tiers map[string]uint64 `json:"tiers,omitempty"`
 }
 
 // File is the on-disk benchmark report.
@@ -132,6 +137,9 @@ func main() {
 		if b.RequestsPerSec > 0 {
 			line += fmt.Sprintf("   %8.1f req/sec  %5.1f%% shed  p50 %.2fms p99 %.2fms",
 				b.RequestsPerSec, b.ShedRate*100, b.P50LatencyMs, b.P99LatencyMs)
+		}
+		if len(b.Tiers) > 0 {
+			line += fmt.Sprintf("   tiers %v", b.Tiers)
 		}
 		fmt.Println(line)
 	}
@@ -292,7 +300,8 @@ func benchDefs() []benchDef {
 		{"e2e_fattree16_ckpt", func() (Bench, error) {
 			return benchE2ECkpt("e2e_fattree16_ckpt", topo.FatTree(topo.FatTree16, topo.DefaultLAN), traffic.ModelMAP, 0.5, 0.0002, 11)
 		}},
-		{"serve_saturation", benchServe},
+		{"serve_saturation", func() (Bench, error) { return benchServe("serve_saturation", false) }},
+		{"serve_saturation_brownout", func() (Bench, error) { return benchServe("serve_saturation_brownout", true) }},
 	}
 }
 
@@ -501,8 +510,10 @@ func benchE2ECfg(name string, g *topo.Graph, tm traffic.Model, load, dur float64
 // episode of 8 concurrent clients firing 4 requests each through a
 // 2-worker / depth-2 server, so admission control is always under
 // pressure. It reports completed requests/s and the shed rate alongside
-// the usual ns/op and allocs/op gates.
-func benchServe() (Bench, error) {
+// the usual ns/op and allocs/op gates. With brownout on, the same
+// episode answers its overflow analytically instead of shedding — the
+// Tiers breakdown prices what the extra availability costs.
+func benchServe(name string, brownout bool) (Bench, error) {
 	// A small PTM keeps the episode dominated by serving mechanics
 	// (admission, queueing, breaker bookkeeping) rather than inference.
 	serveArch := ptm.Arch{TimeSteps: 8, Margin: 2, Embed: 4, BLSTM1: 4, BLSTM2: 4, Heads: 1, DK: 2, DV: 2, HeadOut: 4}
@@ -513,7 +524,7 @@ func benchServe() (Bench, error) {
 	runner := &serve.ScenarioRunner{DefaultModel: model, MaxShards: 2}
 	srv, err := serve.New(serve.Config{
 		Workers: 2, QueueDepth: 2, RetryMax: -1,
-		DefaultTimeout: 30 * time.Second, Seed: 1,
+		DefaultTimeout: 30 * time.Second, Seed: 1, Brownout: brownout,
 	}, runner)
 	if err != nil {
 		return Bench{}, err
@@ -568,10 +579,16 @@ func benchServe() (Bench, error) {
 			wg.Wait()
 		}
 	})
-	out := record("serve_saturation", r)
+	out := record(name, r)
 	st := srv.Snapshot()
 	if st.Received > 0 {
 		out.ShedRate = float64(st.Shed) / float64(st.Received)
+	}
+	out.Tiers = make(map[string]uint64, len(st.Fidelity))
+	for tier, n := range st.Fidelity {
+		if n > 0 {
+			out.Tiers[tier] = n
+		}
 	}
 	// Completed throughput at saturation: the non-shed fraction of each
 	// episode's requests over the episode wall time.

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -21,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"deepqueuenet/internal/analytic"
 	"deepqueuenet/internal/chaos"
 	"deepqueuenet/internal/checkpoint"
 	"deepqueuenet/internal/core"
@@ -296,19 +298,24 @@ func cmdEval(ctx context.Context, args []string) error {
 	perDevice := fs.Bool("perdevice", false, "print per-switch sojourn comparison")
 	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the DQN run (0 = none; ^C always cancels)")
 	obsSummary := fs.Bool("obs-summary", false, "print engine telemetry (delta trace, shard work, metrics) after the run")
+	analyticEval := fs.Bool("analytic", false, "also evaluate the queueing-theory analytic estimate (the serving layer's brownout tier) against DES; -model becomes optional")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *modelPath == "" {
-		return fmt.Errorf("eval requires -model")
+	if *modelPath == "" && !*analyticEval {
+		return fmt.Errorf("eval requires -model (or -analytic for a model-free analytic evaluation)")
 	}
-	model, err := ptm.Load(*modelPath)
-	if err != nil {
-		return err
-	}
-	if *quant {
-		if err := model.WithQuantized(); err != nil {
-			return fmt.Errorf("-quant: %w", err)
+	var model *ptm.PTM
+	if *modelPath != "" {
+		var err error
+		model, err = ptm.Load(*modelPath)
+		if err != nil {
+			return err
+		}
+		if *quant {
+			if err := model.WithQuantized(); err != nil {
+				return fmt.Errorf("-quant: %w", err)
+			}
 		}
 	}
 	sc, err := mk()
@@ -324,6 +331,14 @@ func cmdEval(ctx context.Context, args []string) error {
 	desTime := time.Since(t0)
 	if err := rctx.Err(); err != nil {
 		return describeRunErr(guard.FromContext(err))
+	}
+	if *analyticEval {
+		if err := printAnalyticEval(sc, truth, desTime); err != nil {
+			return err
+		}
+		if model == nil {
+			return nil
+		}
 	}
 	observer, runCfg := obsConfig(*obsSummary, *shards)
 	t0 = time.Now()
@@ -373,6 +388,58 @@ func cmdEval(ctx context.Context, args []string) error {
 	fmt.Printf("path-wise normalized w1: avgRTT %.4f  p99RTT %.4f  avgJitter %.4f  p99Jitter %.4f\n",
 		sum.AvgRTTW1, sum.P99RTTW1, sum.AvgJitterW1, sum.P99JitterW1)
 	return nil
+}
+
+// printAnalyticEval runs the G/G/1 analytic decomposition on the
+// scenario and prints a per-path comparison against the DES ground
+// truth — the accuracy table behind the degradation ladder's analytic
+// tier (see testdata/golden/analytic_gates.json for the gated bounds).
+func printAnalyticEval(sc *experiments.Scenario, truth metrics.PathSamples, desTime time.Duration) error {
+	t0 := time.Now()
+	est, err := analytic.FromScenario(sc)
+	anaTime := time.Since(t0)
+	if err != nil {
+		return fmt.Errorf("-analytic: %w", err)
+	}
+	truthStats := truth.Stats()
+	anaStats := est.PathStats()
+	keys := make([]string, 0, len(truthStats))
+	for k := range truthStats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("analytic tier (per-port G/G/1 decomposition): DES %v, analytic %v, max rho %.3f\n",
+		desTime.Round(time.Millisecond), anaTime.Round(time.Microsecond), est.MaxRho)
+	fmt.Println("path           DES meanRTT(us)  ana meanRTT(us)  rel     DES p99(us)  ana p99(us)  rel")
+	for _, k := range keys {
+		ts := truthStats[k]
+		as, ok := anaStats[k]
+		if !ok {
+			fmt.Printf("%-14s (no analytic estimate)\n", k)
+			continue
+		}
+		fmt.Printf("%-14s %-16.2f %-16.2f %-7.3f %-12.2f %-12.2f %-7.3f\n",
+			k, ts.AvgRTT*1e6, as.AvgRTT*1e6, relErr(as.AvgRTT, ts.AvgRTT),
+			ts.P99RTT*1e6, as.P99RTT*1e6, relErr(as.P99RTT, ts.P99RTT))
+	}
+	var allT []float64
+	for _, v := range truth {
+		allT = append(allT, v...)
+	}
+	desMean := metrics.Mean(allT)
+	desP99 := metrics.Percentile(allT, 99)
+	fmt.Printf("aggregate: DES mean %.2fus p99 %.2fus | analytic mean %.2fus p99 %.2fus (rel %.3f / %.3f)\n",
+		desMean*1e6, desP99*1e6, est.MeanRTTSec*1e6, est.P99RTTSec*1e6,
+		relErr(est.MeanRTTSec, desMean), relErr(est.P99RTTSec, desP99))
+	return nil
+}
+
+// relErr is |got−want| / want, NaN-safe for empty ground truths.
+func relErr(got, want float64) float64 {
+	if !(want > 0) {
+		return 0
+	}
+	return math.Abs(got-want) / want
 }
 
 func printPathStats(ps metrics.PathSamples) {

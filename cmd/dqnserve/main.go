@@ -58,6 +58,7 @@ func run(args []string) error {
 	maxShards := fs.Int("max-shards", 8, "cap on per-request inference shards")
 	maxDur := fs.Float64("max-duration", 0.01, "cap on simulated seconds per request")
 	retries := fs.Int("retries", 2, "retry budget for transient job failures")
+	brownout := fs.Bool("brownout", false, "answer overloaded or deadline-short requests at reduced fidelity (quantized or analytic) instead of shedding; fidelity \"exact\" requests are never browned out")
 	brThreshold := fs.Int("breaker-threshold", 5, "consecutive failures that open a model-path breaker")
 	brCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before half-open probes")
 	brProbes := fs.Int("breaker-probes", 2, "successful probes required to close a breaker")
@@ -134,7 +135,7 @@ func run(args []string) error {
 	srv, err := serve.New(serve.Config{
 		Workers: *workers, QueueDepth: *queueDepth,
 		DefaultTimeout: *timeout, MaxTimeout: *maxTimeout,
-		RetryMax: *retries, Seed: *seed,
+		RetryMax: *retries, Seed: *seed, Brownout: *brownout,
 		MaxBodyBytes: *maxBody, Metrics: reg, Logger: logger,
 		StateDir: *stateDir, CheckpointEvery: *ckptEvery,
 		Breaker: serve.BreakerConfig{Threshold: *brThreshold, Cooldown: *brCooldown, ProbeSuccesses: *brProbes},
@@ -144,6 +145,9 @@ func run(args []string) error {
 	}
 	if *stateDir != "" {
 		fmt.Printf("durable job state in %s (checkpoint every %d iterations)\n", *stateDir, *ckptEvery)
+	}
+	if *brownout {
+		fmt.Println("brownout enabled: overload and deadline pressure answer at reduced fidelity instead of shedding")
 	}
 
 	if *pprofAddr != "" {
@@ -194,8 +198,8 @@ func run(args []string) error {
 		return err
 	}
 	st := srv.Snapshot()
-	fmt.Printf("drained: %d completed, %d failed, %d shed, %d degraded, %d retries\n",
-		st.Completed, st.Failed, st.Shed, st.Degraded, st.Retries)
+	fmt.Printf("drained: %d completed, %d failed, %d shed, %d degraded, %d brownouts, %d retries\n",
+		st.Completed, st.Failed, st.Shed, st.Degraded, st.Brownouts, st.Retries)
 	return nil
 }
 

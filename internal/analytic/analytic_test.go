@@ -1,0 +1,223 @@
+package analytic
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"deepqueuenet/internal/des"
+	"deepqueuenet/internal/experiments"
+	"deepqueuenet/internal/queueing"
+	"deepqueuenet/internal/topo"
+	"deepqueuenet/internal/traffic"
+)
+
+// dumbbell builds h0 — s — h1 with the given rate and delay.
+func dumbbell(rateBps, delay float64) (*topo.Graph, []topo.FlowDef, *topo.Routing) {
+	g := topo.New()
+	h0 := g.AddNode(topo.Host, "h0")
+	s := g.AddNode(topo.Switch, "s")
+	h1 := g.AddNode(topo.Host, "h1")
+	g.Connect(h0, s, rateBps, delay)
+	g.Connect(s, h1, rateBps, delay)
+	flows := []topo.FlowDef{{FlowID: 1, Src: h0, Dst: h1}}
+	rt, err := g.Route(flows)
+	if err != nil {
+		panic(err)
+	}
+	return g, flows, rt
+}
+
+// TestSingleFlowMatchesClosedForm checks the decomposition by hand on
+// the dumbbell: one flow, four loaded egress ports (h0, s→h1 forward;
+// h1, s→h0 echo), each an isolated G/G/1 at the same λ and µ.
+func TestSingleFlowMatchesClosedForm(t *testing.T) {
+	const (
+		rate  = 1e9
+		delay = 1e-6
+		pkt   = 800.0
+		lam   = 50000.0 // pps → rho = 0.32
+	)
+	g, flows, rt := dumbbell(rate, delay)
+	est, err := Analyze(Input{G: g, RT: rt, Flows: flows,
+		FlowRate: lam, MeanPktBytes: pkt, CA2: 1, CS2: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := rate / (8 * pkt)
+	wait, err := queueing.KingmanGG1Wait(lam, mu, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perHop := wait + pkt*8/rate + delay
+	wantRTT := 4 * perHop // 2 forward legs + 2 echo legs
+	key := des.PathKey(flows[0].Src, flows[0].Dst)
+	pe := est.Paths[key]
+	if pe == nil {
+		t.Fatalf("no path estimate under %q (have %v)", key, est.Paths)
+	}
+	if math.Abs(pe.MeanRTTSec-wantRTT) > 1e-12 {
+		t.Errorf("mean RTT %.12g, want %.12g", pe.MeanRTTSec, wantRTT)
+	}
+	if math.Abs(pe.MeanFwdSec-2*perHop) > 1e-12 {
+		t.Errorf("forward mean %.12g, want %.12g", pe.MeanFwdSec, 2*perHop)
+	}
+	if pe.P99RTTSec < pe.MeanRTTSec {
+		t.Errorf("p99 %.12g below mean %.12g", pe.P99RTTSec, pe.MeanRTTSec)
+	}
+	if math.Abs(est.MaxRho-lam/mu) > 1e-12 {
+		t.Errorf("max rho %.6g, want %.6g", est.MaxRho, lam/mu)
+	}
+	if len(est.Ports) != 4 {
+		t.Errorf("loaded ports %d, want 4", len(est.Ports))
+	}
+}
+
+// TestZeroDemandIsDeterministic: with no offered load every wait is
+// zero and the estimate is the transmission + propagation sum.
+func TestZeroDemandIsDeterministic(t *testing.T) {
+	const (
+		rate  = 1e9
+		delay = 2e-6
+		pkt   = 1000.0
+	)
+	g, flows, rt := dumbbell(rate, delay)
+	est, err := Analyze(Input{G: g, RT: rt, Flows: flows,
+		FlowRate: 0, MeanPktBytes: pkt, CA2: 1, CS2: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := est.Paths[des.PathKey(flows[0].Src, flows[0].Dst)]
+	want := 4 * (pkt*8/rate + delay)
+	if math.Abs(pe.MeanRTTSec-want) > 1e-15 {
+		t.Errorf("zero-demand RTT %.12g, want deterministic %.12g", pe.MeanRTTSec, want)
+	}
+	if math.Abs(pe.P99RTTSec-want) > 1e-15 {
+		t.Errorf("zero-demand p99 %.12g, want %.12g", pe.P99RTTSec, want)
+	}
+	if pe.WaitRTTSec != 0 || pe.WaitVarSec2 != 0 {
+		t.Errorf("zero-demand wait %v var %v, want 0", pe.WaitRTTSec, pe.WaitVarSec2)
+	}
+}
+
+// TestSaturationIsTypedUnstable: offered load at or beyond capacity
+// must surface as ErrUnstable so serve can fall to the FIFO rung.
+func TestSaturationIsTypedUnstable(t *testing.T) {
+	g, flows, rt := dumbbell(1e9, 1e-6)
+	mu := 1e9 / (8 * 800.0)
+	_, err := Analyze(Input{G: g, RT: rt, Flows: flows,
+		FlowRate: mu, MeanPktBytes: 800, CA2: 1, CS2: 0})
+	if !errors.Is(err, ErrUnstable) {
+		t.Fatalf("saturated network error %v, want ErrUnstable", err)
+	}
+	_, err = Analyze(Input{G: g, RT: rt, Flows: flows,
+		FlowRate: 2 * mu, MeanPktBytes: 800, CA2: 1, CS2: 0})
+	if !errors.Is(err, ErrUnstable) {
+		t.Fatalf("oversaturated network error %v, want ErrUnstable", err)
+	}
+}
+
+// TestHostileInputsRejected: non-finite and negative inputs must error,
+// never propagate into the estimate.
+func TestHostileInputsRejected(t *testing.T) {
+	g, flows, rt := dumbbell(1e9, 1e-6)
+	base := Input{G: g, RT: rt, Flows: flows, FlowRate: 1000, MeanPktBytes: 800, CA2: 1, CS2: 0}
+	mutate := []struct {
+		name string
+		fn   func(*Input)
+	}{
+		{"nan rate", func(in *Input) { in.FlowRate = math.NaN() }},
+		{"inf rate", func(in *Input) { in.FlowRate = math.Inf(1) }},
+		{"negative rate", func(in *Input) { in.FlowRate = -1 }},
+		{"nan pkt", func(in *Input) { in.MeanPktBytes = math.NaN() }},
+		{"zero pkt", func(in *Input) { in.MeanPktBytes = 0 }},
+		{"nan ca2", func(in *Input) { in.CA2 = math.NaN() }},
+		{"negative cs2", func(in *Input) { in.CS2 = -0.25 }},
+		{"nil topo", func(in *Input) { in.G = nil }},
+	}
+	for _, tc := range mutate {
+		in := base
+		tc.fn(&in)
+		if est, err := Analyze(in); err == nil {
+			t.Errorf("%s: accepted hostile input (est %+v)", tc.name, est)
+		}
+	}
+}
+
+// TestBufferBlocking: a finite buffer reports nonzero blocking on
+// loaded ports and zero on an unloaded network.
+func TestBufferBlocking(t *testing.T) {
+	g, flows, rt := dumbbell(1e9, 1e-6)
+	mu := 1e9 / (8 * 800.0)
+	est, err := Analyze(Input{G: g, RT: rt, Flows: flows,
+		FlowRate: 0.8 * mu, MeanPktBytes: 800, CA2: 1, CS2: 0, Buffer: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := queueing.MM1KBlocking(0.8*mu, mu, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.MaxBlocking-want) > 1e-12 {
+		t.Errorf("max blocking %.6g, want %.6g", est.MaxBlocking, want)
+	}
+}
+
+// TestFromScenarioFinite runs the scenario-level entry point on a real
+// calibrated scenario and checks shape and finiteness: one estimate per
+// host pair, all fields finite, PathStats mirrors the estimate.
+func TestFromScenarioFinite(t *testing.T) {
+	g := topo.Line(4, topo.DefaultLAN)
+	sc, err := experiments.NewScenario("t", g, des.SchedConfig{Kind: des.FIFO},
+		traffic.ModelPoisson, 0.4, 0.0005, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := FromScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.Paths) != len(sc.Flows) {
+		t.Fatalf("paths %d, want one per flow (%d)", len(est.Paths), len(sc.Flows))
+	}
+	stats := est.PathStats()
+	for k, p := range est.Paths {
+		for name, v := range map[string]float64{
+			"mean fwd": p.MeanFwdSec, "mean rtt": p.MeanRTTSec, "p99 rtt": p.P99RTTSec,
+			"wait": p.WaitRTTSec, "wait var": p.WaitVarSec2, "det": p.DetRTTSec,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Errorf("path %s: %s = %v not finite/non-negative", k, name, v)
+			}
+		}
+		st, ok := stats[k]
+		if !ok {
+			t.Errorf("PathStats missing key %s", k)
+			continue
+		}
+		if math.Abs(st.AvgRTT-p.MeanRTTSec) > 1e-15 || math.Abs(st.P99RTT-p.P99RTTSec) > 1e-15 {
+			t.Errorf("PathStats %s disagrees with estimate", k)
+		}
+	}
+	if est.MeanRTTSec <= 0 || est.P99RTTSec < est.MeanRTTSec {
+		t.Errorf("aggregate mean %.3g p99 %.3g malformed", est.MeanRTTSec, est.P99RTTSec)
+	}
+}
+
+// TestArrivalSCV: Poisson is exactly 1 by definition; the measured
+// models must return finite positive values and be stable across calls
+// (memoized).
+func TestArrivalSCV(t *testing.T) {
+	if v := ArrivalSCV(traffic.ModelPoisson); v != 1 {
+		t.Fatalf("Poisson SCV %v, want exactly 1", v)
+	}
+	for _, m := range []traffic.Model{traffic.ModelOnOff, traffic.ModelMAP, traffic.ModelBCLike, traffic.ModelAnarchyLike} {
+		v1 := ArrivalSCV(m)
+		if math.IsNaN(v1) || math.IsInf(v1, 0) || v1 <= 0 {
+			t.Errorf("%v SCV %v not finite positive", m, v1)
+		}
+		if v2 := ArrivalSCV(m); math.Abs(v2-v1) > 0 {
+			t.Errorf("%v SCV not memoized: %v then %v", m, v1, v2)
+		}
+	}
+}

@@ -227,7 +227,7 @@ type chaosRunner struct {
 }
 
 // Run implements serve.Runner.
-func (c *chaosRunner) Run(ctx context.Context, req *serve.Request, degraded bool) (*serve.Result, error) {
+func (c *chaosRunner) Run(ctx context.Context, req *serve.Request, mode serve.RunMode) (*serve.Result, error) {
 	if c.in.roll(FaultLatency, c.in.cfg.LatencyRate) {
 		t := time.NewTimer(c.in.cfg.Latency)
 		select {
@@ -246,7 +246,7 @@ func (c *chaosRunner) Run(ctx context.Context, req *serve.Request, degraded bool
 		defer cancel()
 		ctx = cctx
 	}
-	return c.next.Run(ctx, req, degraded)
+	return c.next.Run(ctx, req, mode)
 }
 
 // WrapEpochSink wraps a checkpoint sink with crash injection: the inner

@@ -223,18 +223,33 @@ func (s *Scenario) calibrate() {
 	s.perFlowLoad = s.Load / float64(max)
 }
 
-const evalPktSize = 800 // bytes; constant sizes keep load calibration exact
+const (
+	evalPktSize = 800  // bytes; constant sizes keep load calibration exact
+	evalRateBps = 10e9 // generator reference rate shared with PerFlowRate
+)
 
 // gens builds one generator per flow, seeded deterministically.
 func (s *Scenario) gens(seed uint64) []traffic.Generator {
 	r := rng.New(seed)
 	out := make([]traffic.Generator, len(s.Flows))
 	for i := range s.Flows {
-		out[i] = traffic.NewGenerator(s.Model, s.perFlowLoad, 10e9,
+		out[i] = traffic.NewGenerator(s.Model, s.perFlowLoad, evalRateBps,
 			traffic.ConstSize(evalPktSize), r.Split())
 	}
 	return out
 }
+
+// PerFlowRate returns the calibrated mean packet rate (packets/second)
+// each flow injects — the demand figure the analytic decomposition needs.
+func (s *Scenario) PerFlowRate() float64 {
+	if s.perFlowLoad <= 0 {
+		return 0
+	}
+	return traffic.PacketRateFor(s.perFlowLoad, evalRateBps, evalPktSize)
+}
+
+// MeanPacketBytes returns the mean packet size the generators emit.
+func (s *Scenario) MeanPacketBytes() float64 { return evalPktSize }
 
 // classOf resolves the class assignment. The default matches the
 // training convention: class 0 with zero weight (weights are only

@@ -2,6 +2,7 @@ package queueing
 
 import (
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -46,8 +47,8 @@ func MG1MeanWait(lambda, mu, scv float64) (float64, error) {
 	if err := checkStable(lambda, mu); err != nil {
 		return 0, err
 	}
-	if scv < 0 {
-		return 0, errors.New("queueing: negative SCV")
+	if err := checkSCV(scv); err != nil {
+		return 0, err
 	}
 	rho := lambda / mu
 	return (1 + scv) / 2 * rho / (mu * (1 - rho)), nil
@@ -57,8 +58,8 @@ func MG1MeanWait(lambda, mu, scv float64) (float64, error) {
 // P(N = K) = (1−ρ)ρᴷ / (1−ρ^{K+1}) (ρ ≠ 1), the probability an arrival
 // is dropped.
 func MM1KBlocking(lambda, mu float64, k int) (float64, error) {
-	if lambda <= 0 || mu <= 0 {
-		return 0, errors.New("queueing: rates must be positive")
+	if err := checkRates(lambda, mu); err != nil {
+		return 0, err
 	}
 	if k < 1 {
 		return 0, errors.New("queueing: capacity must be >= 1")
@@ -76,19 +77,58 @@ func KingmanGG1Wait(lambda, mu, ca2, cs2 float64) (float64, error) {
 	if err := checkStable(lambda, mu); err != nil {
 		return 0, err
 	}
-	if ca2 < 0 || cs2 < 0 {
-		return 0, errors.New("queueing: negative SCV")
+	if err := checkSCV(ca2); err != nil {
+		return 0, err
+	}
+	if err := checkSCV(cs2); err != nil {
+		return 0, err
 	}
 	rho := lambda / mu
 	return rho / (1 - rho) * (ca2 + cs2) / 2 / mu, nil
 }
 
+// ErrUnstable marks a queue whose arrival rate meets or exceeds its
+// service rate: no steady state exists and every closed form diverges.
+// Callers running a degradation ladder (internal/serve) match on it to
+// fall from the analytic tier to the FIFO-serialization rung.
+var ErrUnstable = errors.New("queueing: unstable (lambda >= mu)")
+
+// checkRates validates that both rates are finite and strictly
+// positive. NaN must be rejected explicitly: `NaN <= 0` and `NaN >= mu`
+// are both false, so a plain comparison-based guard would silently
+// accept a NaN rate and propagate it through every closed form.
+func checkRates(lambda, mu float64) error {
+	if math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return fmt.Errorf("queueing: arrival rate is not finite (lambda = %v)", lambda)
+	}
+	if math.IsNaN(mu) || math.IsInf(mu, 0) {
+		return fmt.Errorf("queueing: service rate is not finite (mu = %v)", mu)
+	}
+	if lambda <= 0 {
+		return fmt.Errorf("queueing: arrival rate must be positive (lambda = %v)", lambda)
+	}
+	if mu <= 0 {
+		return fmt.Errorf("queueing: service rate must be positive (mu = %v)", mu)
+	}
+	return nil
+}
+
+// checkSCV validates a squared coefficient of variation: finite and
+// non-negative (same NaN caveat as checkRates).
+func checkSCV(scv float64) error {
+	if math.IsNaN(scv) || math.IsInf(scv, 0) || scv < 0 {
+		return fmt.Errorf("queueing: SCV must be finite and non-negative (got %v)", scv)
+	}
+	return nil
+}
+
+// checkStable is checkRates plus the stability condition lambda < mu.
 func checkStable(lambda, mu float64) error {
-	if lambda <= 0 || mu <= 0 {
-		return errors.New("queueing: rates must be positive")
+	if err := checkRates(lambda, mu); err != nil {
+		return err
 	}
 	if lambda >= mu {
-		return errors.New("queueing: unstable (lambda >= mu)")
+		return fmt.Errorf("%w: lambda %v, mu %v", ErrUnstable, lambda, mu)
 	}
 	return nil
 }

@@ -200,6 +200,23 @@ func TestChaosStormServerSurvives(t *testing.T) {
 	if got := scrapeValue(t, exp, `dqn_degraded_total`); got != st.Degraded {
 		t.Errorf("/metrics degraded %d != /stats %d", got, st.Degraded)
 	}
+	if got := scrapeValue(t, exp, `dqn_brownouts_total`); got != st.Brownouts {
+		t.Errorf("/metrics brownouts %d != /stats %d", got, st.Brownouts)
+	}
+
+	// The fidelity ladder must reconcile too: exactly one tier answered
+	// each completed request, and /metrics agrees with /stats per tier.
+	var fidSum uint64
+	for _, tier := range []string{"exact", "quant", "analytic", "fifo"} {
+		got := scrapeValue(t, exp, fmt.Sprintf(`dqn_fidelity_total{tier="%s"}`, tier))
+		if got != st.Fidelity[tier] {
+			t.Errorf("/metrics fidelity %s = %d, /stats = %d", tier, got, st.Fidelity[tier])
+		}
+		fidSum += got
+	}
+	if fidSum != st.Completed {
+		t.Errorf("fidelity tiers sum %d != completed %d (%v)", fidSum, st.Completed, st.Fidelity)
+	}
 
 	// Drain while fresh traffic is still arriving: drain must finish,
 	// late requests must see 503.
@@ -259,7 +276,8 @@ func TestChaosBreakerOpensAndRecovers(t *testing.T) {
 		t.Fatalf("breaker not open after threshold failures: %v", br)
 	}
 
-	// Open: availability through the degraded-FIFO fallback.
+	// Open: availability one rung down — the analytic tier, not a bare
+	// FIFO pass, answers 200 with the degradation advertised in headers.
 	rec := postSim(h, simBody(10))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("degraded request: status %d body %s", rec.Code, rec.Body.String())
@@ -267,8 +285,24 @@ func TestChaosBreakerOpensAndRecovers(t *testing.T) {
 	if rec.Header().Get("X-DQN-Degraded") != "breaker-open" {
 		t.Fatalf("degraded response missing X-DQN-Degraded header")
 	}
-	if !strings.Contains(rec.Body.String(), `"mode":"degraded-fifo"`) {
+	if got := rec.Header().Get("X-DQN-Fidelity"); got != "analytic" {
+		t.Fatalf("degraded response X-DQN-Fidelity = %q, want analytic", got)
+	}
+	if !strings.Contains(rec.Body.String(), `"mode":"analytic"`) {
 		t.Fatalf("degraded body %s", rec.Body.String())
+	}
+	if st := srv.Snapshot(); st.Fidelity["analytic"] != 1 {
+		t.Fatalf("fidelity counters %v, want analytic=1", st.Fidelity)
+	}
+
+	// A caller pinned to exact fidelity refuses the downgrade: 503 with
+	// a breaker_open error, never a silently-degraded answer.
+	exact := postSim(h, `{"topo":"line4","duration":0.0002,"seed":12,"fidelity":"exact"}`)
+	if exact.Code != http.StatusServiceUnavailable {
+		t.Fatalf("exact-only under open breaker: status %d body %s", exact.Code, exact.Body.String())
+	}
+	if !strings.Contains(exact.Body.String(), "breaker_open") {
+		t.Fatalf("exact-only error body %s, want kind breaker_open", exact.Body.String())
 	}
 
 	// Heal the model, let the cooldown elapse: the probe closes it.
@@ -277,6 +311,9 @@ func TestChaosBreakerOpensAndRecovers(t *testing.T) {
 	rec = postSim(h, simBody(11))
 	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"mode":"model"`) {
 		t.Fatalf("probe request: status %d body %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-DQN-Fidelity"); got != "exact" {
+		t.Fatalf("healthy response X-DQN-Fidelity = %q, want exact", got)
 	}
 	if br.State() != serve.BreakerClosed {
 		t.Fatalf("breaker %v after successful probe, want closed", br.State())
@@ -398,6 +435,181 @@ func TestChaosOffDigestBitIdentical(t *testing.T) {
 	}
 }
 
+// gateRunner holds model-tier runs at a gate until released while
+// delegating the analytic tier to the real runner — the deterministic
+// saturation used by the brownout drill: with the single worker parked
+// at the gate and the queue full, every further arrival is a would-be
+// 429.
+type gateRunner struct {
+	next    serve.Runner
+	gate    chan struct{}
+	started chan struct{}
+}
+
+func (g *gateRunner) Run(ctx context.Context, req *serve.Request, mode serve.RunMode) (*serve.Result, error) {
+	if mode == serve.RunAnalytic {
+		return g.next.Run(ctx, req, mode)
+	}
+	select {
+	case g.started <- struct{}{}:
+	default:
+	}
+	select {
+	case <-g.gate:
+	case <-ctx.Done():
+		return nil, guard.FromContext(ctx.Err())
+	}
+	return g.next.Run(ctx, req, mode)
+}
+
+// TestChaosBrownoutConvertsShedToAnalytic drives an identical overload
+// burst against a shedding server and a brownout server: the brownout
+// run must convert every would-be 429 into a reduced-fidelity 200 — at
+// least doubling the completed count — while fidelity "exact" clients
+// are still shed rather than silently degraded.
+func TestChaosBrownoutConvertsShedToAnalytic(t *testing.T) {
+	const burst = 10
+	run := func(brownout bool) serve.Stats {
+		g := &gateRunner{
+			next:    &serve.ScenarioRunner{DefaultModel: testModel(t), MaxShards: 2},
+			gate:    make(chan struct{}),
+			started: make(chan struct{}, 4),
+		}
+		srv := mustServe(t, serve.Config{
+			Workers: 1, QueueDepth: 1, RetryMax: -1, Brownout: brownout,
+		}, g)
+		h := srv.Handler()
+
+		// Saturate: one request parks the worker at the gate, one fills
+		// the single queue slot.
+		var occupiers sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			occupiers.Add(1)
+			go func(seed uint64) {
+				defer occupiers.Done()
+				if rec := postSim(h, simBody(seed)); rec.Code != http.StatusOK {
+					t.Errorf("occupier %d: status %d", seed, rec.Code)
+				}
+			}(uint64(100 + i))
+		}
+		<-g.started
+		deadline := time.Now().Add(5 * time.Second)
+		for srv.Snapshot().Accepted < 2 {
+			if !time.Now().Before(deadline) {
+				t.Fatal("queue never filled")
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		// The burst: the server is saturated, so each of these would shed.
+		var wg sync.WaitGroup
+		for i := 0; i < burst; i++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				rec := postSim(h, simBody(seed))
+				switch {
+				case brownout && rec.Code != http.StatusOK:
+					t.Errorf("brownout burst seed %d: status %d body %s", seed, rec.Code, rec.Body.String())
+				case brownout && rec.Header().Get("X-DQN-Fidelity") != "analytic":
+					t.Errorf("brownout burst seed %d: X-DQN-Fidelity %q, want analytic", seed, rec.Header().Get("X-DQN-Fidelity"))
+				case !brownout && rec.Code != http.StatusTooManyRequests:
+					t.Errorf("shed burst seed %d: status %d, want 429", seed, rec.Code)
+				}
+			}(uint64(200 + i))
+		}
+		wg.Wait()
+
+		// Even under brownout, a fidelity "exact" client prefers the 429.
+		exact := postSim(h, `{"topo":"line4","duration":0.0002,"fidelity":"exact","seed":300}`)
+		if exact.Code != http.StatusTooManyRequests {
+			t.Errorf("exact-only under overload: status %d, want 429", exact.Code)
+		}
+
+		close(g.gate)
+		occupiers.Wait()
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Drain(dctx); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		return srv.Snapshot()
+	}
+
+	shedBase := run(false)
+	browned := run(true)
+	if shedBase.Completed != 2 || shedBase.Shed != burst+1 {
+		t.Errorf("shed baseline: completed %d shed %d, want 2 and %d", shedBase.Completed, shedBase.Shed, burst+1)
+	}
+	if browned.Completed < 2*shedBase.Completed {
+		t.Errorf("brownout completed %d < 2x shed baseline %d", browned.Completed, shedBase.Completed)
+	}
+	if browned.Brownouts != burst || browned.Fidelity["analytic"] != burst {
+		t.Errorf("brownout run: brownouts %d fidelity %v, want %d analytic answers", browned.Brownouts, browned.Fidelity, burst)
+	}
+	if browned.Fidelity["exact"] != 2 || browned.Shed != 1 {
+		t.Errorf("brownout run: fidelity %v shed %d — occupiers must stay exact and the exact-only probe must shed", browned.Fidelity, browned.Shed)
+	}
+}
+
+// analyticDown wraps a runner so the analytic tier always errors — the
+// fault that forces the ladder past analytic onto its final rung.
+type analyticDown struct{ next serve.Runner }
+
+func (a *analyticDown) Run(ctx context.Context, req *serve.Request, mode serve.RunMode) (*serve.Result, error) {
+	if mode == serve.RunAnalytic {
+		return nil, errors.New("chaos: analytic tier down")
+	}
+	return a.next.Run(ctx, req, mode)
+}
+
+// TestChaosBreakerFallsToFIFOWhenAnalyticFails: with the breaker open
+// AND the analytic tier erroring, the server must still answer 200 from
+// the exact FIFO-serialization rung — the ladder's floor.
+func TestChaosBreakerFallsToFIFOWhenAnalyticFails(t *testing.T) {
+	inj := chaos.New(chaos.Config{Seed: 3, PanicRate: 1.0})
+	runner := &serve.ScenarioRunner{DefaultModel: testModel(t), MaxShards: 2}
+	runner.WrapDevice = inj.WrapDevice
+	srv := mustServe(t, serve.Config{
+		Workers: 1, QueueDepth: 2, RetryMax: -1,
+		Breaker: serve.BreakerConfig{Threshold: 2, Cooldown: time.Minute, ProbeSuccesses: 1},
+	}, &analyticDown{next: runner})
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Drain(dctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+	h := srv.Handler()
+
+	for i := 0; i < 2; i++ {
+		if rec := postSim(h, simBody(uint64(i+1))); rec.Code != http.StatusInternalServerError {
+			t.Fatalf("request %d: status %d, want 500", i, rec.Code)
+		}
+	}
+	if br := srv.BreakerFor("default"); br == nil || br.State() != serve.BreakerOpen {
+		t.Fatal("breaker not open after threshold failures")
+	}
+
+	rec := postSim(h, simBody(10))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("FIFO-rung request: status %d body %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-DQN-Fidelity"); got != "fifo" {
+		t.Fatalf("X-DQN-Fidelity = %q, want fifo", got)
+	}
+	if rec.Header().Get("X-DQN-Degraded") != "breaker-open" {
+		t.Fatal("FIFO-rung response missing X-DQN-Degraded header")
+	}
+	if !strings.Contains(rec.Body.String(), `"mode":"degraded-fifo"`) {
+		t.Fatalf("FIFO-rung body %s", rec.Body.String())
+	}
+	if st := srv.Snapshot(); st.Fidelity["fifo"] != 1 {
+		t.Fatalf("fidelity counters %v, want fifo=1", st.Fidelity)
+	}
+}
+
 // TestChaosKillRestartResumeStorm is the storm's kill→restart→resume
 // phase: a batch of durable jobs runs under probabilistic epoch-boundary
 // crashes (simulated process death; the epoch's snapshot is already on
@@ -414,7 +626,7 @@ func TestChaosKillRestartResumeStorm(t *testing.T) {
 	truth := &serve.ScenarioRunner{DefaultModel: testModel(t), MaxShards: 2}
 	for seed := uint64(1); seed <= jobs; seed++ {
 		req := serve.Request{Topo: "line4", Duration: 0.0002, Shards: 2, Seed: seed}
-		res, err := truth.Run(context.Background(), &req, false)
+		res, err := truth.Run(context.Background(), &req, serve.RunExact)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -37,7 +37,7 @@ func durableReq(seed uint64) *serve.Request {
 func uninterruptedDigest(t *testing.T, req serve.Request) string {
 	t.Helper()
 	r := &serve.ScenarioRunner{DefaultModel: testModel(t), MaxShards: 2}
-	res, err := r.Run(context.Background(), &req, false)
+	res, err := r.Run(context.Background(), &req, serve.RunExact)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxEstimatorKeys bounds the per-topology estimate table: the topology
+// name comes off the wire, so without a bound a client could grow the
+// map without limit (the same rule as maxBreakerPathLabels). Overflow
+// keys share one "other" slot.
+const maxEstimatorKeys = 64
+
+// runEstimator keeps an EWMA (α = 1/8) of exact-run wall time keyed by
+// topology name — the scenario dimension that dominates job cost. The
+// brownout router compares a job's remaining deadline against this
+// estimate to decide whether exact fidelity can still finish in time.
+type runEstimator struct {
+	mu     sync.Mutex
+	byTopo map[string]*atomic.Int64
+}
+
+// handle returns (creating on first use) the EWMA cell for a topology.
+func (e *runEstimator) handle(topoName string) *atomic.Int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.byTopo == nil {
+		e.byTopo = make(map[string]*atomic.Int64)
+	}
+	h, ok := e.byTopo[topoName]
+	if ok {
+		return h
+	}
+	if len(e.byTopo) >= maxEstimatorKeys {
+		topoName = "other"
+		if h, ok = e.byTopo[topoName]; ok {
+			return h
+		}
+	}
+	h = new(atomic.Int64)
+	e.byTopo[topoName] = h
+	return h
+}
+
+// observe folds one exact-run duration into the topology's EWMA.
+func (e *runEstimator) observe(topoName string, d time.Duration) {
+	h := e.handle(topoName)
+	for {
+		old := h.Load()
+		next := int64(d)
+		if old != 0 {
+			next = old + (int64(d)-old)/8
+		}
+		if h.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// estimate returns the expected exact run time for a topology, or 0
+// when nothing has been observed yet.
+func (e *runEstimator) estimate(topoName string) time.Duration {
+	e.mu.Lock()
+	h, ok := e.byTopo[topoName]
+	if !ok {
+		h = e.byTopo["other"]
+	}
+	e.mu.Unlock()
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.Load())
+}

@@ -25,14 +25,19 @@ import (
 //
 // Failure → status mapping:
 //
-//	queue full            429 + Retry-After
+//	queue full            429 + Retry-After (200 analytic under -brownout)
 //	draining              503 + Retry-After
-//	bad request           400 (malformed JSON, trailing data, bad params)
+//	bad request           400 (malformed JSON, trailing data, bad params,
+//	                      unknown fidelity)
 //	body too large        413 (Config.MaxBodyBytes)
 //	deadline exceeded     504
 //	canceled              499 (client closed request, nginx convention)
 //	inference failure     500 (after retries; breaker charged)
-//	breaker open          200 degraded-FIFO result + X-DQN-Degraded
+//	breaker open          200 analytic (FIFO if analytic errors) +
+//	                      X-DQN-Degraded; 503 for fidelity "exact"
+//
+// Every 200 carries X-DQN-Fidelity: exact|quant|analytic|fifo — the
+// degradation-ladder tier that produced the answer.
 
 // errorBody is the JSON error envelope.
 type errorBody struct {
@@ -132,7 +137,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	if res.Mode == "degraded-fifo" {
+	if res.Fidelity != "" {
+		w.Header().Set("X-DQN-Fidelity", res.Fidelity)
+	}
+	if res.BreakerOpen || res.Mode == "degraded-fifo" {
 		w.Header().Set("X-DQN-Degraded", "breaker-open")
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -206,6 +214,9 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", retryAfterSeconds(s.RetryAfter()))
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), Kind: "draining"})
+	case errors.Is(err, ErrBreakerOpen):
+		w.Header().Set("Retry-After", retryAfterSeconds(s.RetryAfter()))
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), Kind: "breaker_open"})
 	case errors.Is(err, ErrBadRequest):
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_request"})
 	case errors.Is(err, guard.ErrDeadline):
@@ -221,13 +232,47 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// readiness is the /readyz payload: overall status plus per-tier
+// availability, so an orchestrator can tell "healthy" from "answering
+// at reduced fidelity" from "draining".
+type readiness struct {
+	Status string `json:"status"` // "ready", "degraded", or "draining"
+	// Tiers maps each ladder rung to "available" or "breaker-open".
+	// The analytic and FIFO rungs are model-free and always available.
+	Tiers        map[string]string `json:"tiers"`
+	OpenBreakers int               `json:"open_breakers"`
+	Brownout     bool              `json:"brownout_enabled"`
+}
+
+func (s *Server) readiness() readiness {
+	r := readiness{
+		Status: "ready",
+		Tiers: map[string]string{
+			"exact": "available", "quant": "available",
+			"analytic": "available", "fifo": "available",
+		},
+		OpenBreakers: s.OpenBreakers(),
+		Brownout:     s.BrownoutEnabled(),
+	}
+	if r.OpenBreakers > 0 {
+		// The model-backed tiers are impaired for at least one model
+		// path; the server still answers, one rung down.
+		r.Status = "degraded"
+		r.Tiers["exact"] = "breaker-open"
+		r.Tiers["quant"] = "breaker-open"
+	}
+	return r
+}
+
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	r := s.readiness()
 	if s.Draining() {
+		r.Status = "draining"
 		w.Header().Set("Retry-After", retryAfterSeconds(s.RetryAfter()))
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, r)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	writeJSON(w, http.StatusOK, r)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

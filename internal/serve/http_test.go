@@ -15,7 +15,7 @@ import (
 // okServer builds a server whose runner always succeeds.
 func okServer(t *testing.T, cfg Config) *Server {
 	t.Helper()
-	r := &stubRunner{fn: func(context.Context, *Request, bool, int) (*Result, error) {
+	r := &stubRunner{fn: func(context.Context, *Request, RunMode, int) (*Result, error) {
 		return okResult("model"), nil
 	}}
 	if cfg.Workers == 0 {

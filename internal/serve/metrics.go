@@ -18,6 +18,15 @@ import (
 // the two endpoints.
 var jobOutcomes = []string{"completed", "failed", "shed", "rejected", "canceled", "deadline"}
 
+// fidelityTiers are the degradation-ladder rungs. Every completed
+// request is answered by exactly one tier, so
+//
+//	Σ dqn_fidelity_total{tier=*} == dqn_requests_total{outcome="completed"}
+//
+// holds at every quiescent point; /stats exposes the same counts under
+// "fidelity" and the chaos e2e reconciles the two.
+var fidelityTiers = []string{"exact", "quant", "analytic", "fifo"}
+
 // serverMetrics holds the serve layer's pre-registered metric handles.
 // Everything on the job path (Submit/serveJob) is a pre-created atomic
 // handle: no registry lock, no allocation — the serve_saturation
@@ -25,12 +34,14 @@ var jobOutcomes = []string{"completed", "failed", "shed", "rejected", "canceled"
 type serverMetrics struct {
 	reg *obs.Registry
 
-	received *obs.Counter
-	accepted *obs.Counter
-	outcomes map[string]*obs.Counter
-	degraded *obs.Counter
-	retries  *obs.Counter
-	panics   *obs.Counter
+	received  *obs.Counter
+	accepted  *obs.Counter
+	outcomes  map[string]*obs.Counter
+	fidelity  map[string]*obs.Counter
+	degraded  *obs.Counter
+	brownouts *obs.Counter
+	retries   *obs.Counter
+	panics    *obs.Counter
 
 	// Durable-job lifecycle: interruptions that left a resumable record
 	// (drain, injected crash), parked dead letters, and recovered jobs a
@@ -67,9 +78,12 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		received: reg.Counter("dqn_requests_received_total", "simulate requests seen at admission"),
 		accepted: reg.Counter("dqn_requests_accepted_total", "requests admitted into the queue"),
 		outcomes: make(map[string]*obs.Counter, len(jobOutcomes)),
-		degraded: reg.Counter("dqn_degraded_total", "jobs served by the FIFO fallback (breaker open)"),
-		retries:  reg.Counter("dqn_retries_total", "transient-failure re-executions"),
-		panics:   reg.Counter("dqn_panics_total", "worker-level recovered panics"),
+		fidelity: make(map[string]*obs.Counter, len(fidelityTiers)),
+		degraded: reg.Counter("dqn_degraded_total", "jobs rerouted down the degradation ladder by an open breaker"),
+		brownouts: reg.Counter("dqn_brownouts_total",
+			"requests answered below exact fidelity under deadline or overload pressure"),
+		retries: reg.Counter("dqn_retries_total", "transient-failure re-executions"),
+		panics:  reg.Counter("dqn_panics_total", "worker-level recovered panics"),
 		interrupted: reg.Counter("dqn_jobs_interrupted_total",
 			"jobs interrupted with a resumable durable record (drain or injected crash)"),
 		parked: reg.Counter("dqn_jobs_parked_total",
@@ -84,6 +98,18 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		m.outcomes[o] = reg.Counter("dqn_requests_total",
 			"terminal request dispositions; sums to dqn_requests_received_total", obs.L("outcome", o))
 	}
+	for _, tier := range fidelityTiers {
+		m.fidelity[tier] = reg.Counter("dqn_fidelity_total",
+			"completed requests by degradation-ladder tier; sums to dqn_requests_total{outcome=completed}",
+			obs.L("tier", tier))
+	}
+	reg.GaugeFunc("dqn_brownout_enabled", "1 while deadline/overload brownout is configured on",
+		func() float64 {
+			if s.cfg.Brownout {
+				return 1
+			}
+			return 0
+		})
 	reg.GaugeFunc("dqn_queue_depth", "jobs waiting in the admission queue",
 		func() float64 { return float64(len(s.queue)) })
 	reg.GaugeFunc("dqn_inflight", "jobs currently executing",

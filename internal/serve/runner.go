@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"deepqueuenet/internal/analytic"
 	"deepqueuenet/internal/checkpoint"
 	"deepqueuenet/internal/core"
 	"deepqueuenet/internal/experiments"
@@ -63,6 +64,17 @@ type Request struct {
 	// TimeoutMs bounds the job's wall-clock runtime; 0 uses the server
 	// default, and values above the server maximum are clamped.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Fidelity selects the client's position on the degradation ladder:
+	//   "exact" — full-fidelity model runs only; a breaker-open or
+	//             brownout condition fails the request instead of
+	//             answering at reduced fidelity.
+	//   "auto"  — (also "") the server may walk the ladder: quantized
+	//             or analytic answers under deadline pressure or
+	//             overload, analytic (then FIFO) when the breaker is
+	//             open.
+	//   "fast"  — answer analytically right away, skipping the queue
+	//             and the model entirely (O(µs), no per-packet trace).
+	Fidelity string `json:"fidelity,omitempty"`
 
 	// Serve-internal durability fields, set by the server for durable
 	// jobs — never part of the wire API or the persisted record.
@@ -84,6 +96,20 @@ func (r *Request) modelKey() string {
 	return r.Model
 }
 
+// fidelityValid reports whether the request's fidelity field is one of
+// the wire-legal values.
+func (r *Request) fidelityValid() bool {
+	switch r.Fidelity {
+	case "", "exact", "auto", "fast":
+		return true
+	}
+	return false
+}
+
+// exactOnly reports whether the client opted out of the degradation
+// ladder.
+func (r *Request) exactOnly() bool { return r.Fidelity == "exact" }
+
 // Result is the JSON payload of a completed simulation job.
 type Result struct {
 	Scenario   string  `json:"scenario"`
@@ -92,9 +118,17 @@ type Result struct {
 	Bound      int     `json:"bound"`
 	MeanRTTUs  float64 `json:"mean_rtt_us"`
 	P99RTTUs   float64 `json:"p99_rtt_us"`
-	// Mode is "model" for PTM-driven runs, "degraded-fifo" when the
-	// breaker rerouted the job to the exact FIFO fallback.
+	// Mode is "model" for exact PTM-driven runs, "model-quant" for the
+	// int8-quantized backend, "analytic" for the queueing-theory
+	// estimate, and "degraded-fifo" for the exact FIFO-serialization
+	// rung.
 	Mode string `json:"mode"`
+	// Fidelity is the degradation-ladder tier that produced the answer:
+	// "exact", "quant", "analytic", or "fifo" (mirrors X-DQN-Fidelity).
+	Fidelity string `json:"fidelity,omitempty"`
+	// BreakerOpen reports that an open circuit breaker rerouted this
+	// job down the ladder (the X-DQN-Degraded condition).
+	BreakerOpen bool `json:"breaker_open,omitempty"`
 	// Degraded reports whether any device ran the FIFO fallback (all of
 	// them under Mode == "degraded-fifo").
 	Degraded        bool   `json:"degraded,omitempty"`
@@ -113,12 +147,47 @@ type Result struct {
 	ResumedFrom int `json:"resumed_from,omitempty"`
 }
 
-// Runner executes one admitted simulation job. degraded requests the
-// exact FIFO-serialization fallback instead of the device model (the
-// circuit breaker's open-state path). Implementations must be
-// goroutine-safe; the worker pool calls Run concurrently.
+// RunMode is one rung of the degradation ladder, in fidelity order.
+type RunMode int
+
+// The ladder, top to bottom.
+const (
+	// RunExact runs the full float64 device model.
+	RunExact RunMode = iota
+	// RunQuant runs the int8-quantized inference backend — same engine,
+	// cheaper arithmetic, accuracy bounded by the quant golden gates.
+	RunQuant
+	// RunAnalytic answers from the queueing-theory decomposition
+	// (internal/analytic): O(µs), path statistics only, no trace.
+	RunAnalytic
+	// RunFIFO is the final rung: the exact transmission-time + FIFO
+	// serialization engine with no model at all.
+	RunFIFO
+)
+
+// Fidelity is the tier's wire name (X-DQN-Fidelity, dqn_fidelity_total).
+func (m RunMode) Fidelity() string {
+	switch m {
+	case RunExact:
+		return "exact"
+	case RunQuant:
+		return "quant"
+	case RunAnalytic:
+		return "analytic"
+	case RunFIFO:
+		return "fifo"
+	}
+	return "unknown"
+}
+
+// String implements fmt.Stringer.
+func (m RunMode) String() string { return m.Fidelity() }
+
+// Runner executes one admitted simulation job at the requested rung of
+// the degradation ladder. Implementations must be goroutine-safe; the
+// worker pool calls Run concurrently.
 type Runner interface {
-	Run(ctx context.Context, req *Request, degraded bool) (*Result, error)
+	Run(ctx context.Context, req *Request, mode RunMode) (*Result, error)
 }
 
 // ScenarioRunner is the production Runner: it materializes requests
@@ -153,8 +222,40 @@ type ScenarioRunner struct {
 
 	mu           sync.Mutex
 	cache        map[string]*ptm.PTM
+	quantCache   map[*ptm.PTM]*ptm.PTM
 	modelDigests map[*ptm.PTM]string
 	topoDigests  map[string]string
+}
+
+// quantized returns the RunQuant backend for a resolved model: the
+// model itself when it is already quantized, otherwise a lazily built
+// and cached quantized clone — the exact model is never mutated, so
+// RunExact stays bit-identical with the ladder installed.
+func (r *ScenarioRunner) quantized(m *ptm.PTM) (*ptm.PTM, error) {
+	if m.Quantized() {
+		return m, nil
+	}
+	r.mu.Lock()
+	q, ok := r.quantCache[m]
+	r.mu.Unlock()
+	if ok {
+		return q, nil
+	}
+	q = m.Clone()
+	if err := q.WithQuantized(); err != nil {
+		return nil, fmt.Errorf("%w: quantize: %w", errModelInvalid, err)
+	}
+	r.mu.Lock()
+	if r.quantCache == nil {
+		r.quantCache = make(map[*ptm.PTM]*ptm.PTM)
+	}
+	if prev, ok := r.quantCache[m]; ok {
+		q = prev // a concurrent builder won; keep one copy
+	} else {
+		r.quantCache[m] = q
+	}
+	r.mu.Unlock()
+	return q, nil
 }
 
 // modelDigestFor caches the SHA-256 identity of a loaded model.
@@ -284,11 +385,29 @@ func (r *ScenarioRunner) scenario(req *Request) (*experiments.Scenario, error) {
 }
 
 // Run implements Runner.
-func (r *ScenarioRunner) Run(ctx context.Context, req *Request, degraded bool) (*Result, error) {
+func (r *ScenarioRunner) Run(ctx context.Context, req *Request, mode RunMode) (*Result, error) {
 	start := time.Now()
 	sc, err := r.scenario(req)
 	if err != nil {
 		return nil, err
+	}
+	if mode == RunAnalytic {
+		// The analytic tier never touches the engine or the model: the
+		// scenario decomposes into per-port G/G/1 queues and the path
+		// statistics come from closed forms. A saturated port surfaces
+		// as analytic.ErrUnstable and the caller falls to the FIFO rung.
+		est, aerr := analytic.FromScenario(sc)
+		if aerr != nil {
+			return nil, aerr
+		}
+		return &Result{
+			Scenario:  sc.Name,
+			Mode:      "analytic",
+			Fidelity:  RunAnalytic.Fidelity(),
+			MeanRTTUs: est.MeanRTTSec * 1e6,
+			P99RTTUs:  est.P99RTTSec * 1e6,
+			ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
+		}, nil
 	}
 	maxShards := r.MaxShards
 	if maxShards <= 0 {
@@ -303,12 +422,23 @@ func (r *ScenarioRunner) Run(ctx context.Context, req *Request, degraded bool) (
 	}
 	cfg := core.Config{Shards: shards, NoSEC: req.NoSEC}
 	var model *ptm.PTM
-	if degraded {
+	switch mode {
+	case RunFIFO:
 		// PR 1's availability-preserving fallback: no model resolves for
 		// any switch, so every device runs the exact transmission-time +
 		// FIFO-serialization operator.
 		cfg.DeviceFor = func(int) core.DeviceModel { return nil }
-	} else {
+	case RunQuant:
+		model, err = r.model(req.Model)
+		if err != nil {
+			return nil, err
+		}
+		model, err = r.quantized(model)
+		if err != nil {
+			return nil, err
+		}
+		cfg.WrapDevice = r.WrapDevice
+	default:
 		model, err = r.model(req.Model)
 		if err != nil {
 			return nil, err
@@ -316,7 +446,7 @@ func (r *ScenarioRunner) Run(ctx context.Context, req *Request, degraded bool) (
 		cfg.WrapDevice = r.WrapDevice
 	}
 	resumedFrom := 0
-	if req.CheckpointPath != "" && !degraded {
+	if req.CheckpointPath != "" && mode == RunExact {
 		// Durable job: attach the checkpoint sink and, when a snapshot
 		// from an interrupted predecessor exists and digest-matches this
 		// run, resume from it.
@@ -389,15 +519,19 @@ func (r *ScenarioRunner) Run(ctx context.Context, req *Request, degraded bool) (
 		Digest:      Digest(res),
 		ElapsedMs:   float64(time.Since(start)) / float64(time.Millisecond),
 	}
-	if degraded {
+	switch mode {
+	case RunFIFO:
 		out.Mode = "degraded-fifo"
-	} else {
+	case RunQuant:
+		out.Mode = "model-quant"
+	default:
 		out.Mode = "model"
 	}
+	out.Fidelity = mode.Fidelity()
 	if res.Degraded() {
 		out.Degraded = true
 		out.DegradedDevices = len(res.DegradedDevices)
-		if !degraded {
+		if mode != RunFIFO {
 			out.DegradedReason = res.DegradedReasons[res.DegradedDevices[0]]
 		}
 	}

@@ -68,6 +68,13 @@ type Config struct {
 	// CheckpointEvery is the epoch cadence (in IRSA iterations) of
 	// durable jobs' snapshots. <= 0 uses 1 (every boundary).
 	CheckpointEvery int
+	// Brownout enables deadline-aware fidelity degradation: when the
+	// admission queue would shed a request, or a job's remaining
+	// deadline is below the estimated exact run time for its topology,
+	// the server answers from a cheaper ladder rung (quantized model or
+	// analytic estimate) instead of returning 429 or running into the
+	// deadline. Requests with fidelity "exact" are never browned out.
+	Brownout bool
 	// Metrics is the registry the server's observability series register
 	// in (exposed at GET /metrics). nil creates a private registry,
 	// reachable via Server.Metrics.
@@ -129,6 +136,12 @@ var ErrShed = errors.New("serve: overloaded, request shed")
 // for shutdown (HTTP 503 + Retry-After).
 var ErrDraining = errors.New("serve: draining, not accepting jobs")
 
+// ErrBreakerOpen marks an exact-fidelity request refused because its
+// model's circuit breaker is open: the client opted out of the
+// degradation ladder, so there is nothing left to answer with
+// (HTTP 503 + Retry-After).
+var ErrBreakerOpen = errors.New("serve: model circuit breaker open")
+
 // jobOutcome is what a worker hands back to the waiting submitter.
 type jobOutcome struct {
 	res *Result
@@ -165,9 +178,17 @@ type counters struct {
 	retries   atomic.Uint64 // transient-failure re-executions
 	canceled  atomic.Uint64 // jobs ended by cancellation
 	deadline  atomic.Uint64 // jobs ended by deadline
-	degraded  atomic.Uint64 // jobs served by the FIFO fallback (breaker open)
+	degraded  atomic.Uint64 // jobs rerouted down the ladder by an open breaker
+	brownouts atomic.Uint64 // jobs answered below exact fidelity under pressure
 	panics    atomic.Uint64 // worker-level recovered panics
 	inflight  atomic.Int64  // jobs currently executing
+
+	// Per-tier completion counts: exactly one increments per completed
+	// request, so their sum equals completed at every quiescent point.
+	fidExact    atomic.Uint64
+	fidQuant    atomic.Uint64
+	fidAnalytic atomic.Uint64
+	fidFIFO     atomic.Uint64
 }
 
 // Server owns the worker pool, admission queue, breakers, and stats.
@@ -202,9 +223,10 @@ type Server struct {
 	activeMu sync.Mutex
 	active   map[string]context.CancelFunc
 
-	stats    counters
-	met      *serverMetrics
-	avgRunNs atomic.Int64 // EWMA of job wall time, drives Retry-After
+	stats     counters
+	met       *serverMetrics
+	avgRunNs  atomic.Int64 // EWMA of job wall time, drives Retry-After
+	estimator runEstimator // per-topology EWMA of exact run time, drives brownout
 }
 
 // New builds a Server and starts its worker pool. With Config.StateDir
@@ -362,6 +384,11 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Result, error) {
 func (s *Server) SubmitJob(ctx context.Context, req *Request) (*Result, string, error) {
 	s.stats.received.Add(1)
 	s.met.received.Inc()
+	if !req.fidelityValid() {
+		s.stats.failed.Add(1)
+		s.met.outcomes["failed"].Inc()
+		return nil, "", badRequestf("fidelity %q not one of exact|auto|fast", req.Fidelity)
+	}
 	s.drainMu.RLock()
 	if s.draining.Load() {
 		s.drainMu.RUnlock()
@@ -373,6 +400,15 @@ func (s *Server) SubmitJob(ctx context.Context, req *Request) (*Result, string, 
 	s.drainMu.RUnlock()
 	jctx, cancel := context.WithTimeout(ctx, s.timeoutFor(req))
 	defer cancel()
+	if req.Fidelity == "fast" {
+		// The fast tier skips the queue, the workers, and the model: the
+		// analytic estimate answers inline in O(µs). No durable record —
+		// the answer outlives the request by nothing.
+		res, err := s.runner.Run(jctx, req, RunAnalytic)
+		s.countInline(res, err)
+		s.jobWG.Done()
+		return res, "", err
+	}
 	j := &job{req: req, ctx: jctx, cancel: cancel, done: make(chan jobOutcome, 1)}
 	if s.store != nil {
 		// Persist the admission record before the job can reach a
@@ -396,6 +432,19 @@ func (s *Server) SubmitJob(ctx context.Context, req *Request) (*Result, string, 
 		if s.store != nil {
 			s.unregisterActive(j)
 			s.store.remove(j.id)
+		}
+		if s.cfg.Brownout && !req.exactOnly() {
+			// Overload brownout: the queue is full, but an analytic
+			// answer costs microseconds — convert the would-be 429 into
+			// a reduced-fidelity 200. Shed only if the analytic tier
+			// itself cannot answer (e.g. a saturated scenario).
+			if res, err := s.runner.Run(jctx, req, RunAnalytic); err == nil {
+				s.stats.brownouts.Add(1)
+				s.met.brownouts.Inc()
+				s.countInline(res, nil)
+				s.jobWG.Done()
+				return res, "", nil
+			}
 		}
 		s.jobWG.Done()
 		s.stats.shed.Add(1)
@@ -468,38 +517,62 @@ func (s *Server) serveJob(worker int, j *job) {
 	var res *Result
 	var err error
 	if admission == AdmitDegraded {
-		// Breaker open: serve availability through the exact FIFO
-		// fallback instead of hammering the suspect model.
+		// Breaker open: walk the ladder instead of hammering the
+		// suspect model — analytic first, exact FIFO serialization only
+		// when the analytic tier itself cannot answer.
 		s.stats.degraded.Add(1)
 		s.met.degraded.Inc()
-		res, err = s.runner.Run(j.ctx, j.req, true)
-		if res != nil {
-			res.Attempts = 1
-			res.DegradedReason = br.Err().Error()
-		}
+		res, err = s.degradedAnswer(j, br, start)
 	} else {
-		var attempts int
-		res, attempts, err = s.runWithRetry(j)
-		if res != nil {
-			res.Attempts = attempts
+		mode := s.brownoutMode(j, admission)
+		answered := false
+		if mode == RunAnalytic {
+			// Deadline brownout: not enough time left for an engine
+			// run. The analytic answer never judges the model, so the
+			// breaker is untouched.
+			if ares, aerr := s.runner.Run(j.ctx, j.req, RunAnalytic); aerr == nil {
+				ares.Attempts = 1
+				res, answered = ares, true
+			} else {
+				// Analytic tier errored; take our chances at full
+				// fidelity — the outcome is what it would have been
+				// without brownout.
+				mode = RunExact
+			}
 		}
-		switch {
-		case breakerWorthy(err):
-			br.Record(admission == AdmitProbe, err, s.cfg.Now())
-		case err == nil:
-			br.Record(admission == AdmitProbe, nil, s.cfg.Now())
-		case admission == AdmitProbe:
-			// Context-terminated or bad-request probes judge nothing;
-			// hand the probe slot back so the breaker can try again.
-			br.ReleaseProbe()
+		if !answered {
+			var attempts int
+			res, attempts, err = s.runWithRetry(j, mode)
+			if res != nil {
+				res.Attempts = attempts
+			}
+			switch {
+			case breakerWorthy(err):
+				br.Record(admission == AdmitProbe, err, s.cfg.Now())
+			case err == nil:
+				br.Record(admission == AdmitProbe, nil, s.cfg.Now())
+			case admission == AdmitProbe:
+				// Context-terminated or bad-request probes judge nothing;
+				// hand the probe slot back so the breaker can try again.
+				br.ReleaseProbe()
+			}
+			// Context-terminated and bad requests charge nobody.
+			elapsed := s.cfg.Now().Sub(start)
+			s.observeRun(elapsed)
+			if err == nil && mode == RunExact {
+				s.estimator.observe(j.req.Topo, elapsed)
+			}
 		}
-		// Context-terminated and bad requests charge nobody.
+		if err == nil && mode != RunExact {
+			s.stats.brownouts.Add(1)
+			s.met.brownouts.Inc()
+		}
 	}
-	s.observeRun(s.cfg.Now().Sub(start))
 	switch {
 	case err == nil:
 		s.stats.completed.Add(1)
 		s.met.outcomes["completed"].Inc()
+		s.countFidelity(res)
 	case errors.Is(err, guard.ErrCanceled) || errors.Is(err, guard.ErrDeadline):
 		s.countCtxErr(err)
 	default:
@@ -508,6 +581,100 @@ func (s *Server) serveJob(worker int, j *job) {
 	}
 	s.recordOutcome(j, res, err)
 	j.finish(res, err)
+}
+
+// degradedAnswer serves a job whose model breaker is open. Fidelity
+// "exact" clients asked never to be degraded, so they get the breaker
+// error; everyone else gets the analytic estimate, falling to the
+// exact FIFO-serialization rung only when the analytic tier errors
+// (saturated scenario, malformed demand).
+func (s *Server) degradedAnswer(j *job, br *Breaker, start time.Time) (*Result, error) {
+	if j.req.exactOnly() {
+		return nil, fmt.Errorf("%w: %w", ErrBreakerOpen, br.Err())
+	}
+	res, err := s.runner.Run(j.ctx, j.req, RunAnalytic)
+	if err != nil {
+		res, err = s.runner.Run(j.ctx, j.req, RunFIFO)
+		// The FIFO rung is a real engine run; let it feed Retry-After.
+		s.observeRun(s.cfg.Now().Sub(start))
+	}
+	if res != nil {
+		res.Attempts = 1
+		res.BreakerOpen = true
+		res.DegradedReason = br.Err().Error()
+	}
+	return res, err
+}
+
+// quantCostFactor is the assumed run-time ratio of the quantized
+// backend to the exact backend: with remaining deadline between
+// quantCostFactor·estimate and estimate the quantized tier still fits
+// where exact would not.
+const quantCostFactor = 0.85
+
+// brownoutMode picks the ladder rung for an admitted job. Exact unless
+// brownout is enabled, the client allows degradation, the job carries a
+// deadline, and the topology's run-time estimate says exact cannot
+// finish in the time remaining. Probes always run exact: their whole
+// point is to judge the model path.
+func (s *Server) brownoutMode(j *job, admission Admission) RunMode {
+	if !s.cfg.Brownout || admission == AdmitProbe || j.req.exactOnly() {
+		return RunExact
+	}
+	deadline, ok := j.ctx.Deadline()
+	if !ok {
+		return RunExact
+	}
+	remaining := deadline.Sub(s.cfg.Now())
+	est := s.estimator.estimate(j.req.Topo)
+	if est <= 0 {
+		est = time.Duration(s.avgRunNs.Load())
+	}
+	if est <= 0 || remaining >= est {
+		return RunExact
+	}
+	if float64(remaining) >= quantCostFactor*float64(est) {
+		return RunQuant
+	}
+	return RunAnalytic
+}
+
+// countInline accounts one inline-answered request (fast tier or
+// admission brownout) with the same terminal bookkeeping as serveJob.
+func (s *Server) countInline(res *Result, err error) {
+	switch {
+	case err == nil:
+		s.stats.completed.Add(1)
+		s.met.outcomes["completed"].Inc()
+		s.countFidelity(res)
+	case errors.Is(err, guard.ErrCanceled) || errors.Is(err, guard.ErrDeadline):
+		s.countCtxErr(err)
+	default:
+		s.stats.failed.Add(1)
+		s.met.outcomes["failed"].Inc()
+	}
+}
+
+// countFidelity buckets one completed request by the ladder tier that
+// answered it; the four tier counts sum to completed.
+func (s *Server) countFidelity(res *Result) {
+	tier := ""
+	if res != nil {
+		tier = res.Fidelity
+	}
+	switch tier {
+	case "quant":
+		s.stats.fidQuant.Add(1)
+	case "analytic":
+		s.stats.fidAnalytic.Add(1)
+	case "fifo":
+		s.stats.fidFIFO.Add(1)
+	default:
+		// Exact runs and any runner that predates the Fidelity field.
+		tier = "exact"
+		s.stats.fidExact.Add(1)
+	}
+	s.met.fidelity[tier].Inc()
 }
 
 // recordOutcome persists a durable job's terminal (or recoverable)
@@ -557,6 +724,15 @@ func (s *Server) recordOutcome(j *job, res *Result, err error) {
 		rec.Error = err.Error()
 		keepCheckpoint = true
 		s.met.parked.Inc()
+		// A parked dead letter still carries a reduced-fidelity answer:
+		// the analytic estimate needs no model, so GET /jobs/{id} shows
+		// a principled result instead of nothing. The job's terminal
+		// accounting stays "failed" — this is advisory data on the
+		// record, not a completed request.
+		if ares, aerr := s.runner.Run(context.Background(), j.req, RunAnalytic); aerr == nil {
+			ares.DegradedReason = err.Error()
+			rec.Result = ares
+		}
 	default:
 		rec.Status = JobFailed
 		rec.Error = err.Error()
@@ -570,12 +746,13 @@ func (s *Server) recordOutcome(j *job, res *Result, err error) {
 	_ = s.store.put(rec)
 }
 
-// runWithRetry executes the job's runner call, retrying transient
-// failures with exponential backoff + jitter while the deadline lasts.
-func (s *Server) runWithRetry(j *job) (*Result, int, error) {
+// runWithRetry executes the job's runner call at the given ladder
+// rung, retrying transient failures with exponential backoff + jitter
+// while the deadline lasts.
+func (s *Server) runWithRetry(j *job, mode RunMode) (*Result, int, error) {
 	attempts := 0
 	for {
-		res, err := s.runner.Run(j.ctx, j.req, false)
+		res, err := s.runner.Run(j.ctx, j.req, mode)
 		attempts++
 		if err == nil || !transient(err) || attempts > s.cfg.RetryMax {
 			return res, attempts, err
@@ -789,14 +966,21 @@ type Stats struct {
 	Canceled  uint64         `json:"canceled"`
 	Deadline  uint64         `json:"deadline_exceeded"`
 	Degraded  uint64         `json:"degraded"`
+	Brownouts uint64         `json:"brownouts"`
 	Panics    uint64         `json:"panics"`
 	InFlight  int64          `json:"in_flight"`
 	Queued    int            `json:"queued"`
 	Workers   int            `json:"workers"`
 	Queue     int            `json:"queue_depth"`
 	Draining  bool           `json:"draining"`
-	AvgRunMs  float64        `json:"avg_run_ms"`
-	Breakers  []BreakerStats `json:"breakers,omitempty"`
+	// Fidelity counts completed requests by degradation-ladder tier;
+	// the four values sum to Completed. BrownoutEnabled mirrors
+	// Config.Brownout so orchestrators can tell "will answer at reduced
+	// fidelity" from "will shed".
+	Fidelity        map[string]uint64 `json:"fidelity"`
+	BrownoutEnabled bool              `json:"brownout_enabled"`
+	AvgRunMs        float64           `json:"avg_run_ms"`
+	Breakers        []BreakerStats    `json:"breakers,omitempty"`
 }
 
 // Snapshot collects the current stats.
@@ -812,13 +996,21 @@ func (s *Server) Snapshot() Stats {
 		Canceled:  s.stats.canceled.Load(),
 		Deadline:  s.stats.deadline.Load(),
 		Degraded:  s.stats.degraded.Load(),
+		Brownouts: s.stats.brownouts.Load(),
 		Panics:    s.stats.panics.Load(),
 		InFlight:  s.stats.inflight.Load(),
 		Queued:    len(s.queue),
 		Workers:   s.cfg.Workers,
 		Queue:     s.cfg.QueueDepth,
 		Draining:  s.draining.Load(),
-		AvgRunMs:  float64(s.avgRunNs.Load()) / float64(time.Millisecond),
+		Fidelity: map[string]uint64{
+			"exact":    s.stats.fidExact.Load(),
+			"quant":    s.stats.fidQuant.Load(),
+			"analytic": s.stats.fidAnalytic.Load(),
+			"fifo":     s.stats.fidFIFO.Load(),
+		},
+		BrownoutEnabled: s.cfg.Brownout,
+		AvgRunMs:        float64(s.avgRunNs.Load()) / float64(time.Millisecond),
 	}
 	s.breakerMu.Lock()
 	paths := make([]string, 0, len(s.breakers))
@@ -857,6 +1049,23 @@ func (s *Server) Job(id string) (*JobRecord, error) {
 	}
 	return s.store.get(id)
 }
+
+// OpenBreakers counts model paths whose breaker is currently open —
+// the number of model identities being answered at reduced fidelity.
+func (s *Server) OpenBreakers() int {
+	s.breakerMu.Lock()
+	defer s.breakerMu.Unlock()
+	n := 0
+	for _, b := range s.breakers {
+		if b.State() == BreakerOpen {
+			n++
+		}
+	}
+	return n
+}
+
+// BrownoutEnabled reports whether deadline/overload brownout is on.
+func (s *Server) BrownoutEnabled() bool { return s.cfg.Brownout }
 
 // BreakerFor exposes the breaker of a model path for tests and
 // operational tooling (nil when that path has never been requested).

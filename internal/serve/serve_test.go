@@ -18,15 +18,15 @@ import (
 type stubRunner struct {
 	mu    sync.Mutex
 	calls int
-	fn    func(ctx context.Context, req *Request, degraded bool, call int) (*Result, error)
+	fn    func(ctx context.Context, req *Request, mode RunMode, call int) (*Result, error)
 }
 
-func (s *stubRunner) Run(ctx context.Context, req *Request, degraded bool) (*Result, error) {
+func (s *stubRunner) Run(ctx context.Context, req *Request, mode RunMode) (*Result, error) {
 	s.mu.Lock()
 	s.calls++
 	call := s.calls
 	s.mu.Unlock()
-	return s.fn(ctx, req, degraded, call)
+	return s.fn(ctx, req, mode, call)
 }
 
 func (s *stubRunner) callCount() int {
@@ -53,7 +53,7 @@ func newBlockingRunner() *blockingRunner {
 
 func (b *blockingRunner) Release() { b.releaseOnce.Do(func() { close(b.release) }) }
 
-func (b *blockingRunner) Run(ctx context.Context, _ *Request, _ bool) (*Result, error) {
+func (b *blockingRunner) Run(ctx context.Context, _ *Request, _ RunMode) (*Result, error) {
 	b.started <- struct{}{}
 	select {
 	case <-b.release:
@@ -97,7 +97,7 @@ func waitQueued(t *testing.T, s *Server, n int) {
 }
 
 func TestSubmitRunsJob(t *testing.T) {
-	r := &stubRunner{fn: func(context.Context, *Request, bool, int) (*Result, error) {
+	r := &stubRunner{fn: func(context.Context, *Request, RunMode, int) (*Result, error) {
 		return okResult("model"), nil
 	}}
 	s := mustNew(t, Config{Workers: 1, QueueDepth: 1, RetryMax: -1}, r)
@@ -218,7 +218,7 @@ func TestDeadlinePropagates(t *testing.T) {
 }
 
 func TestRetryTransientThenSucceed(t *testing.T) {
-	r := &stubRunner{fn: func(_ context.Context, _ *Request, _ bool, call int) (*Result, error) {
+	r := &stubRunner{fn: func(_ context.Context, _ *Request, _ RunMode, call int) (*Result, error) {
 		if call <= 2 {
 			return nil, guard.Recovered(0, 1, 0, "transient boom")
 		}
@@ -239,7 +239,7 @@ func TestRetryTransientThenSucceed(t *testing.T) {
 }
 
 func TestBadRequestNotRetriedNotBreakerCharged(t *testing.T) {
-	r := &stubRunner{fn: func(context.Context, *Request, bool, int) (*Result, error) {
+	r := &stubRunner{fn: func(context.Context, *Request, RunMode, int) (*Result, error) {
 		return nil, badRequestf("no such topo")
 	}}
 	s := mustNew(t, Config{Workers: 1, QueueDepth: 1, Breaker: BreakerConfig{Threshold: 1}}, r)
@@ -277,8 +277,11 @@ func (c *fakeClock) Advance(d time.Duration) {
 func TestBreakerOpensDegradesAndRecovers(t *testing.T) {
 	clk := &fakeClock{now: time.Unix(1000, 0)}
 	var healthy atomic.Bool
-	r := &stubRunner{fn: func(_ context.Context, _ *Request, degraded bool, _ int) (*Result, error) {
-		if degraded {
+	r := &stubRunner{fn: func(_ context.Context, _ *Request, mode RunMode, _ int) (*Result, error) {
+		switch mode {
+		case RunAnalytic:
+			return &Result{Scenario: "stub", Mode: "analytic", Fidelity: "analytic"}, nil
+		case RunFIFO:
 			return okResult("degraded-fifo"), nil
 		}
 		if healthy.Load() {
@@ -310,16 +313,20 @@ func TestBreakerOpensDegradesAndRecovers(t *testing.T) {
 		t.Fatalf("breaker error %v must expose the tripping ShardError", br.Err())
 	}
 
-	// Open: requests serve the degraded-FIFO fallback, not errors.
+	// Open: requests answer from the analytic tier, not errors and not
+	// the bare FIFO rung.
 	res, err := s.Submit(context.Background(), &Request{})
 	if err != nil {
 		t.Fatalf("open breaker must degrade, not fail: %v", err)
 	}
-	if res.Mode != "degraded-fifo" || res.DegradedReason == "" {
+	if res.Mode != "analytic" || res.Fidelity != "analytic" || !res.BreakerOpen || res.DegradedReason == "" {
 		t.Fatalf("degraded result %+v", res)
 	}
 	if got := s.Snapshot().Degraded; got != 1 {
 		t.Fatalf("degraded count %d, want 1", got)
+	}
+	if got := s.Snapshot().Fidelity["analytic"]; got != 1 {
+		t.Fatalf("analytic fidelity count %d, want 1", got)
 	}
 
 	// Model fixed + cooldown elapsed: the next request is the half-open
@@ -395,7 +402,7 @@ func TestDrainWaitsForInFlightAndRefusesNew(t *testing.T) {
 }
 
 func TestWorkerSurvivesRunnerPanic(t *testing.T) {
-	r := &stubRunner{fn: func(_ context.Context, _ *Request, _ bool, call int) (*Result, error) {
+	r := &stubRunner{fn: func(_ context.Context, _ *Request, _ RunMode, call int) (*Result, error) {
 		if call == 1 {
 			panic("runner exploded straight through")
 		}
@@ -421,7 +428,7 @@ func TestWorkerSurvivesRunnerPanic(t *testing.T) {
 }
 
 func TestHealthzAlwaysOK(t *testing.T) {
-	s := mustNew(t, Config{Workers: 1, QueueDepth: 1}, &stubRunner{fn: func(context.Context, *Request, bool, int) (*Result, error) {
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 1}, &stubRunner{fn: func(context.Context, *Request, RunMode, int) (*Result, error) {
 		return okResult("model"), nil
 	}})
 	defer drainServer(t, s)
