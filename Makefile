@@ -74,23 +74,25 @@ analytic-gates:
 	$(GO) test -run TestAnalyticAccuracyGates -count=1 .
 
 # bench runs the reproducible perf harness (cmd/dqnbench) and refreshes
-# BENCH_pr9.json in place, preserving its recorded "before" baseline.
+# BENCH_pr10.json in place, preserving its recorded "before" baseline.
 # Since PR 5 the e2e benchmarks run with an EngineObserver attached;
 # since PR 6 an e2e_fattree16_ckpt variant prices epoch checkpointing
 # and serve_saturation reports p50/p99 request latency; since PR 8 a
 # quantized predict-stream variant and per-layer GEMM microbenches
 # price the blocked/quantized kernels; since PR 9 a
 # serve_saturation_brownout variant prices the graceful-degradation
-# ladder's overload brownout (tier breakdown included).
+# ladder's overload brownout (tier breakdown included); since PR 10 a
+# serve_saturation_batched variant prices the shared inference plane and
+# serve_concurrency_sweep records completed req/s vs client count.
 bench:
-	$(GO) run ./cmd/dqnbench -out BENCH_pr9.json
+	$(GO) run ./cmd/dqnbench -out BENCH_pr10.json
 
 # bench-check reruns the harness and fails on a >15% ns/op or any
-# allocs/op regression against the committed BENCH_pr9.json (carried
-# forward from BENCH_pr8; the PR 9 ladder adds no allocations to the
-# exact serve path, which the gate now holds the line on).
+# allocs/op regression against the committed BENCH_pr10.json (carried
+# forward from BENCH_pr9; the PR 10 plane keeps the plain serve path's
+# alloc profile intact, which the gate continues to hold the line on).
 bench-check:
-	$(GO) run ./cmd/dqnbench -check BENCH_pr9.json
+	$(GO) run ./cmd/dqnbench -check BENCH_pr10.json
 
 # microbench runs the plain go test benchmarks (no regression gate).
 microbench:

@@ -32,6 +32,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -42,6 +43,7 @@ import (
 	"deepqueuenet/internal/guard"
 	"deepqueuenet/internal/metrics"
 	"deepqueuenet/internal/obs"
+	"deepqueuenet/internal/plane"
 	"deepqueuenet/internal/ptm"
 	"deepqueuenet/internal/rng"
 	"deepqueuenet/internal/serve"
@@ -70,6 +72,9 @@ type Bench struct {
 	// variant shows how much of its extra throughput the analytic tier
 	// carried.
 	Tiers map[string]uint64 `json:"tiers,omitempty"`
+	// Sweep holds per-concurrency-level completed-request throughput,
+	// serve_concurrency_sweep only (best observed per level).
+	Sweep map[string]float64 `json:"sweep,omitempty"`
 }
 
 // File is the on-disk benchmark report.
@@ -300,8 +305,10 @@ func benchDefs() []benchDef {
 		{"e2e_fattree16_ckpt", func() (Bench, error) {
 			return benchE2ECkpt("e2e_fattree16_ckpt", topo.FatTree(topo.FatTree16, topo.DefaultLAN), traffic.ModelMAP, 0.5, 0.0002, 11)
 		}},
-		{"serve_saturation", func() (Bench, error) { return benchServe("serve_saturation", false) }},
-		{"serve_saturation_brownout", func() (Bench, error) { return benchServe("serve_saturation_brownout", true) }},
+		{"serve_saturation", func() (Bench, error) { return benchServe("serve_saturation", false, false) }},
+		{"serve_saturation_brownout", func() (Bench, error) { return benchServe("serve_saturation_brownout", true, false) }},
+		{"serve_saturation_batched", func() (Bench, error) { return benchServe("serve_saturation_batched", false, true) }},
+		{"serve_concurrency_sweep", func() (Bench, error) { return benchServeSweep("serve_concurrency_sweep") }},
 	}
 }
 
@@ -512,8 +519,11 @@ func benchE2ECfg(name string, g *topo.Graph, tm traffic.Model, load, dur float64
 // pressure. It reports completed requests/s and the shed rate alongside
 // the usual ns/op and allocs/op gates. With brownout on, the same
 // episode answers its overflow analytically instead of shedding — the
-// Tiers breakdown prices what the extra availability costs.
-func benchServe(name string, brownout bool) (Bench, error) {
+// Tiers breakdown prices what the extra availability costs. With
+// batched on, every device call routes through a shared inference plane
+// so concurrent requests coalesce onto warm per-model workers — the
+// _batched variant prices the plane against the plain path.
+func benchServe(name string, brownout, batched bool) (Bench, error) {
 	// A small PTM keeps the episode dominated by serving mechanics
 	// (admission, queueing, breaker bookkeeping) rather than inference.
 	serveArch := ptm.Arch{TimeSteps: 8, Margin: 2, Embed: 4, BLSTM1: 4, BLSTM2: 4, Heads: 1, DK: 2, DV: 2, HeadOut: 4}
@@ -522,10 +532,17 @@ func benchServe(name string, brownout bool) (Bench, error) {
 		return Bench{}, err
 	}
 	runner := &serve.ScenarioRunner{DefaultModel: model, MaxShards: 2}
-	srv, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		Workers: 2, QueueDepth: 2, RetryMax: -1,
 		DefaultTimeout: 30 * time.Second, Seed: 1, Brownout: brownout,
-	}, runner)
+	}
+	if batched {
+		pl := plane.New(plane.Config{MaxBatch: 16})
+		defer pl.Close()
+		runner.Plane = pl
+		cfg.Plane = pl
+	}
+	srv, err := serve.New(cfg, runner)
 	if err != nil {
 		return Bench{}, err
 	}
@@ -596,6 +613,95 @@ func benchServe(name string, brownout bool) (Bench, error) {
 	if len(lats) > 0 {
 		out.P50LatencyMs = metrics.Percentile(lats, 50)
 		out.P99LatencyMs = metrics.Percentile(lats, 99)
+	}
+	return out, nil
+}
+
+// benchServeSweep drives the batched serving stack at increasing client
+// counts (2, 4, 8, 16 concurrent clients, 2 requests each) and records
+// the completed-request throughput per level in the Sweep map — the
+// shape of the curve shows how far the shared inference plane's
+// cross-request coalescing carries before the CPU floor flattens it.
+// One op is the full sweep, so ns/op gates the whole curve.
+func benchServeSweep(name string) (Bench, error) {
+	serveArch := ptm.Arch{TimeSteps: 8, Margin: 2, Embed: 4, BLSTM1: 4, BLSTM2: 4, Heads: 1, DK: 2, DV: 2, HeadOut: 4}
+	model, err := ptm.Synthetic(serveArch, 8, 1)
+	if err != nil {
+		return Bench{}, err
+	}
+	pl := plane.New(plane.Config{MaxBatch: 16})
+	defer pl.Close()
+	runner := &serve.ScenarioRunner{DefaultModel: model, MaxShards: 2, Plane: pl}
+	srv, err := serve.New(serve.Config{
+		// Deep enough that no level sheds: the sweep measures completed
+		// throughput vs offered concurrency, not admission control.
+		Workers: 2, QueueDepth: 64, RetryMax: -1,
+		DefaultTimeout: 30 * time.Second, Seed: 1, Plane: pl,
+	}, runner)
+	if err != nil {
+		return Bench{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "dqnbench: sweep drain: %v\n", err)
+		}
+	}()
+
+	levels := []int{2, 4, 8, 16}
+	const perClient = 2
+	sweep := make(map[string]float64, len(levels))
+	var sweepMu sync.Mutex
+	r := measure(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, clients := range levels {
+				start := time.Now()
+				var wg sync.WaitGroup
+				var completed int64
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer func() {
+							if we := guard.RecoveredWorker(c, recover()); we != nil {
+								b.Error(we)
+							}
+							wg.Done()
+						}()
+						for k := 0; k < perClient; k++ {
+							req := &serve.Request{Topo: "line4", Duration: 0.0002, Shards: 2,
+								Seed: uint64(c*perClient + k + 1)}
+							_, err := srv.Submit(context.Background(), req)
+							switch {
+							case err == nil:
+								atomic.AddInt64(&completed, 1)
+							case !errors.Is(err, serve.ErrShed):
+								b.Error(err)
+							}
+						}
+					}(c)
+				}
+				wg.Wait()
+				el := time.Since(start).Seconds()
+				if el <= 0 || completed == 0 {
+					continue
+				}
+				key := fmt.Sprintf("clients=%d", clients)
+				rps := float64(completed) / el
+				sweepMu.Lock()
+				if rps > sweep[key] {
+					sweep[key] = rps
+				}
+				sweepMu.Unlock()
+			}
+		}
+	})
+	out := record(name, r)
+	out.Sweep = sweep
+	st := srv.Snapshot()
+	if st.Received > 0 {
+		out.ShedRate = float64(st.Shed) / float64(st.Received)
 	}
 	return out, nil
 }

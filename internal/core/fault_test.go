@@ -384,3 +384,29 @@ func TestDeterministicDeliveryOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestPropagateFlagsNaNOnFinalHop pins the watchdog evasion fix: a NaN
+// sojourn on a packet's FINAL hop never re-enters any arrival estimate
+// (the loop adds it after the last comparison), so propagate must flag
+// the non-finite departure time itself — otherwise damping keeps the
+// hop poisoned forever and the NaN sails into the delivered trace while
+// the run "succeeds" at the iteration bound.
+func TestPropagateFlagsNaNOnFinalHop(t *testing.T) {
+	mk := func(lastSojourn float64) *packet {
+		return &packet{
+			create:  0,
+			hops:    []hop{{linkDelay: 1e-6}, {linkDelay: 1e-6}},
+			arrive:  []float64{0, 2e-6},
+			sojourn: []float64{1e-6, lastSojourn},
+		}
+	}
+	if d := propagate([]*packet{mk(1e-6)}); math.IsNaN(d) || math.IsInf(d, 0) {
+		t.Fatalf("finite packet produced non-finite delta %v", d)
+	}
+	if d := propagate([]*packet{mk(math.NaN())}); !math.IsNaN(d) {
+		t.Fatalf("NaN final-hop sojourn produced delta %v, want NaN for the watchdog", d)
+	}
+	if d := propagate([]*packet{mk(math.Inf(1))}); !math.IsInf(d, 1) {
+		t.Fatalf("Inf final-hop sojourn produced delta %v, want +Inf for the watchdog", d)
+	}
+}

@@ -459,6 +459,14 @@ func propagate(pkts []*packet) float64 {
 			p.arrive[h] = t
 			t += p.sojourn[h] + p.hops[h].linkDelay
 		}
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			// A poisoned sojourn on a packet's FINAL hop never re-enters
+			// any arrival estimate (the loop adds it after the last
+			// comparison), and damping keeps it NaN forever — so check the
+			// departure time itself, or the poison would sail past the
+			// watchdog straight into the delivered trace.
+			return math.Abs(t)
+		}
 	}
 	return maxDelta
 }

@@ -25,6 +25,7 @@ import (
 	"deepqueuenet/internal/core"
 	"deepqueuenet/internal/experiments"
 	"deepqueuenet/internal/guard"
+	"deepqueuenet/internal/plane"
 	"deepqueuenet/internal/ptm"
 	"deepqueuenet/internal/serve"
 )
@@ -712,5 +713,105 @@ func TestChaosKillRestartResumeStorm(t *testing.T) {
 	}
 	if st.Completed != uint64(crashed) {
 		t.Errorf("restarted process completed %d jobs, want the %d crashed ones", st.Completed, crashed)
+	}
+}
+
+// TestChaosStormBatchedDigestsBitIdentical is the inference-plane
+// acceptance drill: concurrent traffic runs through the shared
+// cross-request batching plane while chaos injects shard panics and
+// NaN outputs, and every exact-fidelity success must still reproduce
+// the plane-less, chaos-less direct engine digest bit for bit. Faults
+// fire in the submitting shard (above the plane handle), so retries
+// recover them without ever corrupting the shared warm workers.
+func TestChaosStormBatchedDigestsBitIdentical(t *testing.T) {
+	model := testModel(t)
+
+	// Reference digests: direct engine runs, no plane, no chaos.
+	g, err := experiments.TopoByName("line4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := experiments.SchedByName("fifo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := experiments.TrafficByName("poisson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seeds = 4
+	want := make(map[uint64]string, seeds)
+	for seed := uint64(1); seed <= seeds; seed++ {
+		sc, err := experiments.NewScenario("line4/fifo/poisson", g, sched, tm, 0.5, 0.0002, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, res, err := sc.RunDQNCfgCtx(context.Background(), model, core.Config{Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[seed] = serve.Digest(res)
+	}
+
+	inj := chaos.New(chaos.Config{Seed: 11, PanicRate: 0.01, NaNRate: 0.01})
+	pl := plane.New(plane.Config{MaxBatch: 8})
+	defer pl.Close()
+	runner := &serve.ScenarioRunner{DefaultModel: model, MaxShards: 2, Plane: pl}
+	runner.WrapDevice = inj.WrapDevice
+	srv := mustServe(t, serve.Config{
+		Workers: 4, QueueDepth: 16, RetryMax: 6, RetryBase: time.Millisecond,
+		Breaker: serve.BreakerConfig{Threshold: 1 << 30}, // digests, not breaker behavior, under test
+		Plane:   pl,
+	}, inj.WrapRunner(runner))
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Drain(dctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+
+	const perSeed = 4
+	var succeeded atomic.Uint64
+	errCh := make(chan error, 3*seeds*perSeed)
+	// Up to three storm waves: a wave can lose every request to
+	// exhausted retries under sustained faults, but any SUCCESS in any
+	// wave must carry the exact reference digest.
+	for wave := 0; wave < 3 && succeeded.Load() == 0; wave++ {
+		var wg sync.WaitGroup
+		for seed := uint64(1); seed <= seeds; seed++ {
+			for i := 0; i < perSeed; i++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					req := &serve.Request{Topo: "line4", Duration: 0.0002, Shards: 2, Seed: seed, Fidelity: "exact"}
+					res, err := srv.Submit(context.Background(), req)
+					if err != nil {
+						return // exhausted retries under chaos: acceptable, just not a success
+					}
+					if res.Mode != "model" || res.Degraded {
+						errCh <- fmt.Errorf("seed %d: exact-fidelity success ran as %q degraded=%v", seed, res.Mode, res.Degraded)
+						return
+					}
+					if res.Digest != want[seed] {
+						errCh <- fmt.Errorf("seed %d: batched digest %q != direct engine digest %q", seed, res.Digest, want[seed])
+						return
+					}
+					succeeded.Add(1)
+				}(seed)
+			}
+		}
+		wg.Wait()
+	}
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if succeeded.Load() == 0 {
+		t.Fatal("no request succeeded under the chaos storm; digest claim untested")
+	}
+	// Traffic must actually have flowed through the plane.
+	if calls, _ := pl.BatchStats(); calls == 0 {
+		t.Fatal("plane saw no flushes: the batched path was not exercised")
 	}
 }

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"deepqueuenet/internal/checkpoint"
+	"deepqueuenet/internal/obs"
+	"deepqueuenet/internal/ptm"
+)
+
+// maxModelEntries bounds the warm model registry, mirroring the 64-key
+// circuit-breaker label bound: the two structures grow with the same
+// request field (the model path), so they share one budget.
+const maxModelEntries = maxBreakerPathLabels
+
+// modelRegistry is the warm model registry: one entry per model path,
+// holding the loaded base model and every lazily derived read-only
+// variant (int8-quantized, SEC-stripped, content digest). Entries are
+// shared across all concurrent requests — a model is loaded once,
+// quantized once, digested once, no matter how many cold-start requests
+// race for it — and the entry count is LRU-bounded at maxModelEntries.
+type modelRegistry struct {
+	mu      sync.Mutex
+	clock   uint64
+	entries map[string]*modelEntry
+	loading map[string]*modelLoad
+	// evictions, when non-nil, counts entries dropped by the LRU bound.
+	evictions *obs.Counter
+}
+
+// modelLoad is one in-flight cold-start load: concurrent requesters for
+// the same path park on done instead of loading the file N times
+// (singleflight). A failed load is never cached — the next request
+// retries, so a half-open breaker probe after the model file is fixed
+// sees the fix.
+type modelLoad struct {
+	done chan struct{}
+	e    *modelEntry
+	err  error
+}
+
+// modelEntry holds the resolved variants of one model path. base is
+// immutable after construction; variants are built at most once under
+// the entry lock (concurrent requesters of the same variant block on
+// the one build instead of each cloning the model).
+type modelEntry struct {
+	used uint64 // LRU stamp, maintained under modelRegistry.mu
+
+	base *ptm.PTM
+
+	mu     sync.Mutex
+	digest string
+	quant  *ptm.PTM
+	// noSEC maps a parent variant (base or quant) to its SEC-stripped
+	// clone. Resolving NoSEC here — instead of per shard inside the
+	// engine — keeps a request's model a stable identity, which the
+	// inference plane keys its warm workers on.
+	noSEC map[*ptm.PTM]*ptm.PTM
+}
+
+// entry returns the warm entry for path, invoking load exactly once per
+// path across concurrent cold-start requests. evict, when non-nil,
+// counts LRU evictions.
+func (mr *modelRegistry) entry(path string, evict *obs.Counter, load func() (*ptm.PTM, error)) (*modelEntry, error) {
+	mr.mu.Lock()
+	mr.evictions = evict
+	if mr.entries == nil {
+		mr.entries = make(map[string]*modelEntry)
+		mr.loading = make(map[string]*modelLoad)
+	}
+	if e := mr.entries[path]; e != nil {
+		mr.clock++
+		e.used = mr.clock
+		mr.mu.Unlock()
+		return e, nil
+	}
+	if fl := mr.loading[path]; fl != nil {
+		mr.mu.Unlock()
+		<-fl.done
+		return fl.e, fl.err
+	}
+	fl := &modelLoad{done: make(chan struct{})}
+	mr.loading[path] = fl
+	mr.mu.Unlock()
+
+	m, err := load()
+
+	mr.mu.Lock()
+	delete(mr.loading, path)
+	if err == nil {
+		fl.e = &modelEntry{base: m}
+		mr.clock++
+		fl.e.used = mr.clock
+		mr.entries[path] = fl.e
+		mr.evictLocked()
+	}
+	fl.err = err
+	mr.mu.Unlock()
+	close(fl.done)
+	return fl.e, fl.err
+}
+
+// evictLocked drops least-recently-used entries beyond maxModelEntries.
+// The default-model entry ("") is exempt: it is the hot path and costs
+// nothing to load, but its derived variants are worth keeping warm.
+// Requests already holding an evicted entry keep using it safely — all
+// of its models are immutable.
+func (mr *modelRegistry) evictLocked() {
+	for len(mr.entries) > maxModelEntries {
+		var victimKey string
+		var victim *modelEntry
+		for k, e := range mr.entries {
+			if k == "" {
+				continue
+			}
+			if victim == nil || e.used < victim.used {
+				victim, victimKey = e, k
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(mr.entries, victimKey)
+		if mr.evictions != nil {
+			mr.evictions.Inc()
+		}
+	}
+}
+
+// len reports the live entry count (tests).
+func (mr *modelRegistry) len() int {
+	mr.mu.Lock()
+	defer mr.mu.Unlock()
+	return len(mr.entries)
+}
+
+// quantized returns the entry's int8-quantized variant: the base model
+// itself when it is already quantized, otherwise a clone built exactly
+// once — the exact model is never mutated, so RunExact stays
+// bit-identical with the ladder installed. A failed build is not
+// cached.
+func (e *modelEntry) quantized() (*ptm.PTM, error) {
+	if e.base.Quantized() {
+		return e.base, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.quant != nil {
+		return e.quant, nil
+	}
+	q := e.base.Clone()
+	if err := q.WithQuantized(); err != nil {
+		return nil, fmt.Errorf("%w: quantize: %w", errModelInvalid, err)
+	}
+	e.quant = q
+	return q, nil
+}
+
+// withoutSEC returns parent with the SEC residual bins stripped,
+// building the clone at most once per parent variant. A parent with no
+// bins is returned as-is.
+func (e *modelEntry) withoutSEC(parent *ptm.PTM) *ptm.PTM {
+	if len(parent.SECBins) == 0 {
+		return parent
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if v := e.noSEC[parent]; v != nil {
+		return v
+	}
+	v := parent.WithoutSEC()
+	if e.noSEC == nil {
+		e.noSEC = make(map[*ptm.PTM]*ptm.PTM, 2)
+	}
+	e.noSEC[parent] = v
+	return v
+}
+
+// baseDigest returns the SHA-256 identity of the entry's base model,
+// computed once. Checkpoint compatibility is keyed on the base digest
+// even for NoSEC runs — exactly as when SEC stripping happened inside
+// the engine.
+func (e *modelEntry) baseDigest() (string, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.digest != "" {
+		return e.digest, nil
+	}
+	d, err := checkpoint.ModelDigest(e.base)
+	if err != nil {
+		return "", err
+	}
+	e.digest = d
+	return d, nil
+}

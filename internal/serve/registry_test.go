@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"deepqueuenet/internal/guard"
+	"deepqueuenet/internal/obs"
+	"deepqueuenet/internal/ptm"
+)
+
+func registryTestModel(t *testing.T) *ptm.PTM {
+	t.Helper()
+	arch := ptm.Arch{TimeSteps: 8, Margin: 2, Embed: 4, BLSTM1: 4, BLSTM2: 4, Heads: 1, DK: 2, DV: 2, HeadOut: 4}
+	m, err := ptm.Synthetic(arch, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestRegistryColdStartSingleflight hammers one path with 32 concurrent
+// cold-start requesters and verifies the model is loaded exactly once,
+// every caller gets the same entry, and the lazily derived variants
+// (quantized, SEC-stripped, digest) are each built exactly once too.
+// Run under -race this also proves the registry's locking discipline.
+func TestRegistryColdStartSingleflight(t *testing.T) {
+	base := registryTestModel(t)
+	var loads atomic.Int64
+	mr := &modelRegistry{}
+
+	const goroutines = 32
+	entries := make([]*modelEntry, goroutines)
+	quants := make([]*ptm.PTM, goroutines)
+	nosecs := make([]*ptm.PTM, goroutines)
+	digests := make([]string, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer func() {
+				if we := guard.RecoveredWorker(i, recover()); we != nil {
+					t.Error(we)
+				}
+				wg.Done()
+			}()
+			e, err := mr.entry("models/a.json", nil, func() (*ptm.PTM, error) {
+				loads.Add(1)
+				return base, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			entries[i] = e
+			q, err := e.quantized()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			quants[i] = q
+			nosecs[i] = e.withoutSEC(e.base)
+			d, err := e.baseDigest()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			digests[i] = d
+		}(i)
+	}
+	wg.Wait()
+
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("cold-start loads = %d, want exactly 1 (singleflight)", n)
+	}
+	for i := 1; i < goroutines; i++ {
+		if entries[i] != entries[0] {
+			t.Fatalf("goroutine %d got a different entry", i)
+		}
+		if quants[i] != quants[0] {
+			t.Fatalf("goroutine %d got a different quantized variant", i)
+		}
+		if nosecs[i] != nosecs[0] {
+			t.Fatalf("goroutine %d got a different SEC-stripped variant", i)
+		}
+		if digests[i] != digests[0] {
+			t.Fatalf("goroutine %d got a different digest", i)
+		}
+	}
+	if quants[0] == base {
+		t.Fatal("quantized variant aliases the exact base model")
+	}
+	if base.Quantized() {
+		t.Fatal("registry mutated the base model while quantizing")
+	}
+}
+
+// TestRegistryLoadFailureNotCached: a failed load is retried by the
+// next requester (half-open probes must see a fixed model file), and a
+// subsequent success is cached.
+func TestRegistryLoadFailureNotCached(t *testing.T) {
+	mr := &modelRegistry{}
+	boom := errors.New("disk on fire")
+	var calls int
+	_, err := mr.entry("p", nil, func() (*ptm.PTM, error) { calls++; return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	base := registryTestModel(t)
+	e, err := mr.entry("p", nil, func() (*ptm.PTM, error) { calls++; return base, nil })
+	if err != nil || e.base != base {
+		t.Fatalf("retry after failure: err=%v", err)
+	}
+	if _, err := mr.entry("p", nil, func() (*ptm.PTM, error) { calls++; return nil, boom }); err != nil {
+		t.Fatalf("cached entry should not reload: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("loads = %d, want 2 (fail, succeed, then cached)", calls)
+	}
+}
+
+// TestRegistryLRUBound pins the entry cap at the breaker's 64-key bound
+// and the eviction counter.
+func TestRegistryLRUBound(t *testing.T) {
+	base := registryTestModel(t)
+	reg := obs.NewRegistry()
+	evict := reg.Counter("test_evictions_total", "test")
+	mr := &modelRegistry{}
+	if _, err := mr.entry("", evict, func() (*ptm.PTM, error) { return base, nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxModelEntries+10; i++ {
+		path := fmt.Sprintf("models/%d.json", i)
+		if _, err := mr.entry(path, evict, func() (*ptm.PTM, error) { return base, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The default entry ("") is exempt, so the bound is 64 + 1.
+	if got := mr.len(); got > maxModelEntries+1 {
+		t.Fatalf("registry holds %d entries, want <= %d", got, maxModelEntries+1)
+	}
+	if got := evict.Value(); got < 10 {
+		t.Fatalf("evictions = %d, want >= 10", got)
+	}
+	// The freshest path must have survived; the oldest must not.
+	mr.mu.Lock()
+	_, newest := mr.entries[fmt.Sprintf("models/%d.json", maxModelEntries+9)]
+	_, oldest := mr.entries["models/0.json"]
+	_, def := mr.entries[""]
+	mr.mu.Unlock()
+	if !newest || oldest || !def {
+		t.Fatalf("LRU order wrong: newest=%v oldest=%v default=%v", newest, oldest, def)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"deepqueuenet/internal/experiments"
 	"deepqueuenet/internal/metrics"
 	"deepqueuenet/internal/obs"
+	"deepqueuenet/internal/plane"
 	"deepqueuenet/internal/ptm"
 	"deepqueuenet/internal/topo"
 )
@@ -219,68 +220,96 @@ type ScenarioRunner struct {
 	// to the runner (cmd/dqnserve does this under -quant) so there is no
 	// mutation after the runner starts serving.
 	Quantize bool
+	// Plane, when non-nil, routes every device prediction through the
+	// shared cross-request inference plane: the resolved model is
+	// wrapped in a plane handle (innermost, below WrapDevice) so all
+	// concurrent jobs sharing a model coalesce onto one warm worker.
+	Plane *plane.Plane
+	// CacheEvictions, when non-nil, counts runner cache entries dropped
+	// by the LRU bounds (model registry and topology digests).
+	CacheEvictions *obs.Counter
 
-	mu           sync.Mutex
-	cache        map[string]*ptm.PTM
-	quantCache   map[*ptm.PTM]*ptm.PTM
-	modelDigests map[*ptm.PTM]string
-	topoDigests  map[string]string
+	registry modelRegistry
+
+	mu          sync.Mutex
+	topoDigests map[string]string
 }
 
-// quantized returns the RunQuant backend for a resolved model: the
-// model itself when it is already quantized, otherwise a lazily built
-// and cached quantized clone — the exact model is never mutated, so
-// RunExact stays bit-identical with the ladder installed.
-func (r *ScenarioRunner) quantized(m *ptm.PTM) (*ptm.PTM, error) {
-	if m.Quantized() {
+// entry resolves the warm registry entry for a model path. Cold-start
+// loads are singleflighted per path; load failures are not cached, so a
+// half-open probe after the model file is fixed must see the fix.
+func (r *ScenarioRunner) entry(path string) (*modelEntry, error) {
+	if path == "" {
+		if r.DefaultModel == nil {
+			return nil, badRequestf("no model path given and no default model configured")
+		}
+		return r.registry.entry("", r.CacheEvictions, func() (*ptm.PTM, error) {
+			return r.DefaultModel, nil
+		})
+	}
+	return r.registry.entry(path, r.CacheEvictions, func() (*ptm.PTM, error) {
+		m, err := ptm.Load(path)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", errModelInvalid, err)
+		}
+		if r.Quantize {
+			if err := m.WithQuantized(); err != nil {
+				return nil, fmt.Errorf("%w: quantize: %w", errModelInvalid, err)
+			}
+		}
 		return m, nil
-	}
-	r.mu.Lock()
-	q, ok := r.quantCache[m]
-	r.mu.Unlock()
-	if ok {
-		return q, nil
-	}
-	q = m.Clone()
-	if err := q.WithQuantized(); err != nil {
-		return nil, fmt.Errorf("%w: quantize: %w", errModelInvalid, err)
-	}
-	r.mu.Lock()
-	if r.quantCache == nil {
-		r.quantCache = make(map[*ptm.PTM]*ptm.PTM)
-	}
-	if prev, ok := r.quantCache[m]; ok {
-		q = prev // a concurrent builder won; keep one copy
-	} else {
-		r.quantCache[m] = q
-	}
-	r.mu.Unlock()
-	return q, nil
+	})
 }
 
-// modelDigestFor caches the SHA-256 identity of a loaded model.
-func (r *ScenarioRunner) modelDigestFor(m *ptm.PTM) (string, error) {
-	r.mu.Lock()
-	d, ok := r.modelDigests[m]
-	r.mu.Unlock()
-	if ok {
-		return d, nil
-	}
-	d, err := checkpoint.ModelDigest(m)
+// resolve returns the device model one request runs at the given rung,
+// from the warm registry: the base model, its int8-quantized variant,
+// and SEC-stripped variants are each built once per path and shared
+// read-only across every concurrent request. NoSEC is resolved here
+// rather than per shard inside the engine (bit-identical — the same
+// clone the engine would build, built once), so a request's model is a
+// stable identity the inference plane can key its warm workers on.
+func (r *ScenarioRunner) resolve(req *Request, mode RunMode) (*ptm.PTM, *modelEntry, error) {
+	e, err := r.entry(req.Model)
 	if err != nil {
-		return "", err
+		return nil, nil, err
 	}
-	r.mu.Lock()
-	if r.modelDigests == nil {
-		r.modelDigests = make(map[*ptm.PTM]string)
+	m := e.base
+	if mode == RunQuant {
+		if m, err = e.quantized(); err != nil {
+			return nil, nil, err
+		}
 	}
-	r.modelDigests[m] = d
-	r.mu.Unlock()
-	return d, nil
+	if req.NoSEC {
+		m = e.withoutSEC(m)
+	}
+	return m, e, nil
+}
+
+// deviceWrap composes the per-run device wrapper: the shared plane
+// handle innermost, the configured WrapDevice (chaos injection) on top
+// — injected faults fire in the submitting shard goroutine, where the
+// engine's guard expects them, while the plane's warm worker only ever
+// runs the true model.
+func (r *ScenarioRunner) deviceWrap(req *Request) func(int, core.DeviceModel) core.DeviceModel {
+	user := r.WrapDevice
+	pl := r.Plane
+	if pl == nil {
+		return user
+	}
+	tag := req.modelKey()
+	return func(id int, m core.DeviceModel) core.DeviceModel {
+		var d core.DeviceModel = pl.Wrap(m, tag)
+		if user != nil {
+			d = user(id, d)
+		}
+		return d
+	}
 }
 
 // topoDigestFor caches the topology digest by topology name (the
-// request grammar is deterministic: one name, one graph).
+// request grammar is deterministic: one name, one graph). The cache is
+// count-bounded like the registry; past the bound an arbitrary entry is
+// dropped — recomputation is cheap.
 func (r *ScenarioRunner) topoDigestFor(name string, g *topo.Graph) string {
 	r.mu.Lock()
 	d, ok := r.topoDigests[name]
@@ -293,43 +322,18 @@ func (r *ScenarioRunner) topoDigestFor(name string, g *topo.Graph) string {
 	if r.topoDigests == nil {
 		r.topoDigests = make(map[string]string)
 	}
+	if _, ok := r.topoDigests[name]; !ok && len(r.topoDigests) >= maxModelEntries {
+		for k := range r.topoDigests {
+			delete(r.topoDigests, k)
+			break
+		}
+		if r.CacheEvictions != nil {
+			r.CacheEvictions.Inc()
+		}
+	}
 	r.topoDigests[name] = d
 	r.mu.Unlock()
 	return d
-}
-
-// model resolves and caches the device model for one request. Load
-// failures are not cached: a half-open probe after the model file is
-// fixed must see the fix.
-func (r *ScenarioRunner) model(path string) (*ptm.PTM, error) {
-	if path == "" {
-		if r.DefaultModel == nil {
-			return nil, badRequestf("no model path given and no default model configured")
-		}
-		return r.DefaultModel, nil
-	}
-	r.mu.Lock()
-	m, ok := r.cache[path]
-	r.mu.Unlock()
-	if ok {
-		return m, nil
-	}
-	m, err := ptm.Load(path)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %w", errModelInvalid, err)
-	}
-	if r.Quantize {
-		if err := m.WithQuantized(); err != nil {
-			return nil, fmt.Errorf("%w: quantize: %w", errModelInvalid, err)
-		}
-	}
-	r.mu.Lock()
-	if r.cache == nil {
-		r.cache = make(map[string]*ptm.PTM)
-	}
-	r.cache[path] = m
-	r.mu.Unlock()
-	return m, nil
 }
 
 // scenario builds and calibrates the scenario a request describes.
@@ -420,37 +424,31 @@ func (r *ScenarioRunner) Run(ctx context.Context, req *Request, mode RunMode) (*
 	if shards > maxShards {
 		shards = maxShards
 	}
-	cfg := core.Config{Shards: shards, NoSEC: req.NoSEC}
+	// NoSEC is resolved into the model by the registry below, not by the
+	// engine, so concurrent NoSEC and SEC requests for one path still
+	// share stable model identities (and hence plane workers).
+	cfg := core.Config{Shards: shards}
 	var model *ptm.PTM
+	var ent *modelEntry
 	switch mode {
 	case RunFIFO:
 		// PR 1's availability-preserving fallback: no model resolves for
 		// any switch, so every device runs the exact transmission-time +
 		// FIFO-serialization operator.
 		cfg.DeviceFor = func(int) core.DeviceModel { return nil }
-	case RunQuant:
-		model, err = r.model(req.Model)
-		if err != nil {
-			return nil, err
-		}
-		model, err = r.quantized(model)
-		if err != nil {
-			return nil, err
-		}
-		cfg.WrapDevice = r.WrapDevice
 	default:
-		model, err = r.model(req.Model)
+		model, ent, err = r.resolve(req, mode)
 		if err != nil {
 			return nil, err
 		}
-		cfg.WrapDevice = r.WrapDevice
+		cfg.WrapDevice = r.deviceWrap(req)
 	}
 	resumedFrom := 0
 	if req.CheckpointPath != "" && mode == RunExact {
 		// Durable job: attach the checkpoint sink and, when a snapshot
 		// from an interrupted predecessor exists and digest-matches this
 		// run, resume from it.
-		modelDigest, derr := r.modelDigestFor(model)
+		modelDigest, derr := ent.baseDigest()
 		if derr != nil {
 			return nil, fmt.Errorf("%w: %w", errModelInvalid, derr)
 		}
